@@ -1,0 +1,62 @@
+"""E12 — Theorems 3/4: canonicity and the exact size budgets.
+
+For random functions and vtrees we rebuild ``C_{F,T}`` and ``S_{F,T}``
+and check byte-level (structural) equality, plus the paper's explicit
+gate budgets ``2n+1+3k(n−1)`` and ``2(n+1)+3k(n−1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.nnf_compile import compile_canonical_nnf
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+
+from .conftest import report
+
+
+def test_canonicity_and_budgets(benchmark):
+    rng = np.random.default_rng(2024)
+    rows = []
+    for n in (3, 4, 5, 6):
+        vs = [f"v{i}" for i in range(n)]
+        f = BooleanFunction.random(vs, rng)
+        t = Vtree.random(list(vs), rng)
+        nnf1 = compile_canonical_nnf(f, t)
+        nnf2 = compile_canonical_nnf(f, t)
+        sdd1 = compile_canonical_sdd(f, t)
+        sdd2 = compile_canonical_sdd(f, t)
+        assert nnf1.root.structural_key() == nnf2.root.structural_key()
+        assert sdd1.root.structural_key() == sdd2.root.structural_key()
+        assert nnf1.size <= nnf1.theorem3_size_bound()
+        assert sdd1.size <= sdd1.theorem4_size_bound()
+        rows.append(
+            [n, nnf1.size, nnf1.theorem3_size_bound(), sdd1.size, sdd1.theorem4_size_bound()]
+        )
+    report(
+        "Theorems 3/4 / canonicity + size budgets (random functions)",
+        ["n", "C_{F,T} size", "2n+1+3k(n-1)", "S_{F,T} size", "2(n+1)+3k(n-1)"],
+        rows,
+    )
+    vs = [f"v{i}" for i in range(4)]
+    f = BooleanFunction.random(vs, rng)
+    t = Vtree.balanced(vs)
+    benchmark(lambda: compile_canonical_sdd(f, t))
+
+
+def test_canonical_sdd_independent_of_source_circuit(benchmark):
+    """S_{F,T} depends only on (F, T): computing F through syntactically
+    different circuits changes nothing."""
+    rng = np.random.default_rng(7)
+    vs = ["a", "b", "c", "d"]
+    f = BooleanFunction.random(vs, rng)
+    g = ~~f  # same function, different derivation
+    t = Vtree.balanced(vs)
+    assert (
+        compile_canonical_sdd(f, t).root.structural_key()
+        == compile_canonical_sdd(g, t).root.structural_key()
+    )
+    benchmark(lambda: compile_canonical_nnf(f, t))

@@ -1,0 +1,94 @@
+"""E2 — Figure 2: lineages of UCQs (no inequalities).
+
+The paper's collapse: for UCQ lineages,
+
+    OBDD(O(1)) = SDD(O(1)) = OBDD(n^O(1)) = SDD(n^O(1))
+
+because (a) inversion-free UCQs have constant-width OBDD lineages and
+(b) inversions force exponential deterministic structured (hence SDD)
+size — the gray region of Figure 2 is empty.
+
+Measured here:
+- the inversion-free side: ``R(x),S(x,y)`` lineages keep OBDD width O(1)
+  as the database grows;
+- the inversion side: ``h_1`` lineages blow up in every tractable form we
+  compile (OBDD and SDD), tracking the Theorem-5 exponent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.analysis import find_inversion, is_inversion_free
+from repro.queries.compile import compile_lineage_obdd, compile_lineage_sdd
+from repro.queries.database import complete_database
+from repro.queries.families import (
+    chain_database,
+    hierarchical_query,
+    independent_query,
+    inversion_chain_query,
+)
+
+from .conftest import report
+
+
+def test_inversion_free_constant_obdd_width(benchmark):
+    q = hierarchical_query()
+    assert is_inversion_free(q)
+    rows = []
+    widths = []
+    for n in (2, 3, 4, 5, 6):
+        db = complete_database({"R": 1, "S": 2}, n)
+        mgr, root = compile_lineage_obdd(q, db)
+        widths.append(mgr.width(root))
+        rows.append([n, db.size, mgr.width(root), mgr.size(root)])
+    report(
+        "Figure 2 / inversion-free UCQ R(x),S(x,y): constant OBDD width",
+        ["domain n", "tuples", "OBDD width", "OBDD size"],
+        rows,
+    )
+    assert max(widths) == min(widths)
+    db = complete_database({"R": 1, "S": 2}, 4)
+    benchmark(lambda: compile_lineage_obdd(q, db))
+
+
+def test_independent_query_also_constant(benchmark):
+    q = independent_query()
+    assert is_inversion_free(q)
+    widths = []
+    for n in (2, 4, 6):
+        db = complete_database({"R": 1, "T": 1}, n)
+        mgr, root = compile_lineage_obdd(q, db)
+        widths.append(mgr.width(root))
+    assert max(widths) <= 2
+    db = complete_database({"R": 1, "T": 1}, 4)
+    benchmark(lambda: compile_lineage_obdd(q, db))
+
+
+def test_inversion_query_blows_up(benchmark):
+    """h_1 contains an inversion of length 1 ⇒ exponential deterministic
+    structured size (Theorem 5); both compiled forms grow super-linearly
+    in the number of tuples."""
+    q = inversion_chain_query(1)
+    w = find_inversion(q)
+    assert w is not None and w.length == 1
+    rows = []
+    obdd_sizes, sdd_sizes, tuples = [], [], []
+    for n in (1, 2, 3, 4):
+        db = chain_database(1, n)
+        mgr, root = compile_lineage_obdd(q, db)
+        smgr, sroot = compile_lineage_sdd(q, db)
+        rows.append([n, db.size, mgr.width(root), mgr.size(root), smgr.size(sroot)])
+        obdd_sizes.append(mgr.size(root))
+        sdd_sizes.append(smgr.size(sroot))
+        tuples.append(db.size)
+    report(
+        "Figure 2 / inversion UCQ h_1: lineage sizes grow super-linearly",
+        ["domain n", "tuples", "OBDD width", "OBDD size", "SDD size"],
+        rows,
+    )
+    # super-linear growth in the tuple count between the ends
+    assert obdd_sizes[-1] / obdd_sizes[0] > tuples[-1] / tuples[0]
+    assert sdd_sizes[-1] / sdd_sizes[0] > tuples[-1] / tuples[0]
+    db = chain_database(1, 3)
+    benchmark(lambda: compile_lineage_obdd(q, db))

@@ -1,0 +1,88 @@
+"""E3 — Figure 3: lineages of UCQs *with* inequalities.
+
+The picture:  OBDD(O(1)) ⊆ SDD(O(1)) ⊊ OBDD(n^O(1)) = SDD(n^O(1)),
+gray region (beyond OBDD(n^O(1)) within SDD(n^O(1))) empty.
+
+Measured:
+- inversion-free with inequalities (``R(x),S(y),x≠y``): *polynomial-size*
+  OBDD lineages whose width grows (so they sit outside OBDD(O(1)) but
+  inside OBDD(n^O(1)) — the middle annulus of Figure 3);
+- with inversions planted, sizes go exponential exactly as in Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.queries.analysis import find_inversion, is_inversion_free
+from repro.queries.compile import compile_lineage_obdd, compile_lineage_sdd
+from repro.queries.database import complete_database
+from repro.queries.families import (
+    inequality_query,
+    inversion_chain_with_inequality,
+)
+from repro.queries.lineage import lineage_function
+
+from .conftest import report
+
+
+def test_inequality_query_polynomial_obdd(benchmark):
+    q = inequality_query()
+    assert q.has_inequalities() and is_inversion_free(q)
+    rows = []
+    sizes, widths, tuples = [], [], []
+    for n in (2, 3, 4, 5, 6):
+        db = complete_database({"R": 1, "S": 1}, n)
+        mgr, root = compile_lineage_obdd(q, db)
+        rows.append([n, db.size, mgr.width(root), mgr.size(root)])
+        widths.append(mgr.width(root))
+        sizes.append(mgr.size(root))
+        tuples.append(db.size)
+    report(
+        "Figure 3 / inversion-free UCQ with ≠ (R(x),S(y),x≠y): poly OBDD",
+        ["domain n", "tuples", "OBDD width", "OBDD size"],
+        rows,
+    )
+    # width grows (not in OBDD(O(1)))...
+    assert widths[-1] > widths[0]
+    # ...but size stays polynomial: fit degree from endpoints is small.
+    degree = math.log(sizes[-1] / sizes[0]) / math.log(tuples[-1] / tuples[0])
+    assert degree < 3.0
+    db = complete_database({"R": 1, "S": 1}, 4)
+    benchmark(lambda: compile_lineage_obdd(q, db))
+
+
+def test_correctness_of_inequality_lineage(benchmark):
+    """The compiled OBDD computes the exact lineage (inequalities handled
+    in grounding)."""
+    q = inequality_query()
+    db = complete_database({"R": 1, "S": 1}, 3)
+    f = lineage_function(q, db)
+    mgr, root = compile_lineage_obdd(q, db)
+    assert mgr.function(root, f.variables) == f
+    benchmark(lambda: lineage_function(q, db))
+
+
+def test_inversion_with_inequality_blows_up(benchmark):
+    q = inversion_chain_with_inequality(1)
+    w = find_inversion(q)
+    assert w is not None
+    rows = []
+    sizes, tuples = [], []
+    for n in (1, 2, 3):
+        schema = {"R": 1, "T": 1, "S1": 2}
+        db = complete_database(schema, n)
+        mgr, root = compile_lineage_obdd(q, db)
+        rows.append([n, db.size, mgr.width(root), mgr.size(root)])
+        sizes.append(mgr.size(root))
+        tuples.append(db.size)
+    report(
+        "Figure 3 / inversion + inequality: exponential growth returns",
+        ["domain n", "tuples", "OBDD width", "OBDD size"],
+        rows,
+    )
+    assert sizes[-1] / sizes[0] > tuples[-1] / tuples[0]
+    db = complete_database({"R": 1, "T": 1, "S1": 2}, 2)
+    benchmark(lambda: compile_lineage_obdd(q, db))

@@ -1,0 +1,33 @@
+"""E4 — Figure 4: the vtree for ISA_5.
+
+Regenerates the figure (ASCII) and asserts its exact structure: a root
+whose left child is the leaf ``y1`` and whose right subtree is the
+left-linear comb over ``z1..z4`` with ``v_j`` having right child ``z_j``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.isa import isa_vtree
+
+
+def test_figure4_vtree(benchmark):
+    t = benchmark(lambda: isa_vtree(1, 2))
+    print("\n== Figure 4 / the vtree T_5 for ISA_5 ==")
+    print(t.render())
+    assert t.to_nested() == ("y1", ((("z1", "z2"), "z3"), "z4"))
+    # v_j has right child z_j for j = 2, 3, 4; z1 is the unique left leaf.
+    z_part = t.right
+    assert z_part.right.var == "z4"
+    assert z_part.left.right.var == "z3"
+    assert z_part.left.left.right.var == "z2"
+    assert z_part.left.left.left.var == "z1"
+
+
+def test_general_isa_vtree_shape(benchmark):
+    t18 = benchmark(lambda: isa_vtree(2, 4))
+    # right-linear over y1, y2, then the left-linear z comb
+    assert t18.left.var == "y1"
+    assert t18.right.left.var == "y2"
+    z_part = t18.right.right
+    assert z_part.is_left_linear()
+    assert z_part.leaf_order() == [f"z{j}" for j in range(1, 17)]

@@ -1,0 +1,75 @@
+"""E9 — Proposition 1 (Result 2): circuit treewidth is computable.
+
+Runs the exhaustive procedure on every function of ≤ 2 variables (plus
+selected 3-variable functions), checking the computed values against the
+paper's sandwich:
+
+    ctw_lower(F)  ≤  ctw(F)  ≤  tw(DNF-of-models circuit)
+
+where the lower bound inverts Lemma 1 on the exact factor width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.computability import (
+    ctw_lower_bound_from_fw,
+    ctw_upper_bound,
+    exact_circuit_treewidth,
+)
+
+from .conftest import report
+
+
+def test_all_two_variable_functions(benchmark):
+    rows = []
+    for mask in range(16):
+        f = BooleanFunction.from_int(["x", "y"], mask)
+        res = exact_circuit_treewidth(f, max_gates=4)
+        lo = ctw_lower_bound_from_fw(f)
+        hi = ctw_upper_bound(f)
+        assert res.exhausted
+        assert lo <= res.value <= hi
+        rows.append([f"0b{mask:04b}", lo, res.value, hi])
+    report(
+        "Proposition 1 / exact ctw for all 2-variable functions",
+        ["truth table", "lower (Lemma 1)", "ctw (exhaustive)", "upper (DNF)"],
+        rows,
+    )
+    f = BooleanFunction.from_int(["x", "y"], 0b0110)
+    benchmark(lambda: exact_circuit_treewidth(f, max_gates=4))
+
+
+def test_known_values(benchmark):
+    cases = [
+        (BooleanFunction.true(["x"]), 0),
+        (BooleanFunction.var("x"), 0),
+        (~BooleanFunction.var("x"), 1),
+        (BooleanFunction.var("x") & BooleanFunction.var("y"), 1),
+        (BooleanFunction.var("x") | BooleanFunction.var("y"), 1),
+        (BooleanFunction.var("x") ^ BooleanFunction.var("y"), 2),
+    ]
+    rows = []
+    for f, expected in cases:
+        res = exact_circuit_treewidth(f, max_gates=4)
+        rows.append([repr(f), expected, res.value])
+        assert res.value == expected
+    report(
+        "Proposition 1 / known circuit treewidths",
+        ["function", "expected", "computed"],
+        rows,
+    )
+    benchmark(lambda: exact_circuit_treewidth(BooleanFunction.var("x") ^ BooleanFunction.var("y"), max_gates=4))
+
+
+def test_three_variable_samples(benchmark):
+    """Selected 3-variable functions: majority and the chain and-or."""
+    maj = BooleanFunction.from_callable(["x", "y", "z"], lambda x, y, z: x + y + z >= 2)
+    res = exact_circuit_treewidth(maj, max_gates=5)
+    assert res.exhausted and 1 <= res.value <= 2
+    chain = BooleanFunction.from_callable(["x", "y", "z"], lambda x, y, z: (x and y) or (y and z))
+    res2 = exact_circuit_treewidth(chain, max_gates=5)
+    assert res2.exhausted and 1 <= res2.value <= 2
+    benchmark(lambda: exact_circuit_treewidth(chain, max_gates=4))

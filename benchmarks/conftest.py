@@ -1,0 +1,13 @@
+"""Benchmark-suite helpers.
+
+Every bench prints the paper-vs-measured rows it regenerates (visible with
+``pytest benchmarks/ -s``) and *asserts* the qualitative shape the paper
+claims, so a regression in any reproduced result fails the suite rather
+than silently drifting.
+"""
+
+from __future__ import annotations
+
+from repro.util.report import report
+
+__all__ = ["report"]

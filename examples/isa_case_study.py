@@ -1,0 +1,43 @@
+"""Appendix A case study: the ISA function's small SDD.
+
+ISA was the natural candidate for separating deterministic structured
+NNFs from SDDs — until the paper's Proposition 3 showed it has SDD size
+O(n^{13/5}).  This example rebuilds the explicit construction, renders
+the Figure-4 vtree, and compares against OBDDs.
+
+Run:  python examples/isa_case_study.py
+"""
+
+from repro.isa.isa import isa_function, isa_n, isa_parameters, isa_vtree
+from repro.isa.sdd_construction import build_isa_sdd
+from repro.obdd.obdd import obdd_from_function
+
+
+def main() -> None:
+    print("valid (k, m) parameters with m·2^k = 2^m:", isa_parameters())
+    print("family sizes n = k + 2^m:", [isa_n(k, m) for k, m in isa_parameters()])
+
+    print("\nThe Figure-4 vtree T_5 (right-linear y-spine, left-linear z-comb):")
+    print(isa_vtree(1, 2).render())
+
+    print(f"{'n':>4} {'SDD size':>9} {'AND gates':>10} {'n^13/5':>9} "
+          f"{'OBDD size':>10}")
+    for (k, m) in [(1, 1), (1, 2), (2, 4)]:
+        s = build_isa_sdd(k, m)
+        f = isa_function(k, m)
+        mgr, root = obdd_from_function(f)
+        print(f"{s.n:>4} {s.size:>9} {s.and_gate_count:>10} {s.n ** 2.6:>9.0f} "
+              f"{mgr.size(root):>10}")
+        # validate on the small members
+        if s.n <= 5:
+            assert s.root.function(sorted(f.variables)) == f
+        else:
+            assert s.root.model_count(sorted(f.variables)) == f.count_models()
+    print("\n(n = 261 is buildable too — ~10 minutes, ~6M gates vs "
+          "n^13/5 ≈ 1.9M; see EXPERIMENTS.md.)")
+    print("ISA has *no* small OBDD asymptotically, so Proposition 3 kills the")
+    print("candidate separation between deterministic structured NNFs and SDDs.")
+
+
+if __name__ == "__main__":
+    main()

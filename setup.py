@@ -1,0 +1,6 @@
+"""Legacy setup shim (the environment has no `wheel`, so PEP 517 editable
+installs are unavailable; `pip install -e .` falls back to this)."""
+
+from setuptools import setup
+
+setup()

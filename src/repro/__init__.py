@@ -1,0 +1,92 @@
+"""repro — a reproduction of Bova & Szeider, *Circuit Treewidth, Sentential
+Decision, and Query Compilation* (PODS 2017).
+
+Public API highlights
+---------------------
+- :class:`repro.BooleanFunction` — exact Boolean functions.
+- :class:`repro.Vtree` — variable trees.
+- :func:`repro.factors` — the paper's factor decompositions (Definition 1).
+- :func:`repro.compile_canonical_nnf` / :func:`repro.compile_canonical_sdd`
+  — the Section-3.2 canonical constructions ``C_{F,T}`` and ``S_{F,T}``.
+- :func:`repro.compile_circuit` — the Lemma-1 pipeline
+  (circuit → tree decomposition → vtree → SDD).
+- :class:`repro.ObddManager` / :class:`repro.SddManager` — decision-diagram
+  engines with weighted model counting.
+- :mod:`repro.queries` — UCQ (+inequality) syntax, lineage, inversion
+  analysis, probabilistic evaluation.
+- :mod:`repro.comm` — communication matrices, exact ranks, rectangle covers
+  (Theorems 1–2, Lemma 8).
+- :mod:`repro.isa` — the Appendix-A ``ISA`` construction (Proposition 3).
+"""
+
+from .core.boolfunc import BooleanFunction
+from .core.factors import (
+    FactorDecomposition,
+    factorized_implicants,
+    factors,
+    sentential_decomposition,
+)
+from .core.nnf_compile import CompiledNNF, compile_canonical_nnf
+from .core.pipeline import PipelineResult, compile_circuit, vtree_from_circuit
+from .core.sdd_compile import CompiledSDD, compile_canonical_sdd
+from .core.vtree import Vtree
+from .core.widths import (
+    factor_width,
+    fiw,
+    lemma1_bound,
+    min_factor_width,
+    min_fiw,
+    min_sdw,
+    sdw,
+)
+from .circuits.circuit import Circuit
+from .circuits.nnf import NNF, conj, disj, false_node, lit, true_node
+from .circuits.parse import parse_formula
+from .obdd.obdd import ObddManager, obdd_from_function
+from .sdd.manager import SddManager, sdd_from_circuit
+from .queries.syntax import UCQ, ConjunctiveQuery, parse_cq, parse_ucq
+from .queries.database import Database, ProbabilisticDatabase, complete_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanFunction",
+    "Vtree",
+    "FactorDecomposition",
+    "factors",
+    "factorized_implicants",
+    "sentential_decomposition",
+    "CompiledNNF",
+    "compile_canonical_nnf",
+    "CompiledSDD",
+    "compile_canonical_sdd",
+    "PipelineResult",
+    "compile_circuit",
+    "vtree_from_circuit",
+    "factor_width",
+    "fiw",
+    "sdw",
+    "min_factor_width",
+    "min_fiw",
+    "min_sdw",
+    "lemma1_bound",
+    "Circuit",
+    "NNF",
+    "conj",
+    "disj",
+    "lit",
+    "true_node",
+    "false_node",
+    "parse_formula",
+    "ObddManager",
+    "obdd_from_function",
+    "SddManager",
+    "sdd_from_circuit",
+    "UCQ",
+    "ConjunctiveQuery",
+    "parse_cq",
+    "parse_ucq",
+    "Database",
+    "ProbabilisticDatabase",
+    "complete_database",
+]

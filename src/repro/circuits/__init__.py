@@ -1,0 +1,5 @@
+"""Circuit substrate: DAG circuits, parser, families, CNF/Tseitin, NNF."""
+
+from .circuit import Circuit
+from .nnf import NNF, conj, disj, false_node, lit, true_node
+from .parse import parse_formula

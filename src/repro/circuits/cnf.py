@@ -1,0 +1,160 @@
+"""CNF formulas, the Tseitin transform, and the Petke–Razgon-style baseline.
+
+The paper contrasts its direct compilation (size ``O(f(k)·n)``, eq. (4))
+with the indirect route of Petke & Razgon (size ``O(g(k)·m)``, eq. (3)):
+Tseitin-encode the circuit, compile the CNF to a decomposable form, then
+existentially quantify the gate variables.  :func:`petke_razgon_baseline`
+implements that route on our OBDD engine (see DESIGN.md §4 for the
+substitution note); its measured size scales with the circuit size ``m``,
+which is exactly the defect the paper's construction removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from .circuit import AND, CONST, NOT, OR, VAR, Circuit
+from ..obdd.obdd import ObddManager
+
+__all__ = ["CNF", "tseitin", "petke_razgon_baseline", "BaselineResult"]
+
+Literal = tuple[str, bool]
+
+
+@dataclass
+class CNF:
+    """A CNF formula: a list of clauses, each a tuple of literals."""
+
+    clauses: list[tuple[Literal, ...]] = field(default_factory=list)
+
+    def add_clause(self, *literals: Literal) -> None:
+        self.clauses.append(tuple(literals))
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        out: set[str] = set()
+        for clause in self.clauses:
+            for var, _ in clause:
+                out.add(var)
+        return tuple(sorted(out))
+
+    @property
+    def size(self) -> int:
+        return len(self.clauses)
+
+    def to_circuit(self) -> Circuit:
+        c = Circuit()
+        clause_ids = []
+        for clause in self.clauses:
+            lits = []
+            for var, sign in clause:
+                vid = c.add_var(var)
+                lits.append(vid if sign else c.add_not(vid))
+            clause_ids.append(c.add_or(*lits) if lits else c.add_const(False))
+        c.set_output(c.add_and(*clause_ids) if clause_ids else c.add_const(True))
+        return c
+
+    def primal_graph(self) -> nx.Graph:
+        """Variables adjacent iff they co-occur in a clause."""
+        g = nx.Graph()
+        g.add_nodes_from(self.variables)
+        for clause in self.clauses:
+            vs = [var for var, _ in clause]
+            for i in range(len(vs)):
+                for j in range(i + 1, len(vs)):
+                    g.add_edge(vs[i], vs[j])
+        return g
+
+    def evaluate(self, assignment) -> bool:
+        for clause in self.clauses:
+            if not any(bool(assignment[var]) == sign for var, sign in clause):
+                return False
+        return True
+
+
+def tseitin(circuit: Circuit, gate_prefix: str = "_g") -> tuple[CNF, list[str]]:
+    """The Tseitin CNF ``T(X, Z)`` of a circuit: one fresh variable per
+    internal gate, equivalence clauses per gate, and a unit clause asserting
+    the output.  Returns ``(cnf, gate_variables)``."""
+    if circuit.output is None:
+        raise ValueError("circuit has no output")
+    cnf = CNF()
+    gate_vars: list[str] = []
+    name_of: dict[int, Literal] = {}
+    for gid, gate in enumerate(circuit.gates):
+        if gate.kind == VAR:
+            name_of[gid] = (str(gate.payload), True)
+        elif gate.kind == CONST:
+            fresh = f"{gate_prefix}{gid}"
+            gate_vars.append(fresh)
+            name_of[gid] = (fresh, True)
+            cnf.add_clause((fresh, bool(gate.payload)))
+        else:
+            fresh = f"{gate_prefix}{gid}"
+            gate_vars.append(fresh)
+            name_of[gid] = (fresh, True)
+    for gid, gate in enumerate(circuit.gates):
+        if gate.kind in (VAR, CONST):
+            continue
+        g, _ = name_of[gid]
+        ins = [name_of[i] for i in gate.inputs]
+        if gate.kind == NOT:
+            (a, sa) = ins[0]
+            # g <-> ~a
+            cnf.add_clause((g, False), (a, not sa))
+            cnf.add_clause((g, True), (a, sa))
+        elif gate.kind == AND:
+            # g -> each input; all inputs -> g
+            for (a, sa) in ins:
+                cnf.add_clause((g, False), (a, sa))
+            cnf.add_clause((g, True), *[(a, not sa) for (a, sa) in ins])
+        else:  # OR
+            for (a, sa) in ins:
+                cnf.add_clause((g, True), (a, not sa))
+            cnf.add_clause((g, False), *[(a, sa) for (a, sa) in ins])
+    out_var, out_sign = name_of[circuit.output]
+    cnf.add_clause((out_var, out_sign))
+    return cnf, gate_vars
+
+
+@dataclass
+class BaselineResult:
+    """Petke–Razgon-style compilation outcome."""
+
+    manager: ObddManager
+    root: int
+    peak_size: int  # size of the decomposable form *before* quantification
+    final_size: int
+    tseitin_variables: int
+    circuit_size: int
+
+
+def petke_razgon_baseline(circuit: Circuit, order: Sequence[str] | None = None) -> BaselineResult:
+    """Compile ``C(X)`` via ``(∃Z) D_T(X, Z)`` (the eq.-(3) route).
+
+    The intermediate decomposable form is an OBDD of the Tseitin CNF under a
+    min-fill-informed order (gate variables interleaved where the heuristic
+    puts them); its size — the quantity eq. (3) bounds by ``O(g(k)·m)`` —
+    depends on the *circuit size* ``m``, not just on ``n``.
+    """
+    cnf, gate_vars = tseitin(circuit)
+    if order is None:
+        from ..graphs.elimination import min_fill_order
+
+        graph = cnf.primal_graph()
+        order = list(min_fill_order(graph))
+    mgr = ObddManager(order)
+    root = mgr.compile_circuit(cnf.to_circuit())
+    peak = mgr.size(root)
+    quantified = mgr.exists(root, gate_vars)
+    return BaselineResult(
+        manager=mgr,
+        root=quantified,
+        peak_size=peak,
+        final_size=mgr.size(quantified),
+        tseitin_variables=len(cnf.variables),
+        circuit_size=circuit.size,
+    )

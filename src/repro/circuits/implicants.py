@@ -1,0 +1,210 @@
+"""Implicants, prime implicants (IP), and DNF forms.
+
+Result 3's aftermath (Section 1, "Contribution") observes that the
+inversion lower bound *also* separates DNFs — and even prime-implicant
+forms (IPs) — from deterministic structured NNFs: the hard lineages have
+polynomially many terms/prime implicants yet need exponential structured
+deterministic size.  This module supplies the DNF/IP side:
+
+- :func:`prime_implicants` — Quine–McCluskey style exact computation;
+- :func:`minimal_dnf_size` — a greedy set-cover upper bound plus the exact
+  brute-force minimum for small instances;
+- :class:`Implicant` — partial assignments with the usual subsumption
+  order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.boolfunc import BooleanFunction
+from .circuit import Circuit
+from .nnf import NNF, conj, disj, false_node, lit
+
+__all__ = [
+    "Implicant",
+    "prime_implicants",
+    "is_implicant",
+    "ip_nnf",
+    "dnf_term_count",
+    "minimal_dnf_size",
+]
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A term: a partial assignment ``var -> bool`` (conjunction of
+    literals).  The empty implicant is the constant ``⊤``."""
+
+    literals: tuple[tuple[str, bool], ...]  # sorted by variable
+
+    @classmethod
+    def of(cls, assignment: dict[str, bool] | dict[str, int]) -> "Implicant":
+        return cls(tuple(sorted((v, bool(b)) for v, b in assignment.items())))
+
+    @property
+    def width(self) -> int:
+        return len(self.literals)
+
+    def as_dict(self) -> dict[str, bool]:
+        return dict(self.literals)
+
+    def subsumes(self, other: "Implicant") -> bool:
+        """``self`` subsumes ``other`` iff self's literals ⊆ other's
+        (a shorter term covering at least as much)."""
+        return set(self.literals) <= set(other.literals)
+
+    def function(self, variables: Sequence[str]) -> BooleanFunction:
+        f = BooleanFunction.true(variables)
+        for v, b in self.literals:
+            f = f & BooleanFunction.literal(v, b, variables)
+        return f
+
+    def to_nnf(self) -> NNF:
+        if not self.literals:
+            from .nnf import true_node
+
+            return true_node()
+        return conj([lit(v, b) for v, b in self.literals])
+
+    def __str__(self) -> str:
+        if not self.literals:
+            return "⊤"
+        return "".join(v if b else f"~{v}" for v, b in self.literals)
+
+
+def is_implicant(term: Implicant, f: BooleanFunction) -> bool:
+    """``term |= F``?"""
+    return term.function(f.variables).implies(f)
+
+
+def is_monotone(f: BooleanFunction) -> bool:
+    """Is ``F`` monotone (flipping any 0 to 1 never destroys a model)?
+    Query lineages are always monotone."""
+    n = f.arity
+    table = f.table
+    idx = np.arange(1 << n)
+    for i in range(n):
+        lo_idx = idx[(idx >> i) & 1 == 0]
+        hi_idx = lo_idx | (1 << i)
+        if bool((table[lo_idx] & ~table[hi_idx]).any()):
+            return False
+    return True
+
+
+def _monotone_primes(f: BooleanFunction) -> list[Implicant]:
+    """For monotone functions the prime implicants are exactly the minimal
+    models, as positive terms — linear in the model count."""
+    vs = f.variables
+    idx = np.flatnonzero(f.table)
+    models = sorted((int(i) for i in idx), key=lambda i: (bin(i).count("1"), i))
+    minimal: list[int] = []
+    for m in models:
+        if not any((m & p) == p for p in minimal):
+            minimal.append(m)
+    out = []
+    for m in minimal:
+        out.append(Implicant(tuple((vs[i], True) for i in range(len(vs)) if (m >> i) & 1)))
+    return sorted(out, key=lambda t: (t.width, t.literals))
+
+
+def prime_implicants(f: BooleanFunction) -> list[Implicant]:
+    """All prime implicants of ``F``.
+
+    Monotone functions (every query lineage) take the linear minimal-model
+    route; the general case is Quine–McCluskey consensus/absorption
+    (exponential in the worst case, intended for ≤ ~12 variables).
+    """
+    vs = f.variables
+    if f.is_tautology():
+        return [Implicant(())]
+    if not f.is_satisfiable():
+        return []
+    if is_monotone(f):
+        return _monotone_primes(f)
+    # Start from the minterms; iteratively merge terms differing in one
+    # literal; primes are the terms never merged.
+    current: set[tuple[tuple[str, bool], ...]] = {
+        tuple(sorted((v, bool(b)) for v, b in m.items())) for m in f.models()
+    }
+    primes: set[tuple[tuple[str, bool], ...]] = set()
+    while current:
+        merged: set[tuple[tuple[str, bool], ...]] = set()
+        used: set[tuple[tuple[str, bool], ...]] = set()
+        grouped: dict[tuple[str, ...], list[tuple[tuple[str, bool], ...]]] = {}
+        for term in current:
+            grouped.setdefault(tuple(v for v, _ in term), []).append(term)
+        for terms in grouped.values():
+            for a, b in itertools.combinations(terms, 2):
+                diff = [i for i in range(len(a)) if a[i][1] != b[i][1]]
+                if len(diff) == 1:
+                    new = tuple(t for i, t in enumerate(a) if i != diff[0])
+                    merged.add(new)
+                    used.add(a)
+                    used.add(b)
+        primes |= current - used
+        current = merged
+    return sorted((Implicant(p) for p in primes), key=lambda t: (t.width, t.literals))
+
+
+def ip_nnf(f: BooleanFunction) -> NNF:
+    """The IP form: disjunction of all prime implicants."""
+    primes = prime_implicants(f)
+    if not primes:
+        return false_node()
+    return disj([p.to_nnf() for p in primes])
+
+
+def dnf_term_count(f: BooleanFunction) -> int:
+    """Number of prime implicants (the IP size in terms)."""
+    return len(prime_implicants(f))
+
+
+def minimal_dnf_size(f: BooleanFunction, exact_limit: int = 12) -> int:
+    """The minimum number of prime implicants covering ``F``.
+
+    Exact (branch-and-bound over the prime cover) when the prime count is
+    ≤ ``exact_limit``; greedy set-cover upper bound otherwise.
+    """
+    primes = prime_implicants(f)
+    if not primes:
+        return 0
+    vs = f.variables
+    model_sets = []
+    target = frozenset(int(i) for i in np.flatnonzero(f.table))
+    for p in primes:
+        model_sets.append(
+            frozenset(int(i) for i in np.flatnonzero(p.function(vs).table))
+        )
+    if len(primes) <= exact_limit:
+        best = len(primes)
+        for r in range(1, len(primes) + 1):
+            if r >= best:
+                break
+            for combo in itertools.combinations(range(len(primes)), r):
+                covered: set[int] = set()
+                for i in combo:
+                    covered |= model_sets[i]
+                if covered == set(target):
+                    best = r
+                    break
+            else:
+                continue
+            break
+        return best
+    # greedy fallback
+    uncovered = set(target)
+    count = 0
+    while uncovered:
+        gain, pick = max(
+            ((len(model_sets[i] & uncovered), i) for i in range(len(primes))),
+        )
+        if gain == 0:
+            break
+        uncovered -= model_sets[pick]
+        count += 1
+    return count

@@ -1,0 +1,213 @@
+"""The knowledge compilation map, executable (Darwiche & Marquis [14]).
+
+The paper situates its results inside the knowledge compilation map:
+SDDs and OBDDs are deterministic structured NNFs; deterministic
+decomposable NNFs (d-DNNF) support linear-time counting; DNNFs support
+clausal entailment and forgetting but not counting; DNFs/IPs sit at the
+bottom.  This module classifies a given NNF into the map's languages and
+exposes the map's *queries* with the right complexity characteristics:
+
+- CO (consistency), VA (validity), CE (clausal entailment),
+- CT (model counting), ME (model enumeration), EQ (equivalence),
+
+each implemented by the polynomial algorithm when the language supports
+it, with brute-force fallbacks clearly flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..core.boolfunc import BooleanFunction
+from ..core.vtree import Vtree
+from .nnf import NNF, conj, disj, false_node, lit, true_node
+
+__all__ = ["LanguageReport", "classify", "consistency", "validity", "clausal_entailment",
+           "model_count", "enumerate_models", "equivalent"]
+
+
+@dataclass
+class LanguageReport:
+    """Membership of an NNF in the compilation map's languages."""
+
+    is_nnf: bool
+    is_dnnf: bool
+    is_deterministic: bool
+    is_d_dnnf: bool
+    is_smooth: bool
+    is_dnf: bool
+    is_cnf: bool
+    is_term: bool
+    is_clause: bool
+    structured_vtree: Vtree | None
+
+    @property
+    def is_structured(self) -> bool:
+        return self.structured_vtree is not None
+
+    def languages(self) -> list[str]:
+        out = ["NNF"]
+        if self.is_dnnf:
+            out.append("DNNF")
+        if self.is_d_dnnf:
+            out.append("d-DNNF")
+        if self.is_structured and self.is_dnnf:
+            out.append("structured DNNF")
+        if self.is_structured and self.is_d_dnnf:
+            out.append("det. structured NNF")
+        if self.is_dnf:
+            out.append("DNF")
+        if self.is_cnf:
+            out.append("CNF")
+        if self.is_term:
+            out.append("term")
+        if self.is_clause:
+            out.append("clause")
+        return out
+
+
+def _is_flat_dnf(root: NNF) -> bool:
+    if root.kind in ("true", "false", "lit"):
+        return True
+    if root.kind == "and":
+        return all(c.kind == "lit" for c in root.children)
+    if root.kind != "or":
+        return False
+    for c in root.children:
+        if c.kind == "lit":
+            continue
+        if c.kind == "and" and all(g.kind == "lit" for g in c.children):
+            continue
+        return False
+    return True
+
+
+def _is_flat_cnf(root: NNF) -> bool:
+    if root.kind in ("true", "false", "lit"):
+        return True
+    if root.kind == "or":
+        return all(c.kind == "lit" for c in root.children)
+    if root.kind != "and":
+        return False
+    for c in root.children:
+        if c.kind == "lit":
+            continue
+        if c.kind == "or" and all(g.kind == "lit" for g in c.children):
+            continue
+        return False
+    return True
+
+
+def classify(root: NNF, candidate_vtrees: Iterable[Vtree] | None = None) -> LanguageReport:
+    """Classify ``root`` in the knowledge compilation map.
+
+    Structuredness is searched over ``candidate_vtrees`` (default: all
+    vtrees over the variables, for ≤ 6 variables)."""
+    dec = root.is_decomposable()
+    det = root.is_deterministic()
+    structured: Vtree | None = None
+    cands = candidate_vtrees
+    if cands is None and len(root.variables) <= 6 and root.variables:
+        cands = Vtree.enumerate_all(sorted(root.variables))
+    if cands is not None:
+        for t in cands:
+            if root.is_structured_by(t):
+                structured = t
+                break
+    return LanguageReport(
+        is_nnf=True,
+        is_dnnf=dec,
+        is_deterministic=det,
+        is_d_dnnf=dec and det,
+        is_smooth=root.is_smooth(),
+        is_dnf=_is_flat_dnf(root),
+        is_cnf=_is_flat_cnf(root),
+        is_term=root.kind in ("true", "false", "lit")
+        or (root.kind == "and" and all(c.kind == "lit" for c in root.children)),
+        is_clause=root.kind in ("true", "false", "lit")
+        or (root.kind == "or" and all(c.kind == "lit" for c in root.children)),
+        structured_vtree=structured,
+    )
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+def consistency(root: NNF) -> bool:
+    """CO.  Linear on DNNF (decomposability ⇒ satisfiability distributes
+    over AND); brute-force fallback otherwise."""
+    if root.is_decomposable():
+        memo: dict[int, bool] = {}
+        for node in root.nodes():
+            if node.kind == "true":
+                v = True
+            elif node.kind == "false":
+                v = False
+            elif node.kind == "lit":
+                v = True
+            elif node.kind == "and":
+                v = all(memo[id(c)] for c in node.children)
+            else:
+                v = any(memo[id(c)] for c in node.children)
+            memo[id(node)] = v
+        return memo[id(root)]
+    return root.function(sorted(root.variables)).is_satisfiable()
+
+
+def validity(root: NNF) -> bool:
+    """VA.  Linear when the negation problem reduces (d-DNNF via counting);
+    brute-force fallback otherwise."""
+    vs = sorted(root.variables)
+    if root.is_decomposable() and root.is_deterministic():
+        return root.model_count(vs) == (1 << len(vs))
+    return root.function(vs).is_tautology()
+
+
+def clausal_entailment(root: NNF, clause: Sequence[tuple[str, bool]]) -> bool:
+    """CE: does the circuit entail the clause?  On DNNF: condition on the
+    negated clause and test consistency (linear)."""
+    assignment = {v: (0 if sign else 1) for v, sign in clause}
+    conditioned = root.condition(assignment)
+    if conditioned.is_decomposable():
+        return not consistency(conditioned)
+    vs = sorted(root.variables)
+    return not conditioned.function(vs).is_satisfiable()
+
+
+def model_count(root: NNF, scope: Iterable[str] | None = None) -> int:
+    """CT.  Linear on d-DNNF; brute force (with a flagging docstring)
+    otherwise."""
+    if root.is_decomposable() and root.is_deterministic():
+        return root.model_count(scope)
+    vs = sorted(set(scope) if scope is not None else root.variables)
+    return root.function(vs).count_models()
+
+
+def enumerate_models(root: NNF, scope: Sequence[str] | None = None) -> Iterator[dict[str, int]]:
+    """ME: enumerate models (polynomial delay on DNNF via conditioning)."""
+    vs = sorted(set(scope) if scope is not None else root.variables)
+
+    def rec(node: NNF, remaining: list[str], partial: dict[str, int]) -> Iterator[dict[str, int]]:
+        if not remaining:
+            if node.evaluate(partial) if node.variables else node.kind != "false":
+                yield dict(partial)
+            return
+        if node.kind == "false":
+            return
+        v = remaining[0]
+        for b in (0, 1):
+            partial[v] = b
+            sub = node.condition({v: b})
+            if sub.kind != "false" and (not sub.is_decomposable() or consistency(sub)):
+                yield from rec(sub, remaining[1:], partial)
+            del partial[v]
+
+    yield from rec(root, vs, {})
+
+
+def equivalent(a: NNF, b: NNF) -> bool:
+    """EQ — via exact semantics (the map lists EQ as hard in general;
+    here functions are materialized exactly, so applicable at small
+    arity only)."""
+    return a.equivalent(b)

@@ -1,0 +1,131 @@
+"""A small formula parser producing :class:`~repro.circuits.circuit.Circuit`.
+
+Grammar (precedence low to high):
+
+    formula := iff
+    iff     := implies ('<->' implies)*
+    implies := or ('->' or)*          (right associative)
+    or      := and ('|' and)*
+    and     := unary ('&' unary)*
+    unary   := '~' unary | atom
+    atom    := NAME | '0' | '1' | '(' formula ')'
+
+Variable names match ``[A-Za-z_][A-Za-z0-9_,()']*`` minus the reserved
+constants, so tuple-style names like ``R(1,2)`` work unquoted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .circuit import Circuit
+
+__all__ = ["parse_formula", "formula_to_circuit"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<iff><->)|(?P<implies>->)|"
+    r"(?P<or>\|)|(?P<and>&)|(?P<not>~|!)|(?P<const>[01](?![\w]))|"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_']*(?:\([A-Za-z0-9_,]*\))?))"
+)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if m is None:
+                if text[pos:].strip():
+                    raise SyntaxError(f"cannot tokenize at: {text[pos:]!r}")
+                break
+            pos = m.end()
+            for kind, val in m.groupdict().items():
+                if val is not None:
+                    self.tokens.append((kind, val))
+                    break
+        self.i = 0
+        self.circuit = Circuit()
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def eat(self, kind: str) -> str:
+        tok = self.peek()
+        if tok is None or tok[0] != kind:
+            raise SyntaxError(f"expected {kind}, got {tok}")
+        self.i += 1
+        return tok[1]
+
+    def parse(self) -> Circuit:
+        root = self.iff()
+        if self.peek() is not None:
+            raise SyntaxError(f"trailing tokens: {self.tokens[self.i:]}")
+        self.circuit.set_output(root)
+        return self.circuit
+
+    def iff(self) -> int:
+        left = self.implies()
+        while self.peek() and self.peek()[0] == "iff":  # type: ignore[index]
+            self.eat("iff")
+            right = self.implies()
+            c = self.circuit
+            left = c.add_or(c.add_and(left, right), c.add_and(c.add_not(left), c.add_not(right)))
+        return left
+
+    def implies(self) -> int:
+        left = self.or_()
+        if self.peek() and self.peek()[0] == "implies":  # type: ignore[index]
+            self.eat("implies")
+            right = self.implies()  # right associative
+            return self.circuit.add_or(self.circuit.add_not(left), right)
+        return left
+
+    def or_(self) -> int:
+        parts = [self.and_()]
+        while self.peek() and self.peek()[0] == "or":  # type: ignore[index]
+            self.eat("or")
+            parts.append(self.and_())
+        return parts[0] if len(parts) == 1 else self.circuit.add_or(*parts)
+
+    def and_(self) -> int:
+        parts = [self.unary()]
+        while self.peek() and self.peek()[0] == "and":  # type: ignore[index]
+            self.eat("and")
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else self.circuit.add_and(*parts)
+
+    def unary(self) -> int:
+        tok = self.peek()
+        if tok and tok[0] == "not":
+            self.eat("not")
+            return self.circuit.add_not(self.unary())
+        return self.atom()
+
+    def atom(self) -> int:
+        tok = self.peek()
+        if tok is None:
+            raise SyntaxError("unexpected end of formula")
+        kind, val = tok
+        if kind == "lparen":
+            self.eat("lparen")
+            node = self.iff()
+            self.eat("rparen")
+            return node
+        if kind == "const":
+            self.eat("const")
+            return self.circuit.add_const(val == "1")
+        if kind == "name":
+            self.eat("name")
+            return self.circuit.add_var(val)
+        raise SyntaxError(f"unexpected token {tok}")
+
+
+def parse_formula(text: str) -> Circuit:
+    """Parse a propositional formula into a circuit."""
+    return _Parser(text).parse()
+
+
+def formula_to_circuit(text: str) -> Circuit:
+    """Alias for :func:`parse_formula`."""
+    return parse_formula(text)

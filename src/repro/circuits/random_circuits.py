@@ -1,0 +1,63 @@
+"""Seeded random circuit generation, for fuzzing the whole pipeline.
+
+Used by property tests to validate the complete chain — random circuit →
+(tree decomposition, vtree, canonical compile, SDD/OBDD managers, Tseitin)
+— against the exact semantics, and by benches needing workload variety.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+
+__all__ = ["random_circuit", "random_monotone_circuit"]
+
+
+def random_circuit(
+    rng: np.random.Generator,
+    n_vars: int = 4,
+    n_gates: int = 10,
+    p_not: float = 0.2,
+    max_fanin: int = 3,
+) -> Circuit:
+    """A random circuit: ``n_vars`` variables, then ``n_gates`` internal
+    gates each wired to earlier nodes; the output is the last gate.
+
+    Connectivity is not enforced gate-by-gate (dead gates contribute to the
+    underlying graph exactly as the paper's definitions allow) but the
+    output always depends on the full prefix chain, keeping functions
+    non-trivial.
+    """
+    if n_vars < 1 or n_gates < 1:
+        raise ValueError("need at least one variable and one gate")
+    c = Circuit()
+    pool = [c.add_var(f"v{i}") for i in range(n_vars)]
+    for _ in range(n_gates):
+        r = rng.random()
+        if r < p_not:
+            src = int(rng.integers(0, len(pool)))
+            pool.append(c.add_not(pool[src]))
+            continue
+        fanin = int(rng.integers(2, max_fanin + 1))
+        fanin = min(fanin, len(pool))
+        srcs = rng.choice(len(pool), size=fanin, replace=False)
+        gates = [pool[int(s)] for s in srcs]
+        # bias towards including the most recent gate to keep depth growing
+        if pool[-1] not in gates:
+            gates[-1] = pool[-1]
+        if rng.random() < 0.5:
+            pool.append(c.add_and(*gates))
+        else:
+            pool.append(c.add_or(*gates))
+    c.set_output(pool[-1])
+    return c
+
+
+def random_monotone_circuit(
+    rng: np.random.Generator, n_vars: int = 4, n_gates: int = 8, max_fanin: int = 3
+) -> Circuit:
+    """Random NOT-free circuit (monotone — like every query lineage)."""
+    return random_circuit(rng, n_vars, n_gates, p_not=0.0, max_fanin=max_fanin)

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli compile "(a & b) | c" [--vtree balanced|right|left|search]
+    python -m repro.cli ctw "x & ~y" [--max-gates 4]
+    python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5]
+    python -m repro.cli isa 2 4
+
+Each subcommand prints a small report; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .circuits.parse import parse_formula
+from .core.computability import ctw_upper_bound, exact_circuit_treewidth
+from .core.nnf_compile import compile_canonical_nnf
+from .core.sdd_compile import compile_canonical_sdd
+from .core.vtree import Vtree
+from .core.vtree_search import minimize_vtree
+from .obdd.obdd import obdd_from_function
+from .queries.analysis import find_inversion
+from .queries.compile import compile_lineage_obdd
+from .queries.database import complete_database
+from .queries.evaluate import probability_via_obdd
+from .queries.syntax import parse_ucq
+from .util.report import report
+
+__all__ = ["main"]
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = parse_formula(args.formula)
+    f = circuit.function()
+    vs = sorted(f.variables)
+    if not vs:
+        print(f"constant formula: {'true' if f.is_tautology() else 'false'}")
+        return 0
+    if args.vtree == "balanced":
+        t = Vtree.balanced(vs)
+    elif args.vtree == "right":
+        t = Vtree.right_linear(vs)
+    elif args.vtree == "left":
+        t = Vtree.left_linear(vs)
+    else:
+        _, t = minimize_vtree(f, max_rounds=6)
+    sdd = compile_canonical_sdd(f, t)
+    nnf = compile_canonical_nnf(f, t)
+    mgr, root = obdd_from_function(f)
+    report(
+        f"compile: {args.formula}",
+        ["form", "size", "width"],
+        [
+            ["canonical SDD", sdd.size, sdd.sdw],
+            ["canonical det. structured NNF", nnf.size, nnf.fiw],
+            ["OBDD (sorted order)", mgr.size(root), mgr.width(root)],
+        ],
+    )
+    print(f"models: {f.count_models()} / {1 << len(vs)}")
+    return 0
+
+
+def _cmd_ctw(args: argparse.Namespace) -> int:
+    f = parse_formula(args.formula).function()
+    res = exact_circuit_treewidth(f, max_gates=args.max_gates)
+    upper = ctw_upper_bound(f)
+    if res.exhausted:
+        print(f"ctw = {res.value} (witness with {res.witness.size} gates; "
+              f"DNF upper bound {upper})")
+        return 0
+    print(f"ctw not determined within {args.max_gates} gates "
+          f"(DNF upper bound {upper})")
+    return 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    q = parse_ucq(args.query)
+    inv = find_inversion(q)
+    schema: dict[str, int] = {}
+    for cq in q.disjuncts:
+        for atom in cq.atoms:
+            schema[atom.relation] = atom.arity
+    db = complete_database(schema, args.domain, p=args.prob)
+    mgr, root = compile_lineage_obdd(q, db)
+    p = probability_via_obdd(q, db)
+    report(
+        f"query: {q}",
+        ["property", "value"],
+        [
+            ["inversion", "none" if inv is None else f"length {inv.length}"],
+            ["tuples", db.size],
+            ["lineage OBDD width", mgr.width(root)],
+            ["lineage OBDD size", mgr.size(root)],
+            ["P(q)", f"{p:.6f}"],
+        ],
+    )
+    return 0
+
+
+def _cmd_isa(args: argparse.Namespace) -> int:
+    from .isa.isa import isa_n, isa_vtree
+    from .isa.sdd_construction import build_isa_sdd
+
+    n = isa_n(args.k, args.m)
+    s = build_isa_sdd(args.k, args.m)
+    print(f"ISA_{n}: SDD size {s.size}, AND gates {s.and_gate_count}, "
+          f"n^13/5 = {n ** 2.6:.0f}")
+    if args.show_vtree:
+        print(isa_vtree(args.k, args.m).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compile", help="compile a formula into SDD/NNF/OBDD")
+    c.add_argument("formula")
+    c.add_argument("--vtree", choices=["balanced", "right", "left", "search"],
+                   default="balanced")
+    c.set_defaults(fn=_cmd_compile)
+
+    t = sub.add_parser("ctw", help="exhaustive circuit treewidth (Result 2)")
+    t.add_argument("formula")
+    t.add_argument("--max-gates", type=int, default=4)
+    t.set_defaults(fn=_cmd_ctw)
+
+    q = sub.add_parser("query", help="compile and evaluate a UCQ")
+    q.add_argument("query")
+    q.add_argument("--domain", type=int, default=2)
+    q.add_argument("--prob", type=float, default=0.5)
+    q.set_defaults(fn=_cmd_query)
+
+    i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")
+    i.add_argument("k", type=int)
+    i.add_argument("m", type=int)
+    i.add_argument("--show-vtree", action="store_true")
+    i.set_defaults(fn=_cmd_isa)
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

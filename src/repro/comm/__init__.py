@@ -1,0 +1,5 @@
+"""Communication complexity: exact ranks, rectangle covers, Lemma 8."""
+
+from .lowerbounds import analyze_vtree_for_h, balanced_node, theorem5_bound
+from .matrix import cm_rank, communication_matrix, disjointness_rank, exact_rank
+from .rectangles import RectangleCover, cover_from_factors, min_disjoint_cover_lower_bound

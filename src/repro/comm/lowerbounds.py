@@ -1,0 +1,188 @@
+"""The Theorem 5 / Lemma 8 lower-bound machinery (Section 4.1).
+
+Given any vtree ``T`` over the variables ``X ∪ Y ∪ Z`` of the inversion
+functions ``H^i_{k,n}``, Lemma 8 finds an index ``i`` such that any
+deterministic structured NNF for ``H^i`` respecting ``T`` has size
+``2^{Ω(n/k)}``:
+
+- Claim 2: find a node ``v`` with ``2n/5 ≤ |X_v ∪ Y_v| ≤ 4n/5``;
+- Claim 3: if some column ``j`` has all its ``z^1_{i,j}`` outside ``T_v``,
+  then ``C_0`` needs ``2^{n_x} − 1`` rectangles (disjointness rank);
+- Claim 4: otherwise a pigeonhole over the levels pins some ``C_p`` at
+  ``2^{|S|/k} − 1``.
+
+Everything here returns *certified* numbers: the rectangle-count bounds
+come from exact ranks on explicitly constructed disjointness instances (or
+the closed-form ``2^r − 1`` once the instance is literally the complement
+of ``D_r``, equation (8) + Theorem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..circuits.build import xvar, yvar, zvar
+from ..core.vtree import Vtree
+
+__all__ = ["balanced_node", "Lemma8Analysis", "analyze_vtree_for_h", "theorem5_bound"]
+
+
+def balanced_node(vtree: Vtree, weight_vars: frozenset[str]) -> Vtree:
+    """Claim 2: a node ``v`` with ``M/5 < |vars(v) ∩ W| ≤ 2M/5`` where
+    ``M = |W|`` — hence ``2n/5 ≤ |X_v ∪ Y_v| ≤ 4n/5`` in the Lemma-8 setting
+    (``M = 2n``).  Follows the root-leaf walk of the proof."""
+    m = len(weight_vars & vtree.variables)
+    if m == 0:
+        raise ValueError("no weight variables in the vtree")
+
+    def weight(v: Vtree) -> int:
+        return len(v.variables & weight_vars)
+
+    node = vtree
+    # Walk towards the heavier child; stop just above weight <= M/5.
+    while True:
+        if node.is_leaf:
+            return node
+        assert node.left is not None and node.right is not None
+        child = max((node.left, node.right), key=weight)
+        if weight(child) * 5 <= m:
+            # child dropped to <= M/5; node is the last with weight > M/5,
+            # and by the halving argument weight(node) <= 2*weight(child)*?
+            return node if weight(node) * 5 <= 2 * m else child
+        node = child
+
+
+@dataclass
+class Lemma8Analysis:
+    """Outcome of applying Lemma 8's case analysis to a concrete vtree."""
+
+    node: Vtree
+    case: str  # "claim3" or "claim4"
+    hard_index: int  # which H^i carries the bound (0..k)
+    bound: int  # certified lower bound on |C_i| (rectangle count)
+    nx: int
+    ny: int
+    details: dict
+
+
+def _h_variable_sets(k: int, n: int) -> tuple[set[str], set[str], dict[int, set[str]]]:
+    xs = {xvar(l) for l in range(1, n + 1)}
+    ys = {yvar(m) for m in range(1, n + 1)}
+    zs = {i: {zvar(i, l, m) for l in range(1, n + 1) for m in range(1, n + 1)} for i in range(1, k + 1)}
+    return xs, ys, zs
+
+
+def analyze_vtree_for_h(vtree: Vtree, k: int, n: int) -> Lemma8Analysis:
+    """Run the Lemma 8 case analysis for the family ``H^0..H^k`` (parameters
+    ``k, n``) against a concrete vtree over ``X ∪ Y ∪ Z``.
+
+    Returns which circuit index ``i`` is pinned and the certified lower
+    bound on the number of rectangles (hence on the size of any
+    deterministic structured NNF for ``H^i`` respecting this vtree,
+    via Theorem 1 + Theorem 2).
+    """
+    xs, ys, zs = _h_variable_sets(k, n)
+    needed = xs | ys | set().union(*zs.values())
+    if not needed <= vtree.variables:
+        raise ValueError("vtree must cover X ∪ Y ∪ Z")
+    v = balanced_node(vtree, frozenset(xs | ys))
+    inside = v.variables
+    x_in = xs & inside
+    y_in = ys & inside
+    nx, ny = len(x_in), len(y_in)
+    # WLOG in the paper nx >= ny; otherwise the symmetric argument swaps the
+    # roles of X/Y and z^1/z^k.  We implement both orientations.
+    if nx >= ny:
+        side_vars = x_in
+        first_level = 1
+        levels = list(range(1, k + 1))
+        var_first = lambda l, j: zvar(1, l, j)  # noqa: E731
+        index_of = lambda name: int(name[1:])  # noqa: E731  x{l}
+        outer_count = ny
+        hard_first = 0
+    else:
+        side_vars = y_in
+        first_level = k
+        levels = list(range(k, 0, -1))
+        var_first = lambda m, j: zvar(k, j, m)  # noqa: E731  z^k_{j,m} pairs with y_m
+        index_of = lambda name: int(name[1:])  # noqa: E731  y{m}
+        outer_count = nx
+        hard_first = k
+    side_idx = sorted(index_of(s) for s in side_vars)
+    # --- Claim 3: a column j with all first-level partners outside T_v ----
+    for j in range(1, n + 1):
+        if all(var_first(l, j) not in inside for l in side_idx):
+            bound = 2 ** len(side_idx) - 1
+            return Lemma8Analysis(
+                node=v,
+                case="claim3",
+                hard_index=hard_first,
+                bound=bound,
+                nx=nx,
+                ny=ny,
+                details={"column": j, "pairs": len(side_idx)},
+            )
+    # --- Claim 4: pigeonhole across the k levels --------------------------
+    # S: for each j whose y_j (resp. x_j) lies outside T_v, pick a partner
+    # i with the first-level z inside T_v.
+    if nx >= ny:
+        outside_other = [m for m in range(1, n + 1) if yvar(m) not in inside]
+        s_pairs: list[tuple[int, int]] = []
+        for j in outside_other:
+            for i in side_idx:
+                if zvar(1, i, j) in inside:
+                    s_pairs.append((i, j))
+                    break
+        chain = lambda p, i, j: zvar(p, i, j)  # noqa: E731
+    else:
+        outside_other = [l for l in range(1, n + 1) if xvar(l) not in inside]
+        s_pairs = []
+        for j in outside_other:
+            for i in side_idx:
+                if zvar(k, j, i) in inside:
+                    s_pairs.append((i, j))
+                    break
+        chain = lambda p, i, j: zvar(p, j, i)  # noqa: E731
+    r_levels: dict[int, list[tuple[int, int]]] = {p: [] for p in range(1, k + 1)}
+    if nx >= ny:
+        for (i, j) in s_pairs:
+            placed = False
+            for p in range(1, k):
+                if all(zvar(q, i, j) in inside for q in range(1, p + 1)) and zvar(p + 1, i, j) not in inside:
+                    r_levels[p].append((i, j))
+                    placed = True
+                    break
+            if not placed:
+                r_levels[k].append((i, j))
+    else:
+        for (i, j) in s_pairs:
+            placed = False
+            for p in range(k, 1, -1):
+                if all(zvar(q, j, i) in inside for q in range(p, k + 1)) and zvar(p - 1, j, i) not in inside:
+                    r_levels[p].append((i, j))
+                    placed = True
+                    break
+            if not placed:
+                r_levels[1].append((i, j))
+    best_p, best_pairs = max(r_levels.items(), key=lambda kv: len(kv[1]))
+    bound = 2 ** len(best_pairs) - 1
+    if nx >= ny:
+        hard_index = best_p  # C_p reads (z^p, z^{p+1}); for p == k it is H^k
+    else:
+        hard_index = best_p - 1 if best_p > 1 else 0
+    return Lemma8Analysis(
+        node=v,
+        case="claim4",
+        hard_index=hard_index,
+        bound=bound,
+        nx=nx,
+        ny=ny,
+        details={"S": len(s_pairs), "levels": {p: len(q) for p, q in r_levels.items()}},
+    )
+
+
+def theorem5_bound(k: int, n: int) -> int:
+    """The closed-form Theorem 5 floor: some ``C_i`` has at least
+    ``2^{n/(5k)} − 1`` elements, whatever the vtree."""
+    return max(int(2 ** (n / (5 * k))) - 1, 1)

@@ -1,0 +1,9 @@
+"""The paper's primary contribution: factors, vtrees, canonical compilers,
+width theory, the Lemma-1 pipeline, and Result-2 computability."""
+
+from .boolfunc import BooleanFunction
+from .factors import FactorDecomposition, factorized_implicants, factors, sentential_decomposition
+from .nnf_compile import CompiledNNF, compile_canonical_nnf
+from .pipeline import PipelineResult, compile_circuit, vtree_from_circuit
+from .sdd_compile import CompiledSDD, compile_canonical_sdd
+from .vtree import Vtree

@@ -1,0 +1,437 @@
+"""Exact Boolean functions backed by dense truth tables.
+
+This module is the semantic bedrock of the reproduction.  Every notion the
+paper defines *semantically* (cofactors, factors, determinism of a gate,
+canonicity of a compiled form, communication matrices, ...) is computed here
+exactly, with no floating point and no sampling.
+
+Representation
+--------------
+A :class:`BooleanFunction` over variables ``(v_0 < v_1 < ... < v_{n-1})``
+(sorted tuple of strings) stores a numpy bool array ``table`` of length
+``2**n``.  The entry for an assignment ``b`` lives at index
+``sum(b[v_i] << i)`` — variable ``i`` occupies bit ``i`` (little-endian).
+
+The dense representation is exact and fast (numpy vectorization) up to
+roughly 20 variables, which covers every experiment in the paper at the
+scale where its *shapes* (linear vs polynomial vs exponential) are visible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["BooleanFunction", "Assignment"]
+
+Assignment = Mapping[str, int]
+
+
+def _as_bool_array(table: Sequence[int] | np.ndarray, n: int) -> np.ndarray:
+    arr = np.asarray(table, dtype=bool)
+    if arr.shape != (1 << n,):
+        raise ValueError(f"table must have length 2**{n}, got shape {arr.shape}")
+    arr = np.ascontiguousarray(arr)
+    arr.flags.writeable = False
+    return arr
+
+
+class BooleanFunction:
+    """An exact Boolean function ``F : {0,1}^X -> {0,1}``.
+
+    Instances are immutable and hashable; equality is *semantic identity over
+    the same variable tuple* — i.e. two functions are equal iff they have the
+    same variables (as a set) and the same truth table.  This matches the
+    paper's convention where a cofactor ``F'(X \\ Y)`` is a function over the
+    block ``X \\ Y`` even if it does not depend on all of it.
+    """
+
+    __slots__ = ("_vars", "_table", "_hash")
+
+    def __init__(self, variables: Iterable[str], table: Sequence[int] | np.ndarray):
+        vs = tuple(sorted(set(variables)))
+        if len(vs) != len(tuple(variables)) and len(set(variables)) != len(tuple(variables)):
+            raise ValueError("duplicate variables")
+        self._vars = vs
+        self._table = _as_bool_array(table, len(vs))
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: bool, variables: Iterable[str] = ()) -> "BooleanFunction":
+        """The constant ``value`` viewed as a function over ``variables``."""
+        vs = tuple(sorted(set(variables)))
+        return cls(vs, np.full(1 << len(vs), bool(value), dtype=bool))
+
+    @classmethod
+    def true(cls, variables: Iterable[str] = ()) -> "BooleanFunction":
+        return cls.constant(True, variables)
+
+    @classmethod
+    def false(cls, variables: Iterable[str] = ()) -> "BooleanFunction":
+        return cls.constant(False, variables)
+
+    @classmethod
+    def literal(cls, var: str, positive: bool = True, variables: Iterable[str] = ()) -> "BooleanFunction":
+        """The literal ``var`` (or its negation) over ``variables ∪ {var}``."""
+        vs = tuple(sorted(set(variables) | {var}))
+        i = vs.index(var)
+        n = len(vs)
+        idx = np.arange(1 << n)
+        bit = (idx >> i) & 1
+        table = bit.astype(bool) if positive else ~bit.astype(bool)
+        return cls(vs, table)
+
+    @classmethod
+    def var(cls, name: str) -> "BooleanFunction":
+        return cls.literal(name, True)
+
+    @classmethod
+    def from_callable(
+        cls, variables: Sequence[str], fn: Callable[..., int | bool]
+    ) -> "BooleanFunction":
+        """Build from a Python predicate; ``fn`` receives one kwarg per variable."""
+        vs = tuple(sorted(set(variables)))
+        n = len(vs)
+        table = np.zeros(1 << n, dtype=bool)
+        for idx in range(1 << n):
+            b = {v: (idx >> i) & 1 for i, v in enumerate(vs)}
+            table[idx] = bool(fn(**b))
+        return cls(vs, table)
+
+    @classmethod
+    def from_models(
+        cls, variables: Sequence[str], models: Iterable[Assignment]
+    ) -> "BooleanFunction":
+        vs = tuple(sorted(set(variables)))
+        table = np.zeros(1 << len(vs), dtype=bool)
+        for m in models:
+            table[cls._index_of(vs, m)] = True
+        return cls(vs, table)
+
+    @classmethod
+    def from_int(cls, variables: Sequence[str], mask: int) -> "BooleanFunction":
+        """Build from an integer bitmask (bit ``i`` = value on assignment ``i``)."""
+        vs = tuple(sorted(set(variables)))
+        n = len(vs)
+        table = np.array([(mask >> i) & 1 for i in range(1 << n)], dtype=bool)
+        return cls(vs, table)
+
+    @staticmethod
+    def _index_of(vs: Sequence[str], assignment: Assignment) -> int:
+        idx = 0
+        for i, v in enumerate(vs):
+            if v not in assignment:
+                raise KeyError(f"assignment missing variable {v!r}")
+            if assignment[v]:
+                idx |= 1 << i
+        return idx
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The (sorted) variable tuple this function is *over*."""
+        return self._vars
+
+    @property
+    def arity(self) -> int:
+        return len(self._vars)
+
+    @property
+    def table(self) -> np.ndarray:
+        """Read-only truth table (bool array of length ``2**arity``)."""
+        return self._table
+
+    def to_int(self) -> int:
+        """The truth table packed into a Python int."""
+        out = 0
+        for i in np.flatnonzero(self._table):
+            out |= 1 << int(i)
+        return out
+
+    def key(self) -> tuple[tuple[str, ...], bytes]:
+        """A hashable canonical key (variables, raw table bytes)."""
+        return (self._vars, self._table.tobytes())
+
+    # ------------------------------------------------------------------
+    # evaluation / models
+    # ------------------------------------------------------------------
+    def __call__(self, assignment: Assignment | None = None, **kwargs: int) -> bool:
+        a = dict(assignment or {})
+        a.update(kwargs)
+        return bool(self._table[self._index_of(self._vars, a)])
+
+    def models(self) -> Iterator[dict[str, int]]:
+        """Yield all satisfying assignments as dicts."""
+        for idx in np.flatnonzero(self._table):
+            yield {v: (int(idx) >> i) & 1 for i, v in enumerate(self._vars)}
+
+    def count_models(self) -> int:
+        return int(self._table.sum())
+
+    def is_satisfiable(self) -> bool:
+        return bool(self._table.any())
+
+    def is_tautology(self) -> bool:
+        return bool(self._table.all())
+
+    def is_constant(self) -> bool:
+        return self.is_tautology() or not self.is_satisfiable()
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        return self._vars == other._vars and bool(np.array_equal(self._table, other._table))
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._vars, self._table.tobytes()))
+        return self._hash
+
+    def equivalent(self, other: "BooleanFunction") -> bool:
+        """Semantic equivalence over the *union* of variable sets.
+
+        This is the paper's ``C ≡ C'`` (both circuits viewed over the union
+        of their variables).
+        """
+        joint = sorted(set(self._vars) | set(other._vars))
+        return self.extend(joint) == other.extend(joint)
+
+    # ------------------------------------------------------------------
+    # variable manipulation
+    # ------------------------------------------------------------------
+    def _shaped(self) -> np.ndarray:
+        """Table reshaped to ``(2,)*n``; axis ``j`` corresponds to variable
+        ``n-1-j`` (C order: the last axis varies fastest = variable 0)."""
+        n = len(self._vars)
+        return self._table.reshape((2,) * n) if n else self._table.reshape(())
+
+    def _axis_of(self, var: str) -> int:
+        n = len(self._vars)
+        return n - 1 - self._vars.index(var)
+
+    def extend(self, variables: Iterable[str]) -> "BooleanFunction":
+        """View this function over a superset of its variables."""
+        vs = tuple(sorted(set(variables)))
+        if not set(self._vars) <= set(vs):
+            raise ValueError("extend target must be a superset of current variables")
+        if vs == self._vars:
+            return self
+        n_new = len(vs)
+        shaped = self._shaped()
+        # Build index arrays: for each new assignment, pick old index.
+        idx = np.arange(1 << n_new)
+        old_idx = np.zeros(1 << n_new, dtype=np.int64)
+        for old_i, v in enumerate(self._vars):
+            new_i = vs.index(v)
+            old_idx |= (((idx >> new_i) & 1) << old_i)
+        return BooleanFunction(vs, self._table[old_idx])
+
+    def drop_inessential(self) -> "BooleanFunction":
+        """Project onto the essential variables (those the function depends on)."""
+        ess = [v for v in self._vars if self.depends_on(v)]
+        return self.project(ess)
+
+    def depends_on(self, var: str) -> bool:
+        if var not in self._vars:
+            return False
+        ax = self._axis_of(var)
+        shaped = self._shaped()
+        zero = np.take(shaped, 0, axis=ax)
+        one = np.take(shaped, 1, axis=ax)
+        return not bool(np.array_equal(zero, one))
+
+    def essential_variables(self) -> tuple[str, ...]:
+        return tuple(v for v in self._vars if self.depends_on(v))
+
+    def project(self, variables: Iterable[str]) -> "BooleanFunction":
+        """Restrict the variable *tuple* to ``variables``.
+
+        Only legal when the function does not depend on the dropped
+        variables; raises ``ValueError`` otherwise.
+        """
+        vs = tuple(sorted(set(variables)))
+        dropped = [v for v in self._vars if v not in vs]
+        for v in dropped:
+            if self.depends_on(v):
+                raise ValueError(f"cannot drop essential variable {v!r}")
+        if not set(vs) <= set(self._vars):
+            # allow projecting onto a superset by extending first
+            return self.extend(sorted(set(vs) | set(self._vars))).project(vs)
+        out = self
+        for v in dropped:
+            ax = out._axis_of(v)
+            shaped = out._shaped()
+            out = BooleanFunction(
+                tuple(x for x in out._vars if x != v),
+                np.take(shaped, 0, axis=ax).reshape(-1),
+            )
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "BooleanFunction":
+        """Rename variables (must stay injective)."""
+        new_vars = [mapping.get(v, v) for v in self._vars]
+        if len(set(new_vars)) != len(new_vars):
+            raise ValueError("renaming must be injective")
+        # Renaming can permute the sorted order; rebuild via index mapping.
+        vs_new = tuple(sorted(new_vars))
+        n = len(vs_new)
+        idx = np.arange(1 << n)
+        old_idx = np.zeros(1 << n, dtype=np.int64)
+        for old_i, v in enumerate(self._vars):
+            new_i = vs_new.index(mapping.get(v, v))
+            old_idx |= (((idx >> new_i) & 1) << old_i)
+        return BooleanFunction(vs_new, self._table[old_idx])
+
+    # ------------------------------------------------------------------
+    # cofactors (paper Section 3.1)
+    # ------------------------------------------------------------------
+    def cofactor(self, assignment: Assignment) -> "BooleanFunction":
+        """The cofactor of ``F`` induced by ``assignment`` (paper's
+        ``F(b, X \\ Y)``): a function over the unassigned variables."""
+        fixed = {v: int(b) for v, b in assignment.items() if v in self._vars}
+        rest = tuple(v for v in self._vars if v not in fixed)
+        shaped = self._shaped()
+        # np index: axis j corresponds to var n-1-j
+        index: list[object] = []
+        n = len(self._vars)
+        for j in range(n):
+            v = self._vars[n - 1 - j]
+            index.append(fixed[v] if v in fixed else slice(None))
+        sub = shaped[tuple(index)]
+        return BooleanFunction(rest, np.asarray(sub).reshape(-1))
+
+    def restrict(self, assignment: Assignment) -> "BooleanFunction":
+        """Alias for :meth:`cofactor`."""
+        return self.cofactor(assignment)
+
+    def cofactors_wrt(self, y_vars: Iterable[str]) -> list["BooleanFunction"]:
+        """All distinct cofactors of ``F`` relative to ``X \\ Y`` (i.e. induced
+        by assignments of ``Y ∩ X``), in first-seen order."""
+        y = tuple(v for v in self._vars if v in set(y_vars))
+        seen: dict[bytes, BooleanFunction] = {}
+        for sub in self._cofactor_rows(y):
+            k = sub.tobytes()
+            if k not in seen:
+                rest = tuple(v for v in self._vars if v not in set(y))
+                seen[k] = BooleanFunction(rest, sub)
+        return list(seen.values())
+
+    def _cofactor_rows(self, y: tuple[str, ...]) -> np.ndarray:
+        """Rows = cofactor tables, one per assignment of ``y`` (in little-endian
+        assignment order).  Shape ``(2**|y|, 2**(n-|y|))``."""
+        n = len(self._vars)
+        yset = set(y)
+        rest = [v for v in self._vars if v not in yset]
+        shaped = self._shaped()
+        # Move Y axes to the front (most significant first for row ordering).
+        # Row index must be little-endian over sorted(y): var y[i] is bit i.
+        y_sorted = tuple(sorted(yset))
+        src_axes = [self._axis_of(v) for v in y_sorted]  # axis of each y var
+        # Destination: y_sorted[i] should become axis (len(y)-1-i) among leading axes
+        dst_axes = [len(y_sorted) - 1 - i for i in range(len(y_sorted))]
+        moved = np.moveaxis(shaped, src_axes, dst_axes) if n else shaped
+        return np.ascontiguousarray(moved.reshape(1 << len(y_sorted), -1))
+
+    # ------------------------------------------------------------------
+    # connectives (variables are aligned to the union)
+    # ------------------------------------------------------------------
+    def _align(self, other: "BooleanFunction") -> tuple["BooleanFunction", "BooleanFunction"]:
+        joint = sorted(set(self._vars) | set(other._vars))
+        return self.extend(joint), other.extend(joint)
+
+    def __and__(self, other: "BooleanFunction") -> "BooleanFunction":
+        a, b = self._align(other)
+        return BooleanFunction(a._vars, a._table & b._table)
+
+    def __or__(self, other: "BooleanFunction") -> "BooleanFunction":
+        a, b = self._align(other)
+        return BooleanFunction(a._vars, a._table | b._table)
+
+    def __xor__(self, other: "BooleanFunction") -> "BooleanFunction":
+        a, b = self._align(other)
+        return BooleanFunction(a._vars, a._table ^ b._table)
+
+    def __invert__(self) -> "BooleanFunction":
+        return BooleanFunction(self._vars, ~self._table)
+
+    def implies(self, other: "BooleanFunction") -> bool:
+        a, b = self._align(other)
+        return bool((~a._table | b._table).all())
+
+    def disjoint(self, other: "BooleanFunction") -> bool:
+        """``sat(self) ∩ sat(other) = ∅`` over the union of variables."""
+        a, b = self._align(other)
+        return not bool((a._table & b._table).any())
+
+    # ------------------------------------------------------------------
+    # quantification
+    # ------------------------------------------------------------------
+    def exists(self, variables: Iterable[str]) -> "BooleanFunction":
+        out = self
+        for v in sorted(set(variables)):
+            if v not in out._vars:
+                continue
+            ax = out._axis_of(v)
+            shaped = out._shaped()
+            table = np.take(shaped, 0, axis=ax) | np.take(shaped, 1, axis=ax)
+            out = BooleanFunction(tuple(x for x in out._vars if x != v), table.reshape(-1))
+        return out
+
+    def forall(self, variables: Iterable[str]) -> "BooleanFunction":
+        out = self
+        for v in sorted(set(variables)):
+            if v not in out._vars:
+                continue
+            ax = out._axis_of(v)
+            shaped = out._shaped()
+            table = np.take(shaped, 0, axis=ax) & np.take(shaped, 1, axis=ax)
+            out = BooleanFunction(tuple(x for x in out._vars if x != v), table.reshape(-1))
+        return out
+
+    # ------------------------------------------------------------------
+    # probability (tuple-independent product measure)
+    # ------------------------------------------------------------------
+    def probability(self, prob: Mapping[str, float]) -> float:
+        """Exact probability of ``F`` under independent variables with
+        ``P(v = 1) = prob[v]`` (brute force over the truth table)."""
+        n = len(self._vars)
+        p = np.ones(1 << n, dtype=float)
+        idx = np.arange(1 << n)
+        for i, v in enumerate(self._vars):
+            pv = float(prob[v])
+            bit = (idx >> i) & 1
+            p *= np.where(bit == 1, pv, 1.0 - pv)
+        return float(p[self._table].sum())
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.arity <= 4:
+            return f"BooleanFunction({self._vars}, 0b{self.to_int():0{1 << self.arity}b})"
+        return f"BooleanFunction({self._vars}, <2^{self.arity} table>)"
+
+    @classmethod
+    def random(cls, variables: Sequence[str], rng: "np.random.Generator") -> "BooleanFunction":
+        vs = tuple(sorted(set(variables)))
+        return cls(vs, rng.integers(0, 2, size=1 << len(vs)).astype(bool))
+
+    @classmethod
+    def all_functions(cls, variables: Sequence[str]) -> Iterator["BooleanFunction"]:
+        """Enumerate every Boolean function over ``variables`` (tiny arities only)."""
+        vs = tuple(sorted(set(variables)))
+        n = len(vs)
+        if n > 4:
+            raise ValueError("all_functions is only sensible for <= 4 variables")
+        for mask in range(1 << (1 << n)):
+            yield cls.from_int(vs, mask)

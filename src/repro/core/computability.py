@@ -1,0 +1,159 @@
+"""Circuit treewidth is computable (Proposition 1 / Result 2).
+
+The paper's proof is a decidability argument: express "G implements a
+circuit computing F" in MSO and appeal to Seese's theorem on graphs of
+bounded treewidth.  That argument is non-constructive in practice, so — as
+recorded in DESIGN.md §4 — this module executes the *specification* of
+circuit treewidth directly on the instances where any procedure terminates:
+
+    ctw(F) = min { tw(C) : C a circuit computing F }
+
+by exhaustive enumeration of circuits up to a gate budget, with the DNF
+circuit of Proposition 1's proof as the terminating upper bound.  A
+certified *lower* bound is also provided by inverting Lemma 1 on the exact
+factor width ``fw(F)`` — entirely within the paper's own machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .boolfunc import BooleanFunction
+from .widths import lemma1_bound, min_factor_width
+from ..circuits.circuit import Circuit
+from ..graphs.exact_tw import exact_treewidth
+
+__all__ = [
+    "dnf_upper_bound_circuit",
+    "ctw_upper_bound",
+    "ctw_lower_bound_from_fw",
+    "exact_circuit_treewidth",
+    "CtwResult",
+]
+
+
+def dnf_upper_bound_circuit(f: BooleanFunction) -> Circuit:
+    """The DNF whose terms are the models of ``F`` — Proposition 1's
+    terminating upper bound on ``ctw(F)``."""
+    return Circuit.from_function_dnf(f)
+
+
+def ctw_upper_bound(f: BooleanFunction) -> int:
+    """``tw`` of the Proposition-1 DNF circuit (may be loose)."""
+    c = dnf_upper_bound_circuit(f)
+    g = c.graph()
+    if g.number_of_nodes() > 16:
+        from ..graphs.elimination import treewidth_upper_bound
+
+        return treewidth_upper_bound(g)
+    return exact_treewidth(g)
+
+
+def ctw_lower_bound_from_fw(f: BooleanFunction, exhaustive: bool | None = None) -> int:
+    """The least ``k`` with ``lemma1_bound(k) ≥ fw(F)`` — a certified lower
+    bound on ``ctw(F)`` by Lemma 1 (contrapositive)."""
+    fw_val, _ = min_factor_width(f, exhaustive=exhaustive)
+    k = 0
+    while lemma1_bound(k) < fw_val:
+        k += 1
+    return k
+
+
+@dataclass
+class CtwResult:
+    """Outcome of the exhaustive search."""
+
+    value: int
+    witness: Circuit | None
+    exhausted: bool  # a witness circuit was found within the budget
+
+
+def exact_circuit_treewidth(f: BooleanFunction, max_gates: int = 5) -> CtwResult:
+    """Exhaustive ``ctw`` search (Result 2 executed literally).
+
+    Enumerates all circuits with up to ``max_gates`` internal NOT/AND2/OR2
+    gates over the essential variables (fanin-2 AND/OR plus NOT realizes
+    every function); the reported value is the true minimum over that space.
+    ``value == -1`` with ``exhausted == False`` means the budget was too
+    small to realize ``F`` at all.
+
+    Treewidth-0 answers (constants, bare positive literals) are recognized
+    directly: a treewidth-0 graph has no edges, so the only such circuits
+    are single input gates.
+    """
+    vs = f.variables
+    if f.is_constant():
+        c = Circuit()
+        c.set_output(c.add_const(f.is_tautology()))
+        return CtwResult(0, c, True)
+    for v in vs:
+        if f == BooleanFunction.literal(v, True, vs):
+            c = Circuit()
+            c.set_output(c.add_var(v))
+            return CtwResult(0, c, True)
+
+    target = f.drop_inessential()
+    tvars = target.variables
+    n = len(tvars)
+    size = 1 << n
+    full = (1 << size) - 1
+    target_mask = target.to_int()
+    input_masks = [BooleanFunction.literal(v, True, tvars).to_int() for v in tvars]
+
+    best: list[tuple[int, tuple] | None] = [None]
+
+    def tw_of(combo: tuple) -> int:
+        return exact_treewidth(_combo_to_circuit(tvars, combo).graph())
+
+    # DFS over gate sequences, computing masks incrementally.
+    def dfs(masks: list[int], combo: list[tuple[str, tuple[int, ...]]], budget: int) -> None:
+        if best[0] is not None and best[0][0] == 1:
+            return  # cannot beat treewidth 1 with a non-trivial circuit
+        if combo and masks[-1] == target_mask:
+            # output = last gate; require all other internal gates used
+            used = set()
+            for _, inputs in combo:
+                used.update(inputs)
+            n_internal = len(combo)
+            if all((n + i) in used for i in range(n_internal - 1)):
+                tw = tw_of(tuple(combo))
+                if best[0] is None or tw < best[0][0]:
+                    best[0] = (tw, tuple(combo))
+        if budget == 0:
+            return
+        pool = len(masks)
+        for a in range(pool):
+            masks.append(full & ~masks[a])
+            combo.append(("not", (a,)))
+            dfs(masks, combo, budget - 1)
+            masks.pop()
+            combo.pop()
+        for a in range(pool):
+            for b in range(a + 1, pool):
+                for kind, m in (("and", masks[a] & masks[b]), ("or", masks[a] | masks[b])):
+                    masks.append(m)
+                    combo.append((kind, (a, b)))
+                    dfs(masks, combo, budget - 1)
+                    masks.pop()
+                    combo.pop()
+
+    dfs(list(input_masks), [], max_gates)
+    if best[0] is None:
+        return CtwResult(-1, None, False)
+    tw, combo = best[0]
+    return CtwResult(tw, _combo_to_circuit(tvars, combo), True)
+
+
+def _combo_to_circuit(variables: tuple[str, ...], combo) -> Circuit:
+    c = Circuit()
+    ids = [c.add_var(v) for v in variables]
+    for kind, inputs in combo:
+        wired = tuple(ids[a] for a in inputs)
+        if kind == "not":
+            ids.append(c.add_not(wired[0]))
+        elif kind == "and":
+            ids.append(c.add_and(*wired))
+        else:
+            ids.append(c.add_or(*wired))
+    c.set_output(ids[-1])
+    return c

@@ -1,0 +1,232 @@
+"""Factors, factorized implicants, and sentential decompositions.
+
+Implements the paper's Section 3.1/3.2 combinatorics exactly:
+
+- :func:`factors` — Definition 1: the partition of ``{0,1}^{Y∩X}`` whose
+  blocks collect the assignments inducing the same cofactor of ``F``.
+- :func:`rectangle_status` — Lemma 2: the rectangle of two factors is either
+  contained in or disjoint from any factor of the union block.
+- :func:`factorized_implicants` — Definition 3 / Lemma 3: the disjoint
+  rectangle cover of a factor ``H`` by products of factors.
+- :func:`sentential_decomposition` — the ``sd(F, H, Y, Y')`` partition of
+  Section 3.2.2 used to build canonical SDDs, satisfying (SD1)–(SD3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .boolfunc import BooleanFunction
+
+__all__ = [
+    "FactorDecomposition",
+    "factors",
+    "rectangle_status",
+    "factorized_implicants",
+    "sentential_decomposition",
+    "SententialElement",
+]
+
+
+@dataclass(frozen=True)
+class FactorDecomposition:
+    """``factors(F, Y)`` — the factors of ``F`` relative to ``Y``.
+
+    Attributes
+    ----------
+    function:
+        The function ``F`` the decomposition refers to.
+    block:
+        ``Y ∩ X`` as a sorted tuple (the variables factors are over).
+    factors:
+        The factors ``G(Y ∩ X)``, one per distinct cofactor, ordered
+        canonically (lexicographically by cofactor table — deterministic,
+        which the canonical compilers rely on).
+    cofactors:
+        ``cofactors[i]`` is the cofactor of ``F`` relative to ``X \\ Y``
+        induced by (every model of) ``factors[i]``.
+    """
+
+    function: BooleanFunction
+    block: tuple[str, ...]
+    factors: tuple[BooleanFunction, ...]
+    cofactors: tuple[BooleanFunction, ...]
+    _inverse: np.ndarray = field(repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.factors)
+
+    def factor_index_of(self, assignment: Mapping[str, int]) -> int:
+        """Index of the (unique) factor whose models contain ``assignment``
+        (an assignment of the block)."""
+        idx = 0
+        for i, v in enumerate(self.block):
+            if assignment[v]:
+                idx |= 1 << i
+        return int(self._inverse[idx])
+
+    def factor_of(self, assignment: Mapping[str, int]) -> BooleanFunction:
+        return self.factors[self.factor_index_of(assignment)]
+
+    def representative(self, i: int) -> dict[str, int]:
+        """A canonical model of ``factors[i]`` (the least assignment index)."""
+        idx = int(np.flatnonzero(self.factors[i].table)[0])
+        return {v: (idx >> j) & 1 for j, v in enumerate(self.block)}
+
+    def validate(self) -> None:
+        """Check equation (10): factors partition ``{0,1}^{Y∩X}``."""
+        total = np.zeros(1 << len(self.block), dtype=int)
+        for g in self.factors:
+            total += g.table.astype(int)
+        if not bool((total == 1).all()):
+            raise AssertionError("factors do not partition the assignment space")
+
+
+def factors(f: BooleanFunction, y_vars: Iterable[str]) -> FactorDecomposition:
+    """Compute ``factors(F, Y)`` (Definition 1).
+
+    Per equation (9), ``factors(F, Y) = factors(F, Y ∩ X)`` — variables in
+    ``Y`` outside ``F``'s scope are ignored.
+    """
+    block = tuple(v for v in f.variables if v in set(y_vars))
+    rest = tuple(v for v in f.variables if v not in set(y_vars))
+    rows = f._cofactor_rows(block)  # (2^|block|, 2^|rest|)
+    # Group assignments of the block by identical cofactor rows.
+    uniq, inverse = np.unique(rows, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    fac: list[BooleanFunction] = []
+    cof: list[BooleanFunction] = []
+    for i in range(uniq.shape[0]):
+        fac.append(BooleanFunction(block, inverse == i))
+        cof.append(BooleanFunction(rest, uniq[i]))
+    return FactorDecomposition(
+        function=f,
+        block=block,
+        factors=tuple(fac),
+        cofactors=tuple(cof),
+        _inverse=inverse,
+    )
+
+
+def _merge_assignments(a: Mapping[str, int], b: Mapping[str, int]) -> dict[str, int]:
+    out = dict(a)
+    out.update(b)
+    return out
+
+
+def rectangle_status(
+    union_dec: FactorDecomposition,
+    h_index: int,
+    left_dec: FactorDecomposition,
+    g_index: int,
+    right_dec: FactorDecomposition,
+    gp_index: int,
+) -> str:
+    """Lemma 2: is ``sat(G) × sat(G')`` contained in or disjoint from
+    ``sat(H)``?  Returns ``"contained"`` or ``"disjoint"``.
+
+    Only a single representative test is needed *because of Lemma 2*; tests
+    validate the dichotomy exhaustively.
+    """
+    b = left_dec.representative(g_index)
+    bp = right_dec.representative(gp_index)
+    if union_dec.factor_index_of(_merge_assignments(b, bp)) == h_index:
+        return "contained"
+    return "disjoint"
+
+
+def factorized_implicants(
+    f: BooleanFunction,
+    y_vars: Iterable[str],
+    yp_vars: Iterable[str],
+    *,
+    union_dec: FactorDecomposition | None = None,
+    left_dec: FactorDecomposition | None = None,
+    right_dec: FactorDecomposition | None = None,
+) -> dict[int, list[tuple[int, int]]]:
+    """``impl(F, H, Y, Y')`` for *every* factor ``H`` of ``F`` rel. ``Y ∪ Y'``.
+
+    Returns a dict mapping the index of ``H`` (in ``factors(F, Y ∪ Y')``) to
+    the list of index pairs ``(i, j)`` such that
+    ``(factors(F,Y)[i], factors(F,Y')[j])`` is a factorized implicant of
+    ``H``.  By Lemma 3 the rectangles of the pairs listed under ``H`` form a
+    disjoint rectangle cover of ``H``.
+
+    Pre-computed decompositions can be passed to avoid recomputation.
+    """
+    y = set(y_vars)
+    yp = set(yp_vars)
+    if y & yp & set(f.variables):
+        raise ValueError("Y and Y' must be disjoint on F's variables")
+    du = union_dec if union_dec is not None else factors(f, y | yp)
+    dl = left_dec if left_dec is not None else factors(f, y)
+    dr = right_dec if right_dec is not None else factors(f, yp)
+    out: dict[int, list[tuple[int, int]]] = {h: [] for h in range(len(du))}
+    for i in range(len(dl)):
+        b = dl.representative(i)
+        for j in range(len(dr)):
+            bp = dr.representative(j)
+            h = du.factor_index_of(_merge_assignments(b, bp))
+            out[h].append((i, j))
+    return out
+
+
+@dataclass(frozen=True)
+class SententialElement:
+    """One element ``(P_i, S_i)`` of the ``sd(F, H, Y, Y')`` partition.
+
+    ``primes`` are indices into ``factors(F, Y)``; ``subs`` are indices into
+    ``factors(F, Y')`` (``subs`` may be empty, standing for ``⊥``).
+    """
+
+    primes: tuple[int, ...]
+    subs: tuple[int, ...]
+
+
+def sentential_decomposition(
+    f: BooleanFunction,
+    h_indices: frozenset[int] | set[int],
+    y_vars: Iterable[str],
+    yp_vars: Iterable[str],
+    *,
+    union_dec: FactorDecomposition | None = None,
+    left_dec: FactorDecomposition | None = None,
+    right_dec: FactorDecomposition | None = None,
+) -> list[SententialElement]:
+    """The ``sd(F, H, Y, Y')`` construction of Section 3.2.2.
+
+    ``h_indices`` selects a set ``H`` of factors of ``F`` relative to
+    ``Y ∪ Y'``.  For every prime factor ``G ∈ factors(F, Y)`` the set
+
+        ``S_G = { G' : (G, G') is an implicant of some H ∈ H }``
+
+    is computed; primes with equal ``S_G`` are grouped, yielding elements
+    that satisfy (SD1) (primes exhaust), (SD2) (primes pairwise disjoint)
+    and (SD3) (distinct subs).  Elements are ordered canonically by their
+    smallest prime index.
+    """
+    y = set(y_vars)
+    yp = set(yp_vars)
+    du = union_dec if union_dec is not None else factors(f, y | yp)
+    dl = left_dec if left_dec is not None else factors(f, y)
+    dr = right_dec if right_dec is not None else factors(f, yp)
+    h_set = set(h_indices)
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for i in range(len(dl)):
+        b = dl.representative(i)
+        s_g: list[int] = []
+        for j in range(len(dr)):
+            bp = dr.representative(j)
+            h = du.factor_index_of(_merge_assignments(b, bp))
+            if h in h_set:
+                s_g.append(j)
+        groups.setdefault(tuple(s_g), []).append(i)
+    elements = [
+        SententialElement(primes=tuple(sorted(ps)), subs=subs)
+        for subs, ps in groups.items()
+    ]
+    elements.sort(key=lambda e: e.primes[0])
+    return elements

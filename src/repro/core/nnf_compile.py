@@ -1,0 +1,152 @@
+"""The canonical deterministic structured NNF ``C_{F,T}`` (Section 3.2.1).
+
+Implements equations (17)–(21) verbatim:
+
+- at a leaf ``v`` with variable ``x``: ``⊤`` if ``F`` has a single factor
+  relative to ``{x}``, else the literals ``x`` / ``¬x`` (17)–(19);
+- at an internal node ``v`` with children ``w, w'``:
+
+      C_{v,H} = OR_{(G,G') ∈ impl(F,H,X_w,X_{w'})} ( C_{w,G} ∧ C_{w',G'} )   (20)
+
+- ``C_{F,T} = C_{r,F}`` at the root (21).
+
+By Lemma 4 the result is a deterministic NNF structured by ``T`` computing
+``F``; it is canonical (uniquely determined by ``F`` and ``T``), and by
+Theorem 3 its size is ``O(k·n)`` for ``k`` the factorized implicant width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .boolfunc import BooleanFunction
+from .factors import FactorDecomposition, factorized_implicants, factors
+from .vtree import Vtree
+from ..circuits.nnf import NNF, false_node, lit, true_node
+
+__all__ = ["CompiledNNF", "compile_canonical_nnf"]
+
+
+@dataclass
+class CompiledNNF:
+    """The result of the ``C_{F,T}`` construction.
+
+    Attributes
+    ----------
+    root:
+        The compiled NNF (deterministic, structured by ``vtree``).
+    function:
+        The input function ``F``.
+    vtree:
+        The vtree ``T`` used.
+    and_gates_per_node:
+        For each internal vtree node (by identity), the number of AND gates
+        *structured by* that node (Definition 4's counting).
+    """
+
+    root: NNF
+    function: BooleanFunction
+    vtree: Vtree
+    and_gates_per_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def fiw(self) -> int:
+        """``fiw(F, T)`` — the factorized implicant width relative to ``T``
+        (Definition 4): the max number of AND gates structured by one node."""
+        if not self.and_gates_per_node:
+            return 0
+        return max(self.and_gates_per_node.values())
+
+    @property
+    def size(self) -> int:
+        return self.root.size
+
+    def theorem3_size_bound(self) -> int:
+        """Theorem 3's gate budget: ``2n + 1 + 3k(n-1)``."""
+        n = len(self.function.variables)
+        k = self.fiw
+        return 2 * n + 1 + 3 * k * max(n - 1, 0)
+
+
+def compile_canonical_nnf(f: BooleanFunction, vtree: Vtree) -> CompiledNNF:
+    """Build ``C_{F,T}`` for function ``f`` and vtree ``vtree``.
+
+    The vtree may be over a superset of ``f``'s variables (dummy leaves are
+    handled per equation (9): their factor decompositions are trivial).
+    Constant functions compile to the corresponding constant node.
+    """
+    if not set(f.variables) <= vtree.variables:
+        raise ValueError("vtree must cover the function's variables")
+    result = CompiledNNF(root=true_node(), function=f, vtree=vtree)
+    if f.is_constant():
+        result.root = true_node() if f.is_tautology() else false_node()
+        return result
+
+    dec_cache: dict[int, FactorDecomposition] = {}
+
+    def dec_of(v: Vtree) -> FactorDecomposition:
+        d = dec_cache.get(id(v))
+        if d is None:
+            d = factors(f, v.variables)
+            dec_cache[id(v)] = d
+        return d
+
+    node_cache: dict[tuple[int, int], NNF] = {}
+
+    def build(v: Vtree, h: int) -> NNF:
+        key = (id(v), h)
+        cached = node_cache.get(key)
+        if cached is not None:
+            return cached
+        dec = dec_of(v)
+        if v.is_leaf:
+            out = _leaf_circuit(dec, h, v)
+        else:
+            assert v.left is not None and v.right is not None
+            dl, dr = dec_of(v.left), dec_of(v.right)
+            impl = factorized_implicants(
+                f, v.left.variables, v.right.variables,
+                union_dec=dec, left_dec=dl, right_dec=dr,
+            )
+            pairs = impl[h]
+            ands = []
+            for (i, j) in pairs:
+                left_c = build(v.left, i)
+                right_c = build(v.right, j)
+                ands.append(NNF("and", children=(left_c, right_c)))
+            result.and_gates_per_node[id(v)] = (
+                result.and_gates_per_node.get(id(v), 0) + len(ands)
+            )
+            out = ands[0] if len(ands) == 1 else NNF("or", children=tuple(ands))
+        node_cache[key] = out
+        return out
+
+    root_dec = dec_of(vtree)
+    # F itself is a factor of F relative to X: the one whose cofactor (over
+    # the empty set) is the constant 1 (see the remark after eq. (21)).
+    target = None
+    for h, cof in enumerate(root_dec.cofactors):
+        if cof.is_tautology():
+            target = h
+            break
+    assert target is not None, "non-constant function must have a 1-cofactor factor"
+    result.root = build(vtree, target)
+    return result
+
+
+def _leaf_circuit(dec: FactorDecomposition, h: int, v: Vtree) -> NNF:
+    """Equations (17)–(19), extended to dummy leaves (empty block)."""
+    if len(dec.block) == 0:
+        # Dummy leaf: single trivial factor, circuit ⊤ (eq. (17) degenerate).
+        return true_node()
+    (x,) = dec.block
+    if len(dec) == 1:
+        return true_node()
+    g = dec.factors[h]
+    # g's table over {x}: [value at x=0, value at x=1]
+    if bool(g.table[1]):
+        return lit(x, True)
+    return lit(x, False)

@@ -1,0 +1,140 @@
+"""The canonical SDD ``S_{F,T}`` (Section 3.2.2).
+
+The construction keys circuits by pairs ``(v, H)`` where ``H`` is a *set* of
+factors of ``F`` relative to ``X_v``:
+
+- leaf ``v`` labelled ``x``: ``C_{v,∅} = ⊥``; with one factor
+  ``C_{v,{H}} = ⊤``; with two factors ``C_{v,{H_0}} = ¬x``,
+  ``C_{v,{H_1}} = x``, ``C_{v,{H_0,H_1}} = ⊤``;
+- internal ``v`` with children ``w, w'`` (eq. (27)):
+
+      C_{v,H} = OR_{(P,S) ∈ sd(F,H,X_w,X_{w'})} ( C_{w,P} ∧ C_{w',S} )
+
+- ``S_{F,T} = C_{r,{F}}`` (eq. (28)).
+
+By Lemma 6 each ``C_{v,H}`` is a canonical SDD respecting ``T_v`` computing
+``∨_{H∈H} H``; the elements satisfy (SD1) primes exhaustive, (SD2) primes
+pairwise disjoint, (SD3) distinct subs.  SDD width (Definition 5) counts AND
+gates structured per vtree node; Theorem 4 then gives size ``O(k·n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .boolfunc import BooleanFunction
+from .factors import FactorDecomposition, factors, sentential_decomposition
+from .vtree import Vtree
+from ..circuits.nnf import NNF, false_node, lit, true_node
+
+__all__ = ["CompiledSDD", "compile_canonical_sdd"]
+
+
+@dataclass
+class CompiledSDD:
+    """The result of the ``S_{F,T}`` construction."""
+
+    root: NNF
+    function: BooleanFunction
+    vtree: Vtree
+    and_gates_per_node: dict[int, int] = field(default_factory=dict)
+    elements_per_node: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def sdw(self) -> int:
+        """``sdw(F, T)`` — SDD width relative to ``T`` (Definition 5)."""
+        if not self.and_gates_per_node:
+            return 0
+        return max(self.and_gates_per_node.values())
+
+    @property
+    def size(self) -> int:
+        return self.root.size
+
+    def theorem4_size_bound(self) -> int:
+        """Theorem 4's gate budget: ``2(n+1) + 3k(n-1)``."""
+        n = len(self.function.variables)
+        k = self.sdw
+        return 2 * (n + 1) + 3 * k * max(n - 1, 0)
+
+
+def compile_canonical_sdd(f: BooleanFunction, vtree: Vtree) -> CompiledSDD:
+    """Build the canonical SDD ``S_{F,T}``.
+
+    The vtree may cover a superset of ``f``'s variables.  Constant functions
+    compile to constants (constants are SDDs over any vtree).
+    """
+    if not set(f.variables) <= vtree.variables:
+        raise ValueError("vtree must cover the function's variables")
+    result = CompiledSDD(root=true_node(), function=f, vtree=vtree)
+    if f.is_constant():
+        result.root = true_node() if f.is_tautology() else false_node()
+        return result
+
+    dec_cache: dict[int, FactorDecomposition] = {}
+
+    def dec_of(v: Vtree) -> FactorDecomposition:
+        d = dec_cache.get(id(v))
+        if d is None:
+            d = factors(f, v.variables)
+            dec_cache[id(v)] = d
+        return d
+
+    node_cache: dict[tuple[int, frozenset[int]], NNF] = {}
+
+    def build(v: Vtree, hset: frozenset[int]) -> NNF:
+        key = (id(v), hset)
+        cached = node_cache.get(key)
+        if cached is not None:
+            return cached
+        dec = dec_of(v)
+        if v.is_leaf:
+            out = _leaf_circuit(dec, hset)
+        elif not hset:
+            out = false_node()
+        else:
+            assert v.left is not None and v.right is not None
+            dl, dr = dec_of(v.left), dec_of(v.right)
+            elements = sentential_decomposition(
+                f, hset, v.left.variables, v.right.variables,
+                union_dec=dec, left_dec=dl, right_dec=dr,
+            )
+            ands = []
+            for el in elements:
+                prime = build(v.left, frozenset(el.primes))
+                sub = build(v.right, frozenset(el.subs))
+                ands.append(NNF("and", children=(prime, sub)))
+            result.and_gates_per_node[id(v)] = (
+                result.and_gates_per_node.get(id(v), 0) + len(ands)
+            )
+            result.elements_per_node.setdefault(id(v), []).append(len(ands))
+            out = ands[0] if len(ands) == 1 else NNF("or", children=tuple(ands))
+        node_cache[key] = out
+        return out
+
+    root_dec = dec_of(vtree)
+    target = None
+    for h, cof in enumerate(root_dec.cofactors):
+        if cof.is_tautology():
+            target = h
+            break
+    assert target is not None
+    result.root = build(vtree, frozenset({target}))
+    return result
+
+
+def _leaf_circuit(dec: FactorDecomposition, hset: frozenset[int]) -> NNF:
+    """Leaf cases of Section 3.2.2 (⊥ / literals / ⊤), including dummies."""
+    if not hset:
+        return false_node()
+    if len(hset) == len(dec):
+        return true_node()
+    if len(dec.block) == 0:
+        # Dummy leaf: single factor; hset nonempty means "all of them".
+        return true_node()
+    (x,) = dec.block
+    (h,) = hset  # strict subset of a 2-element factor set is a singleton
+    g = dec.factors[h]
+    if bool(g.table[1]):
+        return lit(x, True)
+    return lit(x, False)

@@ -1,0 +1,282 @@
+"""Variable trees (vtrees).
+
+A vtree for a variable set ``Y`` is a rooted, ordered, binary tree whose
+leaves correspond bijectively to ``Y`` (Section 2.1).  Following the paper we
+*relax* fullness: during the Lemma-1 extraction from tree decompositions,
+intermediate trees may contain unary internal nodes; :meth:`Vtree.contract`
+removes them, and :meth:`Vtree.prune_to` drops dummy leaves.
+
+OBDDs are canonical SDDs respecting *linear* vtrees — vtrees where every
+left child is a leaf (right-linear combs); see Section 3.2.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = ["Vtree"]
+
+
+class Vtree:
+    """An immutable vtree node (leaf or internal with two children)."""
+
+    __slots__ = ("var", "left", "right", "_vars", "_size")
+
+    def __init__(self, var: str | None, left: "Vtree | None", right: "Vtree | None"):
+        if var is not None and (left is not None or right is not None):
+            raise ValueError("leaf nodes cannot have children")
+        if var is None and (left is None or right is None):
+            raise ValueError("internal nodes need two children (use helpers for unary)")
+        self.var = var
+        self.left = left
+        self.right = right
+        if var is not None:
+            self._vars = frozenset({var})
+            self._size = 1
+        else:
+            assert left is not None and right is not None
+            overlap = left._vars & right._vars
+            if overlap:
+                raise ValueError(f"children share variables: {sorted(overlap)}")
+            self._vars = left._vars | right._vars
+            self._size = 1 + left._size + right._size
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def leaf(cls, var: str) -> "Vtree":
+        return cls(var, None, None)
+
+    @classmethod
+    def internal(cls, left: "Vtree", right: "Vtree") -> "Vtree":
+        return cls(None, left, right)
+
+    @classmethod
+    def right_linear(cls, order: Sequence[str]) -> "Vtree":
+        """The *linear* vtree of the paper: every left child is a leaf.
+
+        ``order`` is the OBDD variable order, outermost decision first.
+        """
+        if not order:
+            raise ValueError("empty variable order")
+        node = cls.leaf(order[-1])
+        for v in reversed(order[:-1]):
+            node = cls.internal(cls.leaf(v), node)
+        return node
+
+    @classmethod
+    def left_linear(cls, order: Sequence[str]) -> "Vtree":
+        """Left-linear comb: every right child is a leaf (used by ISA's ``T_n``)."""
+        if not order:
+            raise ValueError("empty variable order")
+        node = cls.leaf(order[0])
+        for v in order[1:]:
+            node = cls.internal(node, cls.leaf(v))
+        return node
+
+    @classmethod
+    def balanced(cls, order: Sequence[str]) -> "Vtree":
+        if not order:
+            raise ValueError("empty variable order")
+        if len(order) == 1:
+            return cls.leaf(order[0])
+        mid = len(order) // 2
+        return cls.internal(cls.balanced(order[:mid]), cls.balanced(order[mid:]))
+
+    @classmethod
+    def random(cls, order: Sequence[str], rng) -> "Vtree":
+        """A uniformly-shaped random vtree over a shuffled order."""
+        items = [cls.leaf(v) for v in order]
+        rng.shuffle(items)
+        while len(items) > 1:
+            i = int(rng.integers(0, len(items) - 1))
+            merged = cls.internal(items[i], items[i + 1])
+            items[i : i + 2] = [merged]
+        return items[0]
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.var is not None
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The variables at the leaves of this subtree (paper's ``Y_v``)."""
+        return self._vars
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def nodes(self) -> Iterator["Vtree"]:
+        """Postorder traversal (children before parents)."""
+        if not self.is_leaf:
+            assert self.left is not None and self.right is not None
+            yield from self.left.nodes()
+            yield from self.right.nodes()
+        yield self
+
+    def internal_nodes(self) -> Iterator["Vtree"]:
+        return (v for v in self.nodes() if not v.is_leaf)
+
+    def leaves(self) -> Iterator["Vtree"]:
+        return (v for v in self.nodes() if v.is_leaf)
+
+    def leaf_order(self) -> list[str]:
+        """Variables left-to-right."""
+        if self.is_leaf:
+            assert self.var is not None
+            return [self.var]
+        assert self.left is not None and self.right is not None
+        return self.left.leaf_order() + self.right.leaf_order()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def is_right_linear(self) -> bool:
+        """Every left child a leaf (the paper's 'linear vtree')."""
+        if self.is_leaf:
+            return True
+        assert self.left is not None and self.right is not None
+        return self.left.is_leaf and self.right.is_right_linear()
+
+    def is_left_linear(self) -> bool:
+        if self.is_leaf:
+            return True
+        assert self.left is not None and self.right is not None
+        return self.right.is_leaf and self.left.is_left_linear()
+
+    def find_structuring_node(self, left_vars: Iterable[str], right_vars: Iterable[str]) -> "Vtree | None":
+        """Find a node ``v`` with ``left_vars ⊆ Y_{v_l}`` and
+        ``right_vars ⊆ Y_{v_r}`` (the structuredness condition)."""
+        lv, rv = frozenset(left_vars), frozenset(right_vars)
+        for v in self.nodes():
+            if v.is_leaf:
+                continue
+            assert v.left is not None and v.right is not None
+            if lv <= v.left.variables and rv <= v.right.variables:
+                return v
+        return None
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def prune_to(self, keep: Iterable[str]) -> "Vtree":
+        """Remove leaves outside ``keep`` and contract unary nodes.
+
+        Used to drop Lemma 1's dummy variables ``W``; never increases any of
+        the paper's widths since subtree variable sets only shrink.
+        """
+        keep_set = frozenset(keep)
+        pruned = self._prune(keep_set)
+        if pruned is None:
+            raise ValueError("pruning removed every leaf")
+        return pruned
+
+    def _prune(self, keep: frozenset[str]) -> "Vtree | None":
+        if self.is_leaf:
+            return self if self.var in keep else None
+        assert self.left is not None and self.right is not None
+        l = self.left._prune(keep)
+        r = self.right._prune(keep)
+        if l is None:
+            return r
+        if r is None:
+            return l
+        return Vtree.internal(l, r)
+
+    def swap(self) -> "Vtree":
+        """Swap children at the root (vtrees are *ordered* trees)."""
+        if self.is_leaf:
+            return self
+        assert self.left is not None and self.right is not None
+        return Vtree.internal(self.right, self.left)
+
+    # ------------------------------------------------------------------
+    # enumeration (for exact width minimization on tiny variable sets)
+    # ------------------------------------------------------------------
+    @classmethod
+    def enumerate_all(cls, variables: Sequence[str]) -> Iterator["Vtree"]:
+        """Every vtree over ``variables`` (all shapes × all leaf orders).
+
+        The count is ``n! · Catalan(n-1)``; callers should keep ``n ≤ 5``.
+        """
+        vs = sorted(set(variables))
+        if len(vs) > 6:
+            raise ValueError("vtree enumeration is exponential; use <= 6 variables")
+        for perm in itertools.permutations(vs):
+            yield from cls._enumerate_shapes(list(perm))
+
+    @classmethod
+    def _enumerate_shapes(cls, order: list[str]) -> Iterator["Vtree"]:
+        if len(order) == 1:
+            yield cls.leaf(order[0])
+            return
+        for split in range(1, len(order)):
+            for l in cls._enumerate_shapes(order[:split]):
+                for r in cls._enumerate_shapes(order[split:]):
+                    yield cls.internal(l, r)
+
+    @classmethod
+    def candidate_vtrees(cls, variables: Sequence[str], rng=None, samples: int = 8) -> list["Vtree"]:
+        """A practical candidate set for width minimization on larger sets:
+        right-linear, left-linear, balanced (sorted order) plus random trees."""
+        vs = sorted(set(variables))
+        if len(vs) == 0:
+            raise ValueError("no variables")
+        if len(vs) == 1:
+            return [cls.leaf(vs[0])]
+        out = [cls.right_linear(vs), cls.left_linear(vs), cls.balanced(vs)]
+        if rng is not None:
+            for _ in range(samples):
+                out.append(cls.random(list(vs), rng))
+        return out
+
+    # ------------------------------------------------------------------
+    # rendering / io
+    # ------------------------------------------------------------------
+    def to_nested(self):
+        """Nested-tuple form, e.g. ``(('x', 'y'), 'z')``."""
+        if self.is_leaf:
+            return self.var
+        assert self.left is not None and self.right is not None
+        return (self.left.to_nested(), self.right.to_nested())
+
+    @classmethod
+    def from_nested(cls, spec) -> "Vtree":
+        if isinstance(spec, str):
+            return cls.leaf(spec)
+        l, r = spec
+        return cls.internal(cls.from_nested(l), cls.from_nested(r))
+
+    def render(self) -> str:
+        """ASCII rendering (root at top), used to regenerate Figure 4."""
+        lines: list[str] = []
+        self._render(lines, "", "")
+        return "\n".join(lines)
+
+    def _render(self, lines: list[str], prefix: str, child_prefix: str) -> None:
+        label = self.var if self.is_leaf else "*"
+        lines.append(prefix + str(label))
+        if not self.is_leaf:
+            assert self.left is not None and self.right is not None
+            self.left._render(lines, child_prefix + "|-- ", child_prefix + "|   ")
+            self.right._render(lines, child_prefix + "`-- ", child_prefix + "    ")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vtree({self.to_nested()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vtree):
+            return NotImplemented
+        return self.to_nested() == other.to_nested()
+
+    def __hash__(self) -> int:
+        return hash(self.to_nested())

@@ -1,0 +1,116 @@
+"""Vtree search: local transformations and dynamic minimization.
+
+The paper remarks (Section 1) that SDD compilers beat OBDDs in practice by
+"leveraging the additional flexibility offered by variable trees compared
+to variable orders" (Choi & Darwiche's dynamic minimization).  This module
+implements the classical local vtree operations —
+
+- left rotation, right rotation (reassociating splits),
+- child swap (vtrees are ordered),
+- adjacent-leaf swap along the left-to-right order,
+
+— and a hill-climbing minimizer over them for any objective (``sdw``,
+``fiw``, SDD size).  The ablation bench E13 measures how much the extra
+flexibility buys over pure order search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .boolfunc import BooleanFunction
+from .sdd_compile import compile_canonical_sdd
+from .vtree import Vtree
+
+__all__ = [
+    "rotate_left",
+    "rotate_right",
+    "neighbors",
+    "minimize_vtree",
+    "sdd_size_objective",
+    "sdw_objective",
+]
+
+
+def rotate_right(v: Vtree) -> Vtree | None:
+    """``(a b) c  ->  a (b c)`` at the root of ``v`` (None if not applicable)."""
+    if v.is_leaf or v.left is None or v.left.is_leaf:
+        return None
+    a, b = v.left.left, v.left.right
+    assert a is not None and b is not None and v.right is not None
+    return Vtree.internal(a, Vtree.internal(b, v.right))
+
+
+def rotate_left(v: Vtree) -> Vtree | None:
+    """``a (b c)  ->  (a b) c`` at the root of ``v``."""
+    if v.is_leaf or v.right is None or v.right.is_leaf:
+        return None
+    b, c = v.right.left, v.right.right
+    assert b is not None and c is not None and v.left is not None
+    return Vtree.internal(Vtree.internal(v.left, b), c)
+
+
+def _replace(root: Vtree, target: Vtree, replacement: Vtree) -> Vtree:
+    if root is target:
+        return replacement
+    if root.is_leaf:
+        return root
+    assert root.left is not None and root.right is not None
+    new_left = _replace(root.left, target, replacement)
+    new_right = _replace(root.right, target, replacement)
+    if new_left is root.left and new_right is root.right:
+        return root
+    return Vtree.internal(new_left, new_right)
+
+
+def neighbors(root: Vtree) -> Iterator[Vtree]:
+    """All vtrees reachable by one local operation anywhere in ``root``."""
+    for node in root.nodes():
+        if node.is_leaf:
+            continue
+        for candidate in (rotate_left(node), rotate_right(node), node.swap()):
+            if candidate is not None and candidate is not node:
+                yield _replace(root, node, candidate)
+
+
+def sdd_size_objective(f: BooleanFunction) -> Callable[[Vtree], int]:
+    def obj(t: Vtree) -> int:
+        return compile_canonical_sdd(f, t).size
+
+    return obj
+
+
+def sdw_objective(f: BooleanFunction) -> Callable[[Vtree], int]:
+    def obj(t: Vtree) -> int:
+        return compile_canonical_sdd(f, t).sdw
+
+    return obj
+
+
+def minimize_vtree(
+    f: BooleanFunction,
+    start: Vtree | None = None,
+    objective: Callable[[Vtree], int] | None = None,
+    max_rounds: int = 12,
+) -> tuple[int, Vtree]:
+    """Hill-climb over local vtree operations (dynamic-minimization style).
+
+    Returns ``(best objective value, best vtree)``.  Deterministic: at each
+    round the best-improving neighbor is taken; stops at a local optimum.
+    """
+    t = start if start is not None else Vtree.balanced(sorted(f.variables))
+    obj = objective if objective is not None else sdd_size_objective(f)
+    best_val = obj(t)
+    for _ in range(max_rounds):
+        improved = False
+        best_neighbor: tuple[int, Vtree] | None = None
+        for cand in neighbors(t):
+            val = obj(cand)
+            if best_neighbor is None or val < best_neighbor[0]:
+                best_neighbor = (val, cand)
+        if best_neighbor is not None and best_neighbor[0] < best_val:
+            best_val, t = best_neighbor
+            improved = True
+        if not improved:
+            break
+    return best_val, t

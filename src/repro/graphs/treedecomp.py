@@ -1,0 +1,201 @@
+"""Tree decompositions and *nice* tree decompositions.
+
+Lemma 1's proof consumes a nice tree decomposition of the circuit whose root
+bag is empty, so every input gate (variable) is *forgotten exactly once*;
+:class:`NiceTreeDecomposition` guarantees exactly that shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import networkx as nx
+
+__all__ = ["TreeDecomposition", "NiceNode", "NiceTreeDecomposition"]
+
+
+class TreeDecomposition:
+    """A tree decomposition: a tree whose nodes carry bags of graph vertices.
+
+    ``tree`` is an undirected :class:`networkx.Graph` on integer node ids;
+    ``bags`` maps node id to a frozenset of vertices.
+    """
+
+    def __init__(self, tree: nx.Graph, bags: dict[int, frozenset]):
+        self.tree = tree
+        self.bags = {n: frozenset(b) for n, b in bags.items()}
+        if set(tree.nodes) != set(self.bags):
+            raise ValueError("tree nodes and bag keys differ")
+
+    @property
+    def width(self) -> int:
+        """Max bag size minus one (``-1`` for the empty decomposition)."""
+        if not self.bags:
+            return -1
+        return max(len(b) for b in self.bags.values()) - 1
+
+    def vertices(self) -> set:
+        out: set = set()
+        for b in self.bags.values():
+            out |= b
+        return out
+
+    def validate(self, graph: nx.Graph) -> None:
+        """Raise AssertionError unless this is a valid tree decomposition of
+        ``graph`` (coverage of vertices and edges + connectivity)."""
+        if self.tree.number_of_nodes() and not nx.is_tree(self.tree):
+            raise AssertionError("decomposition tree is not a tree")
+        covered = self.vertices()
+        if set(graph.nodes) - covered:
+            raise AssertionError(f"vertices not covered: {set(graph.nodes) - covered}")
+        for u, v in graph.edges:
+            if u == v:
+                continue
+            if not any(u in b and v in b for b in self.bags.values()):
+                raise AssertionError(f"edge {(u, v)} not covered")
+        for x in covered:
+            nodes = [n for n, b in self.bags.items() if x in b]
+            sub = self.tree.subgraph(nodes)
+            if nodes and not nx.is_connected(sub):
+                raise AssertionError(f"bags containing {x!r} are not connected")
+
+    # ------------------------------------------------------------------
+    def make_nice(self, root: int | None = None) -> "NiceTreeDecomposition":
+        """Convert to a nice tree decomposition with an *empty root bag*.
+
+        Node types: ``leaf`` (empty bag), ``introduce`` (adds one vertex),
+        ``forget`` (removes one vertex), ``join`` (two children, equal bags).
+        """
+        if self.tree.number_of_nodes() == 0:
+            return NiceTreeDecomposition(root=NiceNode("leaf", frozenset(), ()))
+        if root is None:
+            root = next(iter(self.tree.nodes))
+        built = self._build_nice(root, parent=None)
+        # Forget everything remaining on top so the root bag is empty.
+        for v in sorted(built.bag, key=repr):
+            built = NiceNode("forget", built.bag - {v}, (built,), vertex=v)
+        return NiceTreeDecomposition(root=built)
+
+    def _build_nice(self, node: int, parent: int | None) -> "NiceNode":
+        bag = self.bags[node]
+        children = [c for c in self.tree.neighbors(node) if c != parent]
+        if not children:
+            return _chain_from_empty(bag)
+        sub = [self._adapt(self._build_nice(c, node), bag) for c in children]
+        # Binarize joins.
+        while len(sub) > 1:
+            merged: list[NiceNode] = []
+            for i in range(0, len(sub) - 1, 2):
+                merged.append(NiceNode("join", bag, (sub[i], sub[i + 1])))
+            if len(sub) % 2 == 1:
+                merged.append(sub[-1])
+            sub = merged
+        return sub[0]
+
+    @staticmethod
+    def _adapt(child: "NiceNode", target_bag: frozenset) -> "NiceNode":
+        """Insert forget/introduce chains turning ``child.bag`` into
+        ``target_bag``."""
+        node = child
+        for v in sorted(child.bag - target_bag, key=repr):
+            node = NiceNode("forget", node.bag - {v}, (node,), vertex=v)
+        for v in sorted(target_bag - node.bag, key=repr):
+            node = NiceNode("introduce", node.bag | {v}, (node,), vertex=v)
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TreeDecomposition(nodes={self.tree.number_of_nodes()}, width={self.width})"
+
+
+def _chain_from_empty(bag: frozenset) -> "NiceNode":
+    node = NiceNode("leaf", frozenset(), ())
+    for v in sorted(bag, key=repr):
+        node = NiceNode("introduce", node.bag | {v}, (node,), vertex=v)
+    return node
+
+
+@dataclass(frozen=True)
+class NiceNode:
+    """A node of a nice tree decomposition."""
+
+    kind: str  # leaf | introduce | forget | join
+    bag: frozenset
+    children: tuple["NiceNode", ...]
+    vertex: Hashable | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("leaf", "introduce", "forget", "join"):
+            raise ValueError(f"bad nice node kind {self.kind!r}")
+        if self.kind == "leaf" and (self.children or self.bag):
+            raise ValueError("leaf nodes have empty bags and no children")
+        if self.kind in ("introduce", "forget") and len(self.children) != 1:
+            raise ValueError(f"{self.kind} nodes have exactly one child")
+        if self.kind == "join" and len(self.children) != 2:
+            raise ValueError("join nodes have exactly two children")
+
+    def nodes(self) -> Iterator["NiceNode"]:
+        for c in self.children:
+            yield from c.nodes()
+        yield self
+
+
+class NiceTreeDecomposition:
+    """A nice tree decomposition with empty root bag.
+
+    Guarantees (checked by :meth:`validate`): the root bag is empty, and
+    every vertex is forgotten exactly once — the exact preconditions of the
+    Lemma 1 vtree extraction.
+    """
+
+    def __init__(self, root: NiceNode):
+        self.root = root
+
+    @property
+    def width(self) -> int:
+        return max((len(n.bag) for n in self.root.nodes()), default=0) - 1
+
+    def nodes(self) -> Iterator[NiceNode]:
+        return self.root.nodes()
+
+    def forget_nodes(self) -> list[NiceNode]:
+        return [n for n in self.nodes() if n.kind == "forget"]
+
+    def leaves(self) -> list[NiceNode]:
+        return [n for n in self.nodes() if n.kind == "leaf"]
+
+    def vertices(self) -> set:
+        out: set = set()
+        for n in self.nodes():
+            out |= n.bag
+        return out
+
+    def validate(self, graph: nx.Graph) -> None:
+        if self.root.bag:
+            raise AssertionError("root bag is not empty")
+        # Rebuild a plain decomposition and validate it.
+        tree = nx.Graph()
+        bags: dict[int, frozenset] = {}
+        counter = itertools.count()
+
+        def walk(n: NiceNode) -> int:
+            nid = next(counter)
+            bags[nid] = n.bag
+            tree.add_node(nid)
+            for c in n.children:
+                cid = walk(c)
+                tree.add_edge(nid, cid)
+            return nid
+
+        walk(self.root)
+        TreeDecomposition(tree, bags).validate(graph)
+        # Every vertex forgotten exactly once.
+        forgotten = [n.vertex for n in self.forget_nodes()]
+        if len(forgotten) != len(set(forgotten)):
+            raise AssertionError("some vertex forgotten more than once")
+        if set(forgotten) != self.vertices():
+            raise AssertionError("some vertex never forgotten")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NiceTreeDecomposition(width={self.width})"

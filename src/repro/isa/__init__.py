@@ -1,0 +1,4 @@
+"""Appendix A: the indirect storage access function and its small SDD."""
+
+from .isa import isa_function, isa_n, isa_parameters, isa_vtree
+from .sdd_construction import IsaSdd, build_isa_sdd

@@ -1,0 +1,132 @@
+"""The indirect storage access function ``ISA_n`` (Appendix A).
+
+``ISA_n`` has ``n = k + 2^k·m`` variables where ``2^k·m = 2^m``:
+``y_1..y_k`` (address bits) and ``z_1..z_{2^m}`` (memory).  The address
+selects word ``i`` (the ``i``-th block of ``m`` consecutive ``z``
+variables); the word's value selects a cell ``z_j``; the function accepts
+iff ``z_j = 1``.  Bit strings are read most-significant-first, matching the
+paper's examples.
+
+Valid parameter pairs ``(k, m)`` satisfy ``m · 2^k = 2^m``:
+``(1,1) → n=3``, ``(1,2) → n=5`` (Figure 4), ``(2,4) → n=18``
+(Examples 5–7), ``(5,8) → n=261``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.boolfunc import BooleanFunction
+from ..core.vtree import Vtree
+
+__all__ = [
+    "isa_parameters",
+    "isa_n",
+    "yvars",
+    "zvars",
+    "word_positions",
+    "isa_accepts",
+    "isa_function",
+    "isa_vtree",
+]
+
+
+def isa_parameters(max_m: int = 10) -> list[tuple[int, int]]:
+    """All ``(k, m)`` with ``m · 2^k = 2^m`` and ``m ≤ max_m``."""
+    out = []
+    for m in range(1, max_m + 1):
+        k = 0
+        while m * (1 << k) < (1 << m):
+            k += 1
+        if m * (1 << k) == (1 << m):
+            out.append((k, m))
+    return out
+
+
+def isa_n(k: int, m: int) -> int:
+    _check(k, m)
+    return k + (1 << k) * m
+
+
+def _check(k: int, m: int) -> None:
+    if m * (1 << k) != (1 << m):
+        raise ValueError(f"need m·2^k == 2^m; got k={k}, m={m}")
+
+
+def yvars(k: int) -> list[str]:
+    return [f"y{i}" for i in range(1, k + 1)]
+
+
+def zvars(m: int) -> list[str]:
+    return [f"z{j}" for j in range(1, (1 << m) + 1)]
+
+
+def word_positions(k: int, m: int, word: int) -> list[int]:
+    """1-based ``z`` positions of word ``word`` (1-based): the contiguous
+    block ``(word-1)·m + 1 .. word·m``."""
+    _check(k, m)
+    if not (1 <= word <= (1 << k)):
+        raise ValueError("word out of range")
+    start = (word - 1) * m + 1
+    return list(range(start, start + m))
+
+
+def isa_accepts(k: int, m: int, assignment: dict[str, int]) -> bool:
+    """Direct semantics (specification for tests)."""
+    _check(k, m)
+    a = [assignment[f"y{i}"] for i in range(1, k + 1)]
+    i = int("".join(map(str, a)), 2) + 1 if k else 1  # MSB-first
+    bits = [assignment[f"z{p}"] for p in word_positions(k, m, i)]
+    j = int("".join(map(str, bits)), 2) + 1
+    return bool(assignment[f"z{j}"])
+
+
+def isa_function(k: int, m: int) -> BooleanFunction:
+    """Exact ``ISA_n`` truth table (vectorized; feasible for n ≤ 20)."""
+    _check(k, m)
+    n = isa_n(k, m)
+    if n > 20:
+        raise ValueError("truth table infeasible beyond 20 variables")
+    vs = tuple(sorted(yvars(k) + zvars(m)))
+    pos = {v: i for i, v in enumerate(vs)}
+    idx = np.arange(1 << n, dtype=np.int64)
+
+    def bit(var: str) -> np.ndarray:
+        return (idx >> pos[var]) & 1
+
+    # word index i-1 from y bits, MSB-first
+    word = np.zeros(1 << n, dtype=np.int64)
+    for t in range(1, k + 1):
+        word = (word << 1) | bit(f"y{t}")
+    # word value j-1 from the selected word's bits, MSB-first
+    j = np.zeros(1 << n, dtype=np.int64)
+    for t in range(m):
+        # position of bit t (0-based, MSB-first) of word i: (i-1)*m + t + 1
+        zpos = word * m + t + 1
+        # gather bit of z_{zpos}
+        zbit = np.zeros(1 << n, dtype=np.int64)
+        for p in range(1, (1 << m) + 1):
+            mask = zpos == p
+            if mask.any():
+                zbit[mask] = ((idx[mask] >> pos[f"z{p}"]) & 1)
+        j = (j << 1) | zbit
+    # accept iff z_{j+1} is one
+    out = np.zeros(1 << n, dtype=bool)
+    for p in range(1, (1 << m) + 1):
+        mask = (j + 1) == p
+        if mask.any():
+            out[mask] = ((idx[mask] >> pos[f"z{p}"]) & 1).astype(bool)
+    return BooleanFunction(vs, out)
+
+
+def isa_vtree(k: int, m: int) -> Vtree:
+    """The Appendix-A vtree ``T_n``: right-linear over ``y_1..y_k``, whose
+    unique right leaf is the root of a *left-linear* subtree over
+    ``z_1..z_{2^m}`` (``v_j`` has right child ``z_j``).  ``T_5`` reproduces
+    Figure 4."""
+    _check(k, m)
+    z_part = Vtree.left_linear(zvars(m))
+    node = z_part
+    for y in reversed(yvars(k)):
+        node = Vtree.internal(Vtree.leaf(y), node)
+    return node

@@ -1,0 +1,225 @@
+"""The explicit Appendix-A SDD for ``ISA_n`` (Proposition 3).
+
+Follows the proof structure literally:
+
+- the upper part is an OBDD over ``y_1..y_k`` (a complete binary decision
+  tree with hash-consing) whose ``2^k`` sources are the cofactors
+  ``ISA_n(a, z_1..z_{2^m})``;
+- each cofactor is a sentential decision at ``v_{2^m}`` whose primes are
+  *small terms* on ``Z`` (≤ ``m+1`` variables) and whose subs are constants
+  or literals on ``z_{2^m}`` (Claim 5), including the "orbit" analysis when
+  the addressed word contains ``z_{2^m}`` itself;
+- small terms recursively decompose at ``v_{j_l}`` by enumerating all sign
+  patterns over their non-maximal variables (Claim 6) — the sub is the
+  maximal literal for the matching pattern and ``⊥`` otherwise.
+
+All AND gates are hash-consed on ``(prime, sub)`` pairs, so the number of
+distinct gates matches the counting argument (≤ #small-terms × #inputs =
+``O(n^{8/5} · n) = O(n^{13/5})``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .isa import isa_n, isa_vtree, word_positions, yvars, zvars
+from ..circuits.nnf import NNF, false_node, lit, true_node
+
+__all__ = ["IsaSdd", "build_isa_sdd", "small_term_count_bound"]
+
+Term = tuple[tuple[int, bool], ...]  # ((z-index, sign), ...) sorted by index
+
+
+def small_term_count_bound(k: int, m: int) -> int:
+    """Equation (38): the number of small terms on ``Z_m`` is ``3^{m+1}+1``."""
+    return 3 ** (m + 1) + 1
+
+
+@dataclass
+class IsaSdd:
+    """The constructed SDD with its accounting."""
+
+    root: NNF
+    k: int
+    m: int
+    n: int
+    and_gate_count: int
+    distinct_terms: int
+
+    @property
+    def size(self) -> int:
+        return self.root.size
+
+    def prop3_bound(self, constant: float = 1.0) -> float:
+        """``C · n^{13/5}`` for shape comparison."""
+        return constant * self.n ** 2.6
+
+
+class _Builder:
+    def __init__(self, k: int, m: int):
+        self.k = k
+        self.m = m
+        self.M = 1 << m
+        self._and_cache: dict[tuple, NNF] = {}
+        self._or_cache: dict[tuple, NNF] = {}
+        self._term_cache: dict[Term, NNF] = {}
+        self._lit_cache: dict[tuple[str, bool], NNF] = {}
+
+    # ------------------------------------------------------------------
+    def lit(self, var: str, sign: bool) -> NNF:
+        key = (var, sign)
+        node = self._lit_cache.get(key)
+        if node is None:
+            node = lit(var, sign)
+            self._lit_cache[key] = node
+        return node
+
+    def zlit(self, j: int, sign: bool) -> NNF:
+        return self.lit(f"z{j}", sign)
+
+    def and_node(self, left: NNF, right: NNF) -> NNF:
+        key = (id(left), id(right))
+        node = self._and_cache.get(key)
+        if node is None:
+            node = NNF("and", children=(left, right))
+            self._and_cache[key] = node
+        return node
+
+    def or_node(self, parts: list[NNF]) -> NNF:
+        if len(parts) == 1:
+            return parts[0]
+        key = tuple(id(p) for p in parts)
+        node = self._or_cache.get(key)
+        if node is None:
+            node = NNF("or", children=tuple(parts))
+            self._or_cache[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Claim 6: small-term SDDs
+    # ------------------------------------------------------------------
+    def term_sdd(self, term: Term) -> NNF:
+        node = self._term_cache.get(term)
+        if node is not None:
+            return node
+        if len(term) == 1:
+            j, s = term[0]
+            node = self.zlit(j, s)
+        else:
+            prefix_vars = tuple(j for j, _ in term[:-1])
+            jl, sl = term[-1]
+            target = term[:-1]
+            parts: list[NNF] = []
+            for signs in itertools.product((False, True), repeat=len(prefix_vars)):
+                pattern: Term = tuple(zip(prefix_vars, signs))
+                sub = self.zlit(jl, sl) if pattern == target else false_node()
+                parts.append(self.and_node(self.term_sdd(pattern), sub))
+            node = self.or_node(parts)
+        self._term_cache[term] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Claim 5: address cofactors as sentential decisions at v_{2^m}
+    # ------------------------------------------------------------------
+    def cofactor_sdd(self, address: tuple[int, ...]) -> NNF:
+        i = int("".join(map(str, address)), 2) + 1 if address else 1
+        if i < (1 << self.k) or self.k == 0:
+            return self._plain_cofactor(i)
+        return self._orbit_cofactor()
+
+    def _word_term(self, word: int, value: int) -> Term:
+        """``word = value+1 in binary`` as a term (MSB-first positions)."""
+        wp = word_positions(self.k, self.m, word)
+        bits = format(value, f"0{self.m}b")
+        return tuple(sorted((wp[t], bits[t] == "1") for t in range(self.m)))
+
+    def _plain_cofactor(self, i: int) -> NNF:
+        wp = set(word_positions(self.k, self.m, i))
+        parts: list[NNF] = []
+        for j in range(1, self.M):
+            t_ij = self._word_term(i, j - 1)
+            fixed = dict(t_ij)
+            if j in wp:
+                sub = true_node() if fixed[j] else false_node()
+                parts.append(self.and_node(self.term_sdd(t_ij), sub))
+            else:
+                pos_term = tuple(sorted(t_ij + ((j, True),)))
+                neg_term = tuple(sorted(t_ij + ((j, False),)))
+                parts.append(self.and_node(self.term_sdd(pos_term), true_node()))
+                parts.append(self.and_node(self.term_sdd(neg_term), false_node()))
+        # j = 2^m: the sub is the literal z_{2^m}
+        t_last = self._word_term(i, self.M - 1)
+        parts.append(self.and_node(self.term_sdd(t_last), self.zlit(self.M, True)))
+        return self.or_node(parts)
+
+    def _orbit_cofactor(self) -> NNF:
+        """The all-ones address: the word is the last ``m`` positions,
+        including ``z_{2^m}`` itself (the paper's orbit analysis)."""
+        wp = word_positions(self.k, self.m, 1 << self.k)
+        head = wp[:-1]  # the m-1 word bits on the prime side
+        assert wp[-1] == self.M
+        parts: list[NNF] = []
+        for signs in itertools.product((False, True), repeat=len(head)):
+            p_term: Term = tuple(zip(head, signs))
+            val_a = int("".join("1" if s else "0" for s in signs), 2) if head else 0
+            j0 = 2 * val_a + 1  # cell read when z_M = 0
+            j1 = 2 * val_a + 2  # cell read when z_M = 1
+            fixed = dict(p_term)
+            free = [j for j in (j0, j1) if j not in fixed and j != self.M]
+            free = sorted(set(free))
+            for q_signs in itertools.product((False, True), repeat=len(free)):
+                q = dict(zip(free, q_signs))
+                env = {**fixed, **q}
+                v0 = env[j0]  # j0 < M always (odd)
+                v1 = True if j1 == self.M else env[j1]
+                if v0 and v1:
+                    sub = true_node()
+                elif not v0 and not v1:
+                    sub = false_node()
+                elif v1:
+                    sub = self.zlit(self.M, True)
+                else:
+                    sub = self.zlit(self.M, False)
+                prime: Term = tuple(sorted(env.items()))
+                parts.append(self.and_node(self.term_sdd(prime), sub))
+        return self.or_node(parts)
+
+    # ------------------------------------------------------------------
+    # the upper OBDD over y
+    # ------------------------------------------------------------------
+    def build(self) -> NNF:
+        cof_cache: dict[tuple[int, ...], NNF] = {}
+
+        def upper(prefix: tuple[int, ...]) -> NNF:
+            if len(prefix) == self.k:
+                got = cof_cache.get(prefix)
+                if got is None:
+                    got = self.cofactor_sdd(prefix)
+                    cof_cache[prefix] = got
+                return got
+            y = f"y{len(prefix) + 1}"
+            low = upper(prefix + (0,))
+            high = upper(prefix + (1,))
+            return self.or_node(
+                [
+                    self.and_node(self.lit(y, False), low),
+                    self.and_node(self.lit(y, True), high),
+                ]
+            )
+
+        return upper(())
+
+
+def build_isa_sdd(k: int, m: int) -> IsaSdd:
+    """Construct the Proposition-3 SDD for ``ISA_{k + 2^k m}``."""
+    builder = _Builder(k, m)
+    root = builder.build()
+    return IsaSdd(
+        root=root,
+        k=k,
+        m=m,
+        n=isa_n(k, m),
+        and_gate_count=len(builder._and_cache),
+        distinct_terms=len(builder._term_cache),
+    )

@@ -1,0 +1,4 @@
+"""Reduced ordered binary decision diagrams."""
+
+from .obdd import ObddManager, obdd_from_function, obdd_width_of_function
+from .ordering import best_order_exhaustive, best_order_hillclimb, min_obdd_size, min_obdd_width

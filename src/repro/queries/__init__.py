@@ -1,0 +1,7 @@
+"""Query compilation over tuple-independent probabilistic databases."""
+
+from .analysis import find_inversion, is_hierarchical, is_inversion_free
+from .database import Database, ProbabilisticDatabase, complete_database
+from .evaluate import probability_brute_force, probability_via_obdd, probability_via_sdd
+from .lineage import lineage_circuit, lineage_function
+from .syntax import UCQ, ConjunctiveQuery, parse_cq, parse_ucq

@@ -1,0 +1,112 @@
+"""Relational and tuple-independent probabilistic databases.
+
+The paper's probability model (via [33]): every tuple ``t`` of ``D``
+carries a probability ``p(t)`` and is present independently; the
+probability of a Boolean query is the probability that the lineage —
+a Boolean function over tuple variables — is satisfied.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["Database", "ProbabilisticDatabase", "tuple_variable", "complete_database"]
+
+
+def tuple_variable(relation: str, values: Sequence) -> str:
+    """The Boolean variable name of a tuple — e.g. ``R(1,2)``."""
+    return f"{relation}({','.join(str(v) for v in values)})"
+
+
+class Database:
+    """A finite relational instance: relation name → set of tuples."""
+
+    def __init__(self) -> None:
+        self.relations: dict[str, set[tuple]] = {}
+
+    def add(self, relation: str, *values) -> str:
+        """Insert a tuple; returns its tuple-variable name."""
+        tup = tuple(values)
+        existing = self.relations.setdefault(relation, set())
+        for other in existing:
+            if len(other) != len(tup):
+                raise ValueError(f"arity mismatch in relation {relation}")
+            break
+        existing.add(tup)
+        return tuple_variable(relation, tup)
+
+    def tuples(self, relation: str) -> set[tuple]:
+        return self.relations.get(relation, set())
+
+    def contains(self, relation: str, tup: tuple) -> bool:
+        return tup in self.relations.get(relation, set())
+
+    def active_domain(self) -> list:
+        dom: set = set()
+        for tuples in self.relations.values():
+            for t in tuples:
+                dom.update(t)
+        return sorted(dom, key=repr)
+
+    def all_tuple_variables(self) -> list[str]:
+        out = []
+        for rel in sorted(self.relations):
+            for t in sorted(self.relations[rel], key=repr):
+                out.append(tuple_variable(rel, t))
+        return out
+
+    @property
+    def size(self) -> int:
+        return sum(len(ts) for ts in self.relations.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Database({ {r: len(ts) for r, ts in self.relations.items()} })"
+
+
+class ProbabilisticDatabase(Database):
+    """A tuple-independent probabilistic database."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.probabilities: dict[str, float] = {}
+
+    def add(self, relation: str, *values, p: float = 0.5) -> str:
+        name = super().add(relation, *values)
+        if not (0.0 <= p <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+        self.probabilities[name] = float(p)
+        return name
+
+    def probability_map(self) -> dict[str, float]:
+        return dict(self.probabilities)
+
+    @classmethod
+    def random(
+        cls,
+        schema: Mapping[str, int],
+        domain_size: int,
+        rng,
+        tuple_density: float = 1.0,
+    ) -> "ProbabilisticDatabase":
+        """A random instance over domain ``1..domain_size``: each possible
+        tuple is included with probability ``tuple_density`` and gets a
+        random probability."""
+        db = cls()
+        domain = range(1, domain_size + 1)
+        for rel, arity in sorted(schema.items()):
+            for tup in itertools.product(domain, repeat=arity):
+                if rng.random() <= tuple_density:
+                    db.add(rel, *tup, p=float(rng.uniform(0.05, 0.95)))
+        return db
+
+
+def complete_database(schema: Mapping[str, int], domain_size: int, p: float = 0.5) -> ProbabilisticDatabase:
+    """All tuples over domain ``1..domain_size`` present, each with
+    probability ``p`` (the instances of Lemma 7's constructions)."""
+    db = ProbabilisticDatabase()
+    domain = range(1, domain_size + 1)
+    for rel, arity in sorted(schema.items()):
+        for tup in itertools.product(domain, repeat=arity):
+            db.add(rel, *tup, p=p)
+    return db

@@ -1,0 +1,150 @@
+"""The paper's query families (Section 4 / Lemma 7).
+
+- :func:`inversion_chain_query` — the length-``k`` inversion chain
+
+      h_k = R(x),S1(x,y) | S1(x,y),S2(x,y) | ... | Sk(x,y),T(y)
+
+  whose lineages over the complete database on ``[n]`` contain every
+  ``H^i_{k,n}`` as a cofactor (Lemma 7; verified by
+  :func:`verify_lemma7`).
+- :func:`hierarchical_query` — the inversion-free ``R(x),S(x,y)``.
+- :func:`inequality_query` — ``R(x),S(y),x≠y`` (inversion-free with
+  inequalities: polynomial OBDDs, Figure 3).
+- :func:`inversion_chain_with_inequality` — the chain with an inequality
+  planted, exercising the "UCQ with inequalities + inversion" corner of
+  Figure 3.
+"""
+
+from __future__ import annotations
+
+from .database import ProbabilisticDatabase, complete_database, tuple_variable
+from .lineage import lineage_function
+from .syntax import UCQ, parse_ucq
+from ..circuits.build import h_function, xvar, yvar, zvar
+from ..core.boolfunc import BooleanFunction
+
+__all__ = [
+    "inversion_chain_query",
+    "hierarchical_query",
+    "independent_query",
+    "inequality_query",
+    "inversion_chain_with_inequality",
+    "chain_schema",
+    "chain_database",
+    "lemma7_blocks",
+    "lemma7_assignment",
+    "verify_lemma7",
+    "tuple_to_h_variable",
+]
+
+
+def inversion_chain_query(k: int) -> UCQ:
+    """``h_k`` — contains an inversion of length ``k``."""
+    if k < 1:
+        raise ValueError("k >= 1")
+    parts = ["R(x),S1(x,y)"]
+    for i in range(1, k):
+        parts.append(f"S{i}(x,y),S{i + 1}(x,y)")
+    parts.append(f"S{k}(x,y),T(y)")
+    return parse_ucq(" | ".join(parts))
+
+
+def hierarchical_query() -> UCQ:
+    """``R(x),S(x,y)`` — hierarchical, inversion-free (constant OBDD width)."""
+    return parse_ucq("R(x),S(x,y)")
+
+
+def independent_query() -> UCQ:
+    """``R(x) | T(y)`` — trivially inversion-free."""
+    return parse_ucq("R(x) | T(y)")
+
+
+def inequality_query() -> UCQ:
+    """``R(x),S(y),x≠y`` — inversion-free UCQ *with* inequalities."""
+    return parse_ucq("R(x),S(y),x!=y")
+
+
+def inversion_chain_with_inequality(k: int) -> UCQ:
+    """The chain ``h_k`` with an extra inequality disjunct — a UCQ with
+    inequalities that still contains the length-``k`` inversion."""
+    base = inversion_chain_query(k)
+    extra = parse_ucq("R(x),T(y),x!=y")
+    return UCQ(base.disjuncts + extra.disjuncts)
+
+
+def chain_schema(k: int) -> dict[str, int]:
+    schema = {"R": 1, "T": 1}
+    for i in range(1, k + 1):
+        schema[f"S{i}"] = 2
+    return schema
+
+
+def chain_database(k: int, n: int, p: float = 0.5) -> ProbabilisticDatabase:
+    """The complete database over ``[n]`` for the chain query."""
+    return complete_database(chain_schema(k), n, p)
+
+
+def tuple_to_h_variable(k: int) -> dict[str, str]:
+    """Rename map: tuple variables of the chain database → the ``H^i_{k,n}``
+    variable names (``R(l) ↦ x_l``, ``S_i(l,m) ↦ z^i_{l,m}``, ``T(m) ↦ y_m``)."""
+
+    def mapping(n: int) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for l in range(1, n + 1):
+            out[tuple_variable("R", (l,))] = xvar(l)
+            out[tuple_variable("T", (l,))] = yvar(l)
+        for i in range(1, k + 1):
+            for l in range(1, n + 1):
+                for m in range(1, n + 1):
+                    out[tuple_variable(f"S{i}", (l, m))] = zvar(i, l, m)
+        return out
+
+    return mapping  # type: ignore[return-value]
+
+
+def lemma7_blocks(k: int, n: int) -> dict[str, list[str]]:
+    """Variable blocks of the chain lineage: ``X``, ``Y``, ``Z1..Zk``."""
+    blocks = {
+        "X": [tuple_variable("R", (l,)) for l in range(1, n + 1)],
+        "Y": [tuple_variable("T", (m,)) for m in range(1, n + 1)],
+    }
+    for i in range(1, k + 1):
+        blocks[f"Z{i}"] = [
+            tuple_variable(f"S{i}", (l, m))
+            for l in range(1, n + 1)
+            for m in range(1, n + 1)
+        ]
+    return blocks
+
+
+def lemma7_assignment(k: int, n: int, i: int) -> dict[str, int]:
+    """The assignment ``b_i`` killing every block except the ones ``H^i``
+    reads: set all other blocks' tuples to 0."""
+    if not (0 <= i <= k):
+        raise ValueError("0 <= i <= k")
+    blocks = lemma7_blocks(k, n)
+    keep: set[str]
+    if i == 0:
+        keep = {"X", "Z1"}
+    elif i == k:
+        keep = {f"Z{k}", "Y"}
+    else:
+        keep = {f"Z{i}", f"Z{i + 1}"}
+    assignment: dict[str, int] = {}
+    for name, variables in blocks.items():
+        if name not in keep:
+            for v in variables:
+                assignment[v] = 0
+    return assignment
+
+
+def verify_lemma7(k: int, n: int, i: int) -> bool:
+    """Check ``F(b_i, X ∖ X_i) ≡ H^i_{k,n}`` semantically (Lemma 7)."""
+    query = inversion_chain_query(k)
+    db = chain_database(k, n)
+    lineage = lineage_function(query, db)
+    cof = lineage.cofactor(lemma7_assignment(k, n, i))
+    rename = tuple_to_h_variable(k)(n)
+    renamed = cof.rename({v: rename[v] for v in cof.variables})
+    target = h_function(k, n, i).extend(renamed.variables)
+    return renamed == target

@@ -1,0 +1,173 @@
+"""Unions of conjunctive queries with and without inequalities (Section 4).
+
+A UCQ (with inequalities) is a disjunction of existentially closed
+conjunctions of relational atoms ``R x1 ... xm`` and inequalities
+``x != y``.  Queries here are Boolean (all variables quantified).
+
+A compact parser is provided::
+
+    parse_ucq("R(x),S(x,y) | S(x,y),T(y)")
+    parse_ucq("R(x),S(y),x!=y")
+
+Terms starting with a lowercase letter are variables; anything else
+(numbers, capitalized tokens) is a constant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Term", "Atom", "Inequality", "ConjunctiveQuery", "UCQ", "parse_cq", "parse_ucq"]
+
+
+@dataclass(frozen=True)
+class Term:
+    """A query term: a variable or a constant."""
+
+    name: str
+    is_variable: bool
+
+    @classmethod
+    def of(cls, token: str) -> "Term":
+        token = token.strip()
+        if not token:
+            raise ValueError("empty term")
+        return cls(token, token[0].islower())
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tm)``."""
+
+    relation: str
+    args: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.args if t.is_variable)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({','.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Inequality:
+    """``left != right`` between two variables."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left}!={self.right}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """An existentially closed conjunction of atoms and inequalities."""
+
+    atoms: tuple[Atom, ...]
+    inequalities: tuple[Inequality, ...] = ()
+
+    def variables(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for a in self.atoms:
+            for v in a.variables():
+                seen.setdefault(v)
+        for ineq in self.inequalities:
+            seen.setdefault(ineq.left)
+            seen.setdefault(ineq.right)
+        return tuple(seen)
+
+    def atoms_containing(self, var: str) -> frozenset[int]:
+        """Indices of atoms containing ``var`` (the ``at(x)`` of the
+        hierarchy/inversion analysis)."""
+        return frozenset(i for i, a in enumerate(self.atoms) if var in a.variables())
+
+    def relations(self) -> frozenset[str]:
+        return frozenset(a.relation for a in self.atoms)
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.atoms] + [str(i) for i in self.inequalities]
+        return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union (disjunction) of conjunctive queries."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for d in self.disjuncts:
+            out |= set(d.variables())
+        return frozenset(out)
+
+    def relations(self) -> frozenset[str]:
+        out: set[str] = set()
+        for d in self.disjuncts:
+            out |= d.relations()
+        return frozenset(out)
+
+    def has_inequalities(self) -> bool:
+        return any(d.inequalities for d in self.disjuncts)
+
+    def __str__(self) -> str:
+        return " | ".join(str(d) for d in self.disjuncts)
+
+
+_ATOM = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\(([^()]*)\)")
+_INEQ = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*!=\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query like ``R(x),S(x,y),x!=y``."""
+    atoms: list[Atom] = []
+    ineqs: list[Inequality] = []
+    # Split on commas that are not inside parentheses.
+    parts: list[str] = []
+    depth = 0
+    cur = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur)
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        m = _INEQ.fullmatch(part)
+        if m:
+            ineqs.append(Inequality(m.group(1), m.group(2)))
+            continue
+        m = _ATOM.fullmatch(part)
+        if m:
+            rel = m.group(1)
+            args = tuple(Term.of(t) for t in m.group(2).split(",") if t.strip())
+            atoms.append(Atom(rel, args))
+            continue
+        raise SyntaxError(f"cannot parse query part {part!r}")
+    if not atoms:
+        raise SyntaxError("conjunctive query needs at least one atom")
+    return ConjunctiveQuery(tuple(atoms), tuple(ineqs))
+
+
+def parse_ucq(text: str) -> UCQ:
+    """Parse a UCQ; disjuncts separated by ``|``."""
+    return UCQ(tuple(parse_cq(part) for part in text.split("|")))

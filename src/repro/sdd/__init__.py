@@ -1,0 +1,4 @@
+"""Apply-based SDD manager and circuit-level compilation helpers."""
+
+from .compile import compile_with_vtree, minimize_vtree_for_circuit
+from .manager import SddManager, sdd_from_circuit

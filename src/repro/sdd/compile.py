@@ -1,0 +1,77 @@
+"""Circuit-level SDD compilation helpers and vtree search.
+
+The truth-table-based :func:`repro.core.vtree_search.minimize_vtree` needs
+the full semantics of ``F``; lineages and other wide circuits don't have
+that luxury.  This module searches vtrees *at the manager level*: each
+candidate vtree gets a fresh :class:`SddManager`, the circuit is compiled
+by `apply`, and the measured size drives a hill climb over the same local
+operations (rotations/swaps).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .manager import SddManager
+from ..circuits.circuit import Circuit
+from ..core.vtree import Vtree
+from ..core.vtree_search import neighbors
+
+__all__ = ["compile_with_vtree", "minimize_vtree_for_circuit", "candidate_compilations"]
+
+
+def compile_with_vtree(circuit: Circuit, vtree: Vtree) -> tuple[SddManager, int, int]:
+    """Compile ``circuit`` under ``vtree``; returns (manager, root, size)."""
+    mgr = SddManager(vtree)
+    root = mgr.compile_circuit(circuit)
+    return mgr, root, mgr.size(root)
+
+
+def candidate_compilations(
+    circuit: Circuit, rng: np.random.Generator | None = None, samples: int = 4
+) -> list[tuple[Vtree, int]]:
+    """Compile under the standard candidate vtrees; returns (vtree, size)
+    pairs sorted by size."""
+    vs = sorted(circuit.variables)
+    out = []
+    for t in Vtree.candidate_vtrees(vs, rng=rng, samples=samples):
+        _, _, size = compile_with_vtree(circuit, t)
+        out.append((t, size))
+    out.sort(key=lambda p: p[1])
+    return out
+
+
+def minimize_vtree_for_circuit(
+    circuit: Circuit,
+    start: Vtree | None = None,
+    max_rounds: int = 6,
+    max_neighbors: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, Vtree]:
+    """Hill-climb the vtree for an apply-compiled circuit.
+
+    ``max_neighbors`` caps how many neighbors are evaluated per round (a
+    random sample when set) — compilation per candidate is the costly step
+    for large circuits.
+    """
+    vs = sorted(circuit.variables)
+    t = start if start is not None else Vtree.balanced(vs)
+    _, _, best_size = compile_with_vtree(circuit, t)
+    for _ in range(max_rounds):
+        candidates = list(neighbors(t))
+        if max_neighbors is not None and len(candidates) > max_neighbors:
+            gen = rng if rng is not None else np.random.default_rng(0)
+            idx = gen.choice(len(candidates), size=max_neighbors, replace=False)
+            candidates = [candidates[int(i)] for i in idx]
+        best_neighbor: tuple[int, Vtree] | None = None
+        for cand in candidates:
+            _, _, size = compile_with_vtree(circuit, cand)
+            if best_neighbor is None or size < best_neighbor[0]:
+                best_neighbor = (size, cand)
+        if best_neighbor is not None and best_neighbor[0] < best_size:
+            best_size, t = best_neighbor
+        else:
+            break
+    return best_size, t

@@ -1,0 +1,547 @@
+"""An apply-based SDD manager (Darwiche 2011).
+
+The canonical construction ``S_{F,T}`` of :mod:`repro.core.sdd_compile`
+needs the full truth table of ``F``; query lineages can have far too many
+variables for that.  This manager compiles *circuits* bottom-up instead:
+SDD nodes are hash-consed decision nodes ``(vtree node, ((prime, sub), ...))``
+with compression (equal subs merged) and trimming, so every function has a
+unique normalized representation per vtree, and ``apply`` runs on pairs of
+canonical nodes with memoization.
+
+Size conventions follow the SDD literature: ``size(α)`` is the total number
+of elements of the decision nodes reachable from ``α``; ``width`` per the
+paper counts elements per vtree node (AND gates structured there).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.boolfunc import BooleanFunction
+from ..core.vtree import Vtree
+from ..circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
+from ..circuits.nnf import NNF, conj, disj, false_node, lit, true_node
+
+__all__ = ["SddManager", "sdd_from_circuit"]
+
+_FALSE = 0
+_TRUE = 1
+
+
+class SddManager:
+    """SDD manager for a fixed vtree."""
+
+    def __init__(self, vtree: Vtree):
+        self.vtree = vtree
+        # --- vtree tables -------------------------------------------------
+        self.v_nodes: list[Vtree] = list(vtree.nodes())  # postorder
+        self.v_index: dict[int, int] = {id(v): i for i, v in enumerate(self.v_nodes)}
+        self.v_parent: list[int | None] = [None] * len(self.v_nodes)
+        self.v_left: list[int | None] = [None] * len(self.v_nodes)
+        self.v_right: list[int | None] = [None] * len(self.v_nodes)
+        self.v_interval: list[tuple[int, int]] = [(0, 0)] * len(self.v_nodes)
+        self.v_nvars: list[int] = [0] * len(self.v_nodes)
+        self.leaf_of_var: dict[str, int] = {}
+        pos = 0
+        for i, v in enumerate(self.v_nodes):
+            if v.is_leaf:
+                self.v_interval[i] = (pos, pos + 1)
+                self.v_nvars[i] = 1
+                self.leaf_of_var[v.var] = i  # type: ignore[index]
+                pos += 1
+            else:
+                li = self.v_index[id(v.left)]
+                ri = self.v_index[id(v.right)]
+                self.v_left[i], self.v_right[i] = li, ri
+                self.v_parent[li] = i
+                self.v_parent[ri] = i
+                self.v_interval[i] = (self.v_interval[li][0], self.v_interval[ri][1])
+                self.v_nvars[i] = self.v_nvars[li] + self.v_nvars[ri]
+        # --- sdd node tables ----------------------------------------------
+        # id 0 = FALSE, id 1 = TRUE; literals and decisions from 2 on.
+        self.node_kind: list[str] = ["false", "true"]
+        self.node_vnode: list[int] = [-1, -1]
+        self.node_var: list[str | None] = [None, None]
+        self.node_sign: list[bool | None] = [None, None]
+        self.node_elements: list[tuple[tuple[int, int], ...] | None] = [None, None]
+        self._lit_table: dict[tuple[str, bool], int] = {}
+        self._dec_table: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
+        self._apply_cache: dict[tuple, int] = {}
+        self._neg_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # vtree helpers
+    # ------------------------------------------------------------------
+    def _contains(self, outer: int, inner: int) -> bool:
+        (a, b), (c, d) = self.v_interval[outer], self.v_interval[inner]
+        return a <= c and d <= b
+
+    def _lca(self, a: int, b: int) -> int:
+        x = a
+        while not (self._contains(x, a) and self._contains(x, b)):
+            p = self.v_parent[x]
+            assert p is not None, "lca walked past the root"
+            x = p
+        return x
+
+    def vnode_of(self, u: int) -> int:
+        return self.node_vnode[u]
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    @property
+    def false(self) -> int:
+        return _FALSE
+
+    @property
+    def true(self) -> int:
+        return _TRUE
+
+    def literal(self, var: str, sign: bool = True) -> int:
+        key = (var, bool(sign))
+        got = self._lit_table.get(key)
+        if got is not None:
+            return got
+        if var not in self.leaf_of_var:
+            raise ValueError(f"variable {var!r} not in the vtree")
+        nid = len(self.node_kind)
+        self.node_kind.append("lit")
+        self.node_vnode.append(self.leaf_of_var[var])
+        self.node_var.append(var)
+        self.node_sign.append(bool(sign))
+        self.node_elements.append(None)
+        self._lit_table[key] = nid
+        return nid
+
+    def _decision(self, vnode: int, elements: Iterable[tuple[int, int]]) -> int:
+        """Compress + trim + intern a decision node at ``vnode``."""
+        # Compression: merge primes with equal subs (OR on the left subtree).
+        by_sub: dict[int, int] = {}
+        for p, s in elements:
+            if p == _FALSE:
+                continue
+            if s in by_sub:
+                by_sub[s] = self._apply(by_sub[s], p, "or")
+            else:
+                by_sub[s] = p
+        elems = tuple(sorted(((p, s) for s, p in by_sub.items())))
+        if not elems:
+            return _FALSE
+        # Trimming rules.
+        if len(elems) == 1:
+            p, s = elems[0]
+            if p == _TRUE:
+                return s
+            if s == _TRUE:
+                return p
+            if s == _FALSE:
+                return _FALSE
+        if len(elems) == 2:
+            (p1, s1), (p2, s2) = elems
+            if s1 == _FALSE and s2 == _TRUE:
+                return p2
+            if s1 == _TRUE and s2 == _FALSE:
+                return p1
+        key = (vnode, elems)
+        got = self._dec_table.get(key)
+        if got is not None:
+            return got
+        nid = len(self.node_kind)
+        self.node_kind.append("dec")
+        self.node_vnode.append(vnode)
+        self.node_var.append(None)
+        self.node_sign.append(None)
+        self.node_elements.append(elems)
+        self._dec_table[key] = nid
+        return nid
+
+    # ------------------------------------------------------------------
+    # boolean operations
+    # ------------------------------------------------------------------
+    def negate(self, u: int) -> int:
+        got = self._neg_cache.get(u)
+        if got is not None:
+            return got
+        if u == _FALSE:
+            res = _TRUE
+        elif u == _TRUE:
+            res = _FALSE
+        elif self.node_kind[u] == "lit":
+            res = self.literal(self.node_var[u], not self.node_sign[u])  # type: ignore[arg-type]
+        else:
+            elems = self.node_elements[u]
+            assert elems is not None
+            res = self._decision(
+                self.node_vnode[u], [(p, self.negate(s)) for p, s in elems]
+            )
+        self._neg_cache[u] = res
+        self._neg_cache[res] = u
+        return res
+
+    def apply(self, a: int, b: int, op: str) -> int:
+        if op not in ("and", "or"):
+            raise ValueError("op must be 'and' or 'or'")
+        return self._apply(a, b, op)
+
+    def _apply(self, a: int, b: int, op: str) -> int:
+        # constant shortcuts
+        if a == b:
+            return a
+        if op == "and":
+            if a == _FALSE or b == _FALSE:
+                return _FALSE
+            if a == _TRUE:
+                return b
+            if b == _TRUE:
+                return a
+        else:
+            if a == _TRUE or b == _TRUE:
+                return _TRUE
+            if a == _FALSE:
+                return b
+            if b == _FALSE:
+                return a
+        if self.node_kind[a] == "lit" and self.node_kind[b] == "lit" and self.node_var[a] == self.node_var[b]:
+            # same variable, different sign (equal handled above)
+            return _FALSE if op == "and" else _TRUE
+        key = (op, a, b) if a <= b else (op, b, a)
+        got = self._apply_cache.get(key)
+        if got is not None:
+            return got
+        va, vb = self.node_vnode[a], self.node_vnode[b]
+        v = self._lca(va, vb)
+        ea = self._norm_elements(a, v)
+        eb = self._norm_elements(b, v)
+        out: list[tuple[int, int]] = []
+        for pa, sa in ea:
+            for pb, sb in eb:
+                p = self._apply(pa, pb, "and")
+                if p == _FALSE:
+                    continue
+                s = self._apply(sa, sb, op)
+                out.append((p, s))
+        res = self._decision(v, out)
+        self._apply_cache[key] = res
+        return res
+
+    def _norm_elements(self, u: int, v: int) -> list[tuple[int, int]]:
+        """View ``u`` as a decision list normalized for internal vtree node
+        ``v`` (``u``'s vtree node must be within ``v``'s subtree)."""
+        vl, vr = self.v_left[v], self.v_right[v]
+        assert vl is not None and vr is not None
+        vu = self.node_vnode[u]
+        if self.node_kind[u] == "dec" and vu == v:
+            elems = self.node_elements[u]
+            assert elems is not None
+            return list(elems)
+        if self._contains(vl, vu):
+            return [(u, _TRUE), (self.negate(u), _FALSE)]
+        if self._contains(vr, vu):
+            return [(_TRUE, u)]
+        raise AssertionError("node does not fit under the requested vtree node")
+
+    def conjoin(self, *nodes: int) -> int:
+        acc = _TRUE
+        for u in nodes:
+            acc = self._apply(acc, u, "and")
+        return acc
+
+    def disjoin(self, *nodes: int) -> int:
+        acc = _FALSE
+        for u in nodes:
+            acc = self._apply(acc, u, "or")
+        return acc
+
+    def condition(self, u: int, assignment: Mapping[str, int]) -> int:
+        """Condition on a partial assignment (literal substitution)."""
+        out = u
+        for var, val in assignment.items():
+            out = self._apply(out, self.literal(var, bool(val)), "and")
+            out = self._forget_var(out, var)
+        return out
+
+    def _forget_var(self, u: int, var: str) -> int:
+        """Existentially quantify one variable."""
+        pos = self._restrict(u, var, True)
+        neg = self._restrict(u, var, False)
+        return self._apply(pos, neg, "or")
+
+    def _restrict(self, u: int, var: str, value: bool) -> int:
+        cache: dict[int, int] = {}
+        leaf = self.leaf_of_var[var]
+
+        def rec(w: int) -> int:
+            if w <= 1:
+                return w
+            got = cache.get(w)
+            if got is not None:
+                return got
+            if self.node_kind[w] == "lit":
+                if self.node_var[w] == var:
+                    res = _TRUE if (self.node_sign[w] == value) else _FALSE
+                else:
+                    res = w
+            else:
+                vn = self.node_vnode[w]
+                if not self._contains(vn, leaf):
+                    res = w
+                else:
+                    elems = self.node_elements[w]
+                    assert elems is not None
+                    res = self._decision(vn, [(rec(p), rec(s)) for p, s in elems])
+            cache[w] = res
+            return res
+
+        return rec(u)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile_circuit(self, circuit: Circuit) -> int:
+        if circuit.output is None:
+            raise ValueError("circuit has no output")
+        vals: dict[int, int] = {}
+        for gid in circuit.topological_order():
+            gate = circuit.gates[gid]
+            if gate.kind == VAR:
+                vals[gid] = self.literal(gate.payload, True)  # type: ignore[arg-type]
+            elif gate.kind == CONST:
+                vals[gid] = _TRUE if gate.payload else _FALSE
+            elif gate.kind == NOT:
+                vals[gid] = self.negate(vals[gate.inputs[0]])
+            elif gate.kind == AND:
+                vals[gid] = self.conjoin(*[vals[i] for i in gate.inputs])
+            else:
+                vals[gid] = self.disjoin(*[vals[i] for i in gate.inputs])
+        return vals[circuit.output]
+
+    def compile_nnf(self, root: NNF) -> int:
+        memo: dict[int, int] = {}
+        for node in root.nodes():
+            if node.kind == "true":
+                val = _TRUE
+            elif node.kind == "false":
+                val = _FALSE
+            elif node.kind == "lit":
+                val = self.literal(node.var, bool(node.sign))  # type: ignore[arg-type]
+            elif node.kind == "and":
+                val = self.conjoin(*[memo[id(c)] for c in node.children])
+            else:
+                val = self.disjoin(*[memo[id(c)] for c in node.children])
+            memo[id(node)] = val
+        return memo[id(root)]
+
+    # ------------------------------------------------------------------
+    # measures / queries
+    # ------------------------------------------------------------------
+    def reachable(self, u: int) -> set[int]:
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w in seen:
+                continue
+            seen.add(w)
+            if w > 1 and self.node_kind[w] == "dec":
+                elems = self.node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    stack.extend((p, s))
+        return seen
+
+    def size(self, u: int) -> int:
+        """Standard SDD size: total element count over decision nodes."""
+        total = 0
+        for w in self.reachable(u):
+            if w > 1 and self.node_kind[w] == "dec":
+                total += len(self.node_elements[w])  # type: ignore[arg-type]
+        return total
+
+    def node_count(self, u: int) -> int:
+        return len(self.reachable(u))
+
+    def width(self, u: int) -> int:
+        """The paper's SDD width: max, over vtree nodes, of the number of
+        elements (AND gates) structured there."""
+        per: dict[int, int] = {}
+        for w in self.reachable(u):
+            if w > 1 and self.node_kind[w] == "dec":
+                vn = self.node_vnode[w]
+                per[vn] = per.get(vn, 0) + len(self.node_elements[w])  # type: ignore[arg-type]
+        return max(per.values(), default=0)
+
+    def count_models(self, u: int, scope: Iterable[str] | None = None) -> int:
+        scope_set = set(scope) if scope is not None else self.vtree.variables
+        missing = len(scope_set - self.vtree.variables)
+        root_vars = len(self.vtree.variables)
+        memo: dict[int, int] = {}
+
+        def vars_of(w: int) -> int:
+            # number of vtree variables under the node w is normalized for
+            return self.v_nvars[self.node_vnode[w]] if w > 1 else 0
+
+        def rec(w: int) -> int:
+            """models over exactly the variables under w's vtree node"""
+            if w == _FALSE:
+                return 0
+            if w == _TRUE:
+                return 1
+            got = memo.get(w)
+            if got is not None:
+                return got
+            if self.node_kind[w] == "lit":
+                res = 1
+            else:
+                vn = self.node_vnode[w]
+                vl, vr = self.v_left[vn], self.v_right[vn]
+                assert vl is not None and vr is not None
+                res = 0
+                elems = self.node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    pc = rec(p) << (self.v_nvars[vl] - vars_of(p)) if p > 1 else (
+                        rec(p) << self.v_nvars[vl]
+                    )
+                    sc = rec(s) << (self.v_nvars[vr] - vars_of(s)) if s > 1 else (
+                        rec(s) << self.v_nvars[vr]
+                    )
+                    res += pc * sc
+            memo[w] = res
+            return res
+
+        base = rec(u) << (root_vars - (self.v_nvars[self.node_vnode[u]] if u > 1 else 0))
+        return base << missing
+
+    def weighted_count(self, u: int, weights: Mapping[str, tuple[float, float]]):
+        """WMC with weights ``(w_neg, w_pos)``; exact with Fractions."""
+        order = self.vtree.leaf_order()
+        sums = {v: weights[v][0] + weights[v][1] for v in order}
+
+        def gap_product(vn: int, inner: int | None):
+            """Product of sums over vars under vn but not under inner."""
+            vars_vn = self.v_nodes[vn].variables
+            vars_inner = self.v_nodes[inner].variables if inner is not None else frozenset()
+            f = 1
+            for v in vars_vn - vars_inner:
+                f = f * sums[v]
+            return f
+
+        memo: dict[int, object] = {}
+
+        def rec(w: int):
+            if w == _FALSE:
+                return 0
+            if w == _TRUE:
+                return 1
+            got = memo.get(w)
+            if got is not None:
+                return got
+            if self.node_kind[w] == "lit":
+                w0, w1 = weights[self.node_var[w]]  # type: ignore[index]
+                res = w1 if self.node_sign[w] else w0
+            else:
+                vn = self.node_vnode[w]
+                vl, vr = self.v_left[vn], self.v_right[vn]
+                assert vl is not None and vr is not None
+                res = 0
+                elems = self.node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    pv = rec(p) * gap_product(vl, self.node_vnode[p] if p > 1 else None)
+                    sv = rec(s) * gap_product(vr, self.node_vnode[s] if s > 1 else None)
+                    res = res + pv * sv
+            memo[w] = res
+            return res
+
+        root_vn = self.node_vnode[u] if u > 1 else None
+        top_gap = 1
+        covered = self.v_nodes[root_vn].variables if root_vn is not None else frozenset()
+        for v in self.vtree.variables - covered:
+            top_gap = top_gap * sums[v]
+        return rec(u) * top_gap
+
+    def probability(self, u: int, prob: Mapping[str, float]) -> float:
+        weights = {v: (1.0 - float(p), float(p)) for v, p in prob.items()}
+        return float(self.weighted_count(u, weights))
+
+    def evaluate(self, u: int, assignment: Mapping[str, int]) -> bool:
+        memo: dict[int, bool] = {}
+
+        def rec(w: int) -> bool:
+            if w == _FALSE:
+                return False
+            if w == _TRUE:
+                return True
+            got = memo.get(w)
+            if got is not None:
+                return got
+            if self.node_kind[w] == "lit":
+                b = bool(assignment[self.node_var[w]])  # type: ignore[index]
+                res = b if self.node_sign[w] else not b
+            else:
+                res = False
+                elems = self.node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    if rec(p):
+                        res = rec(s)
+                        break
+            memo[w] = res
+            return res
+
+        return rec(u)
+
+    def function(self, u: int, variables: Sequence[str] | None = None) -> BooleanFunction:
+        vs = tuple(sorted(variables if variables is not None else self.vtree.variables))
+        return self.to_nnf(u).function(vs)
+
+    def to_nnf(self, u: int) -> NNF:
+        memo: dict[int, NNF] = {_FALSE: false_node(), _TRUE: true_node()}
+
+        def rec(w: int) -> NNF:
+            got = memo.get(w)
+            if got is not None:
+                return got
+            if self.node_kind[w] == "lit":
+                res = lit(self.node_var[w], bool(self.node_sign[w]))  # type: ignore[arg-type]
+            else:
+                parts = []
+                elems = self.node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    parts.append(NNF("and", children=(rec(p), rec(s))))
+                res = parts[0] if len(parts) == 1 else NNF("or", children=tuple(parts))
+            memo[w] = res
+            return res
+
+        return rec(u)
+
+    def validate(self, u: int) -> None:
+        """Check the SDD invariants on the reachable nodes: primes exhaust
+        (SD1), are pairwise disjoint (SD2), and subs are distinct (SD3)."""
+        for w in self.reachable(u):
+            if w <= 1 or self.node_kind[w] != "dec":
+                continue
+            elems = self.node_elements[w]
+            assert elems is not None
+            subs = [s for _, s in elems]
+            if len(set(subs)) != len(subs):
+                raise AssertionError("compression violated: duplicate subs")
+            primes = [p for p, _ in elems]
+            acc = _FALSE
+            for i, p in enumerate(primes):
+                for q in primes[i + 1 :]:
+                    if self._apply(p, q, "and") != _FALSE:
+                        raise AssertionError("primes not pairwise disjoint")
+                acc = self._apply(acc, p, "or")
+            if acc != _TRUE:
+                raise AssertionError("primes do not exhaust")
+
+
+def sdd_from_circuit(circuit: Circuit, vtree: Vtree | None = None) -> tuple[SddManager, int]:
+    """Convenience: compile ``circuit`` into an SDD (default: balanced vtree
+    over the circuit's variables)."""
+    t = vtree if vtree is not None else Vtree.balanced(sorted(circuit.variables))
+    mgr = SddManager(t)
+    return mgr, mgr.compile_circuit(circuit)

@@ -1,0 +1,140 @@
+"""Interoperability: the standard vtree file format and DOT export.
+
+- :func:`vtree_to_sdd_format` / :func:`vtree_from_sdd_format` speak the
+  libsdd/PySDD vtree file format (``c`` comments, ``vtree <count>`` header,
+  ``L <id> <var>`` leaves, ``I <id> <left> <right>`` internals), so vtrees
+  can be exchanged with Darwiche's SDD package ecosystem.
+- :func:`obdd_to_dot` / :func:`nnf_to_dot` render diagrams for graphviz.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..circuits.nnf import NNF
+from ..core.vtree import Vtree
+from ..obdd.obdd import ObddManager
+
+__all__ = [
+    "vtree_to_sdd_format",
+    "vtree_from_sdd_format",
+    "obdd_to_dot",
+    "nnf_to_dot",
+]
+
+
+def vtree_to_sdd_format(vtree: Vtree, var_ids: Mapping[str, int] | None = None) -> str:
+    """Serialize in the libsdd vtree format.
+
+    Variables are numbered from 1 (sorted order) unless ``var_ids`` maps
+    names explicitly; node ids follow the package's inorder convention
+    (leaves even-ish positions — we use plain inorder numbering, which the
+    format permits)."""
+    names = sorted(vtree.variables)
+    ids = dict(var_ids) if var_ids is not None else {v: i + 1 for i, v in enumerate(names)}
+    lines: list[str] = []
+    counter = [0]
+    node_ids: dict[int, int] = {}
+
+    def walk(v: Vtree) -> int:
+        if v.is_leaf:
+            nid = counter[0]
+            counter[0] += 1
+            node_ids[id(v)] = nid
+            lines.append(f"L {nid} {ids[v.var]}")
+            return nid
+        left = walk(v.left)  # type: ignore[arg-type]
+        nid = counter[0]
+        counter[0] += 1
+        right = walk(v.right)  # type: ignore[arg-type]
+        node_ids[id(v)] = nid
+        lines.append(f"I {nid} {left} {right}")
+        return nid
+
+    walk(vtree)
+    header = [
+        "c vtree exported by repro (Bova-Szeider PODS'17 reproduction)",
+        "c variable mapping:",
+    ]
+    for v in names:
+        header.append(f"c   {ids[v]} = {v}")
+    header.append(f"vtree {counter[0]}")
+    return "\n".join(header + lines) + "\n"
+
+
+def vtree_from_sdd_format(text: str, var_names: Mapping[int, str] | None = None) -> Vtree:
+    """Parse the libsdd vtree format; variable ``i`` becomes name
+    ``var_names[i]`` (default ``v{i}``)."""
+    nodes: dict[int, Vtree] = {}
+    count = None
+    root_id = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "vtree":
+            count = int(parts[1])
+            continue
+        if parts[0] == "L":
+            nid, var = int(parts[1]), int(parts[2])
+            name = var_names[var] if var_names is not None else f"v{var}"
+            nodes[nid] = Vtree.leaf(name)
+        elif parts[0] == "I":
+            nid, left, right = (int(x) for x in parts[1:4])
+            nodes[nid] = Vtree.internal(nodes[left], nodes[right])
+        else:
+            raise ValueError(f"unrecognized vtree line: {line!r}")
+        root_id = nid
+    if count is None or root_id is None:
+        raise ValueError("not a vtree file (missing header or nodes)")
+    if len(nodes) != count:
+        raise ValueError(f"header declares {count} nodes, found {len(nodes)}")
+    # The root is the node that is nobody's child: with the inorder writer
+    # above it is the last top-level id; recompute robustly.
+    children: set[int] = set()
+    for raw in text.splitlines():
+        parts = raw.split()
+        if parts and parts[0] == "I":
+            children.add(int(parts[2]))
+            children.add(int(parts[3]))
+    roots = [nid for nid in nodes if nid not in children]
+    if len(roots) != 1:
+        raise ValueError("vtree file does not have a unique root")
+    return nodes[roots[0]]
+
+
+def obdd_to_dot(mgr: ObddManager, root: int, name: str = "obdd") -> str:
+    """Graphviz DOT for the diagram rooted at ``root`` (dashed = low)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for w in sorted(mgr.reachable(root)):
+        if w <= 1:
+            label = "1" if w else "0"
+            lines.append(f'  n{w} [shape=box, label="{label}"];')
+        else:
+            lines.append(f'  n{w} [shape=circle, label="{mgr.order[mgr.level[w]]}"];')
+            lines.append(f"  n{w} -> n{mgr.lo[w]} [style=dashed];")
+            lines.append(f"  n{w} -> n{mgr.hi[w]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def nnf_to_dot(root: NNF, name: str = "nnf") -> str:
+    """Graphviz DOT for an NNF DAG."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    nodes = root.nodes()
+    ids = {id(n): i for i, n in enumerate(nodes)}
+    for n in nodes:
+        i = ids[id(n)]
+        if n.kind == "lit":
+            label = n.var if n.sign else f"¬{n.var}"
+            lines.append(f'  n{i} [shape=plaintext, label="{label}"];')
+        elif n.kind in ("true", "false"):
+            lines.append(f'  n{i} [shape=box, label="{"⊤" if n.kind == "true" else "⊥"}"];')
+        else:
+            symbol = "∧" if n.kind == "and" else "∨"
+            lines.append(f'  n{i} [shape=circle, label="{symbol}"];')
+            for c in n.children:
+                lines.append(f"  n{i} -> n{ids[id(c)]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

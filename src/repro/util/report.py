@@ -1,0 +1,24 @@
+"""Small aligned-table reporting used by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "report"]
+
+
+def format_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    widths = [len(h) for h in header]
+    str_rows = [[str(c) for c in r] for r in rows]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    out = [f"== {title} ==", line, "-" * len(line)]
+    for r in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def report(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    print("\n" + format_table(title, header, rows))

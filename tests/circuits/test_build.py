@@ -1,0 +1,149 @@
+"""Semantics checks of the paper's circuit families."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.circuits.build import (
+    and_or_tree,
+    chain_and_or,
+    cnf_chain,
+    disjointness,
+    h0,
+    h_family,
+    h_function,
+    hi,
+    hk,
+    implication,
+    ladder,
+    parity,
+    xvar,
+    yvar,
+    zvar,
+)
+from repro.graphs.exact_tw import exact_treewidth
+from repro.graphs.pathwidth import exact_pathwidth
+
+
+class TestImplication:
+    def test_semantics(self):
+        f = implication().function()
+        assert f(x=0, y=0) and f(x=0, y=1) and f(x=1, y=1)
+        assert not f(x=1, y=0)
+
+
+class TestDisjointness:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_definition(self, n):
+        f = disjointness(n).function()
+        for bits in itertools.product((0, 1), repeat=2 * n):
+            a = {}
+            for i in range(n):
+                a[f"x{i+1}"] = bits[i]
+                a[f"y{i+1}"] = bits[n + i]
+            expected = all(not (a[f"x{i+1}"] and a[f"y{i+1}"]) for i in range(n))
+            assert f(a) == expected
+
+    def test_tree_shape(self):
+        # AND of ORs of NOTs of distinct vars: the circuit is a tree.
+        assert exact_treewidth(disjointness(3).graph()) == 1
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            disjointness(0)
+
+
+class TestHFamilies:
+    def test_h0_definition(self):
+        f = h0(1, 2).function()
+        # accepts iff some x_l and z1_{l,m} both 1
+        a = {xvar(1): 1, xvar(2): 0, zvar(1, 1, 1): 0, zvar(1, 1, 2): 1,
+             zvar(1, 2, 1): 0, zvar(1, 2, 2): 0}
+        assert f(a)
+        a[zvar(1, 1, 2)] = 0
+        assert not f(a)
+
+    def test_hi_requires_valid_index(self):
+        with pytest.raises(ValueError):
+            hi(1, 2, 1)  # k=1 has no middle layers
+        with pytest.raises(ValueError):
+            hi(3, 2, 3)
+
+    def test_hk_definition(self):
+        f = hk(1, 2).function()
+        a = {zvar(1, 1, 1): 1, zvar(1, 1, 2): 0, zvar(1, 2, 1): 0,
+             zvar(1, 2, 2): 0, yvar(1): 1, yvar(2): 0}
+        assert f(a)
+        a[yvar(1)] = 0
+        assert not f(a)
+
+    def test_family_layout(self):
+        fam = h_family(2, 2)
+        assert len(fam) == 3
+        assert set(fam[0].variables) == {xvar(l) for l in (1, 2)} | {
+            zvar(1, l, m) for l in (1, 2) for m in (1, 2)
+        }
+        assert set(fam[1].variables) == {
+            zvar(1, l, m) for l in (1, 2) for m in (1, 2)
+        } | {zvar(2, l, m) for l in (1, 2) for m in (1, 2)}
+
+    def test_h_function_dispatch(self):
+        assert h_function(2, 2, 0) == h0(2, 2).function()
+        assert h_function(2, 2, 1) == hi(2, 2, 1).function()
+        assert h_function(2, 2, 2) == hk(2, 2).function()
+
+    def test_variable_counts(self):
+        # H^i has O(n^2) variables: exactly 2n^2 for middles, n + n^2 at ends
+        assert len(h0(1, 3).variables) == 3 + 9
+        assert len(hi(3, 3, 1).variables) == 18
+        assert len(hk(2, 3).variables) == 9 + 3
+
+
+class TestStructuredFamilies:
+    def test_parity_semantics(self):
+        f = parity(4).function()
+        assert f(x1=1, x2=0, x3=0, x4=0)
+        assert not f(x1=1, x2=1, x3=0, x4=0)
+
+    def test_parity_constant_pathwidth(self):
+        # The chain-shaped parity circuit has pathwidth bounded by a constant.
+        widths = [exact_pathwidth(parity(n).graph(), limit=18) for n in (2, 3)]
+        assert max(widths) <= 4
+
+    def test_chain_and_or_semantics(self):
+        f = chain_and_or(4).function()
+        assert f(x1=1, x2=1, x3=0, x4=0)
+        assert f(x1=0, x2=0, x3=1, x4=1)
+        assert not f(x1=1, x2=0, x3=1, x4=0)
+
+    def test_chain_bounded_pathwidth(self):
+        assert exact_pathwidth(chain_and_or(4).graph(), limit=18) <= 3
+
+    def test_and_or_tree_is_tree(self):
+        c = and_or_tree(3)
+        assert exact_treewidth(c.graph()) == 1
+        assert len(c.variables) == 8
+
+    def test_and_or_tree_semantics_depth1(self):
+        f = and_or_tree(1).function()
+        # depth 1, root AND of two leaves
+        assert f(x1=1, x2=1) and not f(x1=1, x2=0)
+
+    def test_ladder_semantics_small(self):
+        f = ladder(2).function()
+        assert f(a1=1, b1=1, a2=0, b2=0)
+        assert f(a1=0, b1=0, a2=1, b2=1)
+        assert not f(a1=0, b1=0, a2=0, b2=0)
+
+    def test_cnf_chain(self):
+        c = cnf_chain(4, 2)
+        f = c.function()
+        # clauses: (x1 | ~x2), (x2 | ~x3)... alternating signs
+        assert f.count_models() > 0
+        assert exact_pathwidth(c.graph(), limit=18) <= 4
+
+    def test_cnf_chain_guard(self):
+        with pytest.raises(ValueError):
+            cnf_chain(1, 2)

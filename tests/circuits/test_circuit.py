@@ -1,0 +1,160 @@
+"""Tests for the general circuit substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.core.boolfunc import BooleanFunction
+
+from ..conftest import boolean_functions
+
+
+class TestConstruction:
+    def test_var_deduplication(self):
+        c = Circuit()
+        assert c.add_var("x") == c.add_var("x")
+
+    def test_const_deduplication(self):
+        c = Circuit()
+        assert c.add_const(True) == c.add_const(True)
+        assert c.add_const(True) != c.add_const(False)
+
+    def test_bad_gate_id(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_not(5)
+
+    def test_not_gate_fanin(self):
+        from repro.circuits.circuit import Gate
+
+        with pytest.raises(ValueError):
+            Gate("not", (1, 2))
+
+    def test_variables_sorted(self):
+        c = Circuit()
+        c.add_var("b")
+        c.add_var("a")
+        assert c.variables == ("a", "b")
+
+
+class TestSemantics:
+    def test_evaluate_matches_function(self):
+        c = Circuit()
+        x, y = c.add_var("x"), c.add_var("y")
+        c.set_output(c.add_or(c.add_not(x), y))
+        f = c.function()
+        for a in ({"x": 0, "y": 0}, {"x": 1, "y": 0}, {"x": 1, "y": 1}):
+            assert c.evaluate(a) == f(a)
+
+    def test_function_over_superset(self):
+        c = Circuit()
+        c.set_output(c.add_var("x"))
+        f = c.function(["x", "y"])
+        assert f.variables == ("x", "y")
+        assert f(x=1, y=0)
+
+    def test_function_missing_vars_raises(self):
+        c = Circuit()
+        c.set_output(c.add_var("x"))
+        with pytest.raises(ValueError):
+            c.function(["y"])
+
+    def test_no_output_raises(self):
+        c = Circuit()
+        c.add_var("x")
+        with pytest.raises(ValueError):
+            c.function()
+
+    def test_empty_and_or_gates(self):
+        c = Circuit()
+        c.set_output(c.add_and())
+        assert c.function([]).is_tautology()
+        c2 = Circuit()
+        c2.set_output(c2.add_or())
+        assert not c2.function([]).is_satisfiable()
+
+    def test_gate_variables(self):
+        c = Circuit()
+        x, y = c.add_var("x"), c.add_var("y")
+        g = c.add_and(x, y)
+        c.set_output(g)
+        assert c.gate_variables(g) == {"x", "y"}
+        assert c.gate_variables(x) == {"x"}
+
+
+class TestGraphs:
+    def test_graph_undirected_underlying(self):
+        c = Circuit()
+        x = c.add_var("x")
+        n = c.add_not(x)
+        c.set_output(n)
+        g = c.graph()
+        assert g.number_of_nodes() == 2
+        assert g.has_edge(x, n)
+
+    def test_tree_circuit_is_tree_graph(self):
+        c = Circuit()
+        x, y = c.add_var("x"), c.add_var("y")
+        c.set_output(c.add_and(x, y))
+        assert nx.is_tree(c.graph())
+
+    def test_digraph_edges_directed_inputs_to_gate(self):
+        c = Circuit()
+        x = c.add_var("x")
+        n = c.add_not(x)
+        c.set_output(n)
+        assert (x, n) in c.digraph().edges
+
+
+class TestTransformations:
+    def test_trim_removes_unreachable(self):
+        c = Circuit()
+        x, y = c.add_var("x"), c.add_var("y")
+        c.add_and(x, y)  # unreachable
+        c.set_output(c.add_not(x))
+        trimmed = c.trim()
+        assert trimmed.size < c.size
+        assert trimmed.function(("x",)) == (~BooleanFunction.var("x"))
+
+    def test_binarize_preserves_function(self):
+        c = Circuit()
+        xs = [c.add_var(f"x{i}") for i in range(4)]
+        c.set_output(c.add_and(*xs))
+        b = c.binarize()
+        assert b.function(c.variables) == c.function()
+        assert all(len(g.inputs) <= 2 for g in b.gates)
+
+    def test_pad_with_redundant_gates(self):
+        c = Circuit()
+        x, y = c.add_var("x"), c.add_var("y")
+        c.set_output(c.add_and(x, y))
+        padded = c.pad_with_redundant_gates(10)
+        assert padded.size >= c.size + 10
+        assert padded.function(c.variables) == c.function()
+
+    def test_copy_independent(self):
+        c = Circuit()
+        c.set_output(c.add_var("x"))
+        d = c.copy()
+        d.add_var("y")
+        assert c.variables == ("x",)
+
+    def test_from_function_dnf(self):
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a != b)
+        c = Circuit.from_function_dnf(f)
+        assert c.function(("a", "b")) == f
+
+    def test_from_function_dnf_unsat(self):
+        f = BooleanFunction.false(["a"])
+        c = Circuit.from_function_dnf(f)
+        assert not c.function(("a",)).is_satisfiable()
+
+
+@settings(max_examples=25, deadline=None)
+@given(boolean_functions(min_vars=1, max_vars=3))
+def test_dnf_roundtrip_property(f):
+    assert Circuit.from_function_dnf(f).function(f.variables) == f

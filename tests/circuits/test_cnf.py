@@ -1,0 +1,97 @@
+"""Tseitin transform and Petke–Razgon baseline tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import chain_and_or, implication, parity
+from repro.circuits.circuit import Circuit
+from repro.circuits.cnf import CNF, petke_razgon_baseline, tseitin
+from repro.core.boolfunc import BooleanFunction
+
+from ..conftest import boolean_functions
+
+
+class TestCNF:
+    def test_evaluate(self):
+        cnf = CNF()
+        cnf.add_clause(("x", True), ("y", False))
+        assert cnf.evaluate({"x": 1, "y": 1})
+        assert cnf.evaluate({"x": 0, "y": 0})
+        assert not cnf.evaluate({"x": 0, "y": 1})
+
+    def test_to_circuit(self):
+        cnf = CNF()
+        cnf.add_clause(("x", True), ("y", True))
+        cnf.add_clause(("x", False), ("y", False))
+        f = cnf.to_circuit().function()
+        assert f == (BooleanFunction.var("x") ^ BooleanFunction.var("y"))
+
+    def test_primal_graph(self):
+        cnf = CNF()
+        cnf.add_clause(("a", True), ("b", True))
+        cnf.add_clause(("b", True), ("c", False))
+        g = cnf.primal_graph()
+        assert g.has_edge("a", "b") and g.has_edge("b", "c")
+        assert not g.has_edge("a", "c")
+
+    def test_empty_cnf_is_true(self):
+        assert CNF().to_circuit().function([]).is_tautology()
+
+
+class TestTseitin:
+    def test_projection_equivalence(self):
+        c = implication()
+        cnf, gate_vars = tseitin(c)
+        f_t = cnf.to_circuit().function()
+        assert f_t.exists(gate_vars).project(("x", "y")) == c.function()
+
+    def test_gate_vars_fresh(self):
+        c = chain_and_or(3)
+        cnf, gate_vars = tseitin(c)
+        assert not (set(gate_vars) & set(c.variables))
+
+    @settings(max_examples=15, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=3))
+    def test_tseitin_property(self, f):
+        c = Circuit.from_function_dnf(f)
+        if c.size > 25:
+            return
+        cnf, gate_vars = tseitin(c)
+        f_t = cnf.to_circuit().function()
+        assert f_t.exists(gate_vars).project(f.variables) == f
+
+    def test_models_biject(self):
+        """Tseitin models are in bijection with circuit assignments: the CNF
+        has exactly as many models as the circuit has satisfying inputs."""
+        c = implication()
+        cnf, gate_vars = tseitin(c)
+        f_t = cnf.to_circuit().function()
+        assert f_t.count_models() == c.function().count_models()
+
+
+class TestBaseline:
+    def test_baseline_correct(self):
+        c = chain_and_or(4)
+        r = petke_razgon_baseline(c)
+        f = c.function()
+        got = r.manager.function(r.root, f.variables).project(f.variables)
+        assert got == f
+
+    def test_peak_reported(self):
+        c = chain_and_or(4)
+        r = petke_razgon_baseline(c)
+        assert r.peak_size >= r.final_size or r.peak_size > 0
+        assert r.circuit_size == c.size
+
+    def test_baseline_size_grows_with_m(self):
+        """The defining defect of the eq.-(3) route: padding the circuit
+        (same function, bigger m) inflates the intermediate form."""
+        base = chain_and_or(4)
+        padded = base.pad_with_redundant_gates(20)
+        r1 = petke_razgon_baseline(base)
+        r2 = petke_razgon_baseline(padded)
+        assert r2.tseitin_variables > r1.tseitin_variables
+        assert r2.peak_size >= r1.peak_size

@@ -1,0 +1,142 @@
+"""Prime implicant / IP form tests (the Result-3 DNF/IP remark)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits.build import h_function
+from repro.circuits.implicants import (
+    Implicant,
+    dnf_term_count,
+    ip_nnf,
+    is_implicant,
+    minimal_dnf_size,
+    prime_implicants,
+)
+from repro.core.boolfunc import BooleanFunction
+
+from ..conftest import boolean_functions
+
+
+class TestImplicant:
+    def test_subsumption(self):
+        a = Implicant.of({"x": 1})
+        b = Implicant.of({"x": 1, "y": 0})
+        assert a.subsumes(b) and not b.subsumes(a)
+
+    def test_empty_is_tautology(self):
+        t = Implicant(())
+        assert t.function(["x"]).is_tautology()
+        assert str(t) == "⊤"
+
+    def test_function(self):
+        t = Implicant.of({"x": 1, "y": 0})
+        f = t.function(("x", "y"))
+        assert f.count_models() == 1 and f(x=1, y=0)
+
+    def test_str(self):
+        assert str(Implicant.of({"x": 1, "y": 0})) == "x~y"
+
+
+class TestPrimeImplicants:
+    def test_majority(self):
+        f = BooleanFunction.from_callable(
+            ["x", "y", "z"], lambda x, y, z: x + y + z >= 2
+        )
+        primes = prime_implicants(f)
+        assert sorted(str(p) for p in primes) == ["xy", "xz", "yz"]
+
+    def test_xor_has_minterm_primes(self):
+        f = BooleanFunction.var("x") ^ BooleanFunction.var("y")
+        primes = prime_implicants(f)
+        assert all(p.width == 2 for p in primes)
+        assert len(primes) == 2
+
+    def test_tautology(self):
+        assert prime_implicants(BooleanFunction.true(["x"]))[0].width == 0
+
+    def test_unsat(self):
+        assert prime_implicants(BooleanFunction.false(["x"])) == []
+
+    def test_single_literal(self):
+        f = BooleanFunction.var("x").extend(["x", "y"])
+        primes = prime_implicants(f)
+        assert len(primes) == 1 and str(primes[0]) == "x"
+
+    @settings(max_examples=30, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=4))
+    def test_primes_are_implicants_and_cover(self, f):
+        primes = prime_implicants(f)
+        for p in primes:
+            assert is_implicant(p, f)
+            # primality: dropping any literal breaks implicancy
+            for i in range(p.width):
+                weakened = Implicant(p.literals[:i] + p.literals[i + 1 :])
+                assert not is_implicant(weakened, f)
+        assert ip_nnf(f).function(f.variables) == f
+
+    def test_h0_prime_count_quadratic(self):
+        """The hard lineage H^0_{1,n} has exactly n^2 prime implicants —
+        polynomially many, while structured deterministic forms explode
+        (Result 3's separation remark)."""
+        for n in (1, 2, 3):
+            f = h_function(1, n, 0)
+            assert dnf_term_count(f) == n * n
+
+
+class TestMinimalDNF:
+    def test_exact_small(self):
+        f = BooleanFunction.from_callable(
+            ["x", "y", "z"], lambda x, y, z: x + y + z >= 2
+        )
+        assert minimal_dnf_size(f) == 3
+
+    def test_redundant_prime_dropped(self):
+        # consensus: xy + ~xz + yz — yz is redundant
+        f = BooleanFunction.from_callable(
+            ["x", "y", "z"], lambda x, y, z: (x and y) or ((not x) and z)
+        )
+        assert dnf_term_count(f) == 3  # includes the consensus term yz
+        assert minimal_dnf_size(f) == 2
+
+    def test_unsat(self):
+        assert minimal_dnf_size(BooleanFunction.false(["x"])) == 0
+
+    def test_greedy_path(self):
+        f = BooleanFunction.from_callable(
+            ["x", "y", "z"], lambda x, y, z: x + y + z >= 2
+        )
+        assert minimal_dnf_size(f, exact_limit=0) >= 2
+
+
+class TestMonotone:
+    def test_lineages_are_monotone(self):
+        from repro.circuits.implicants import is_monotone
+        from repro.queries.families import chain_database, hierarchical_query
+        from repro.queries.lineage import lineage_function
+        from repro.queries.database import complete_database
+
+        db = complete_database({"R": 1, "S": 2}, 2)
+        assert is_monotone(lineage_function(hierarchical_query(), db))
+
+    def test_xor_not_monotone(self):
+        from repro.circuits.implicants import is_monotone
+
+        assert not is_monotone(BooleanFunction.var("x") ^ BooleanFunction.var("y"))
+
+    def test_constants_monotone(self):
+        from repro.circuits.implicants import is_monotone
+
+        assert is_monotone(BooleanFunction.true(["a"]))
+        assert is_monotone(BooleanFunction.false(["a"]))
+
+    def test_monotone_primes_are_positive(self):
+        from repro.circuits.implicants import is_monotone
+
+        f = BooleanFunction.from_callable(
+            ["x", "y", "z"], lambda x, y, z: x + y + z >= 2
+        )
+        assert is_monotone(f)
+        for p in prime_implicants(f):
+            assert all(sign for _, sign in p.literals)

@@ -1,0 +1,107 @@
+"""Knowledge compilation map tests: classification and the map queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits.kcmap import (
+    clausal_entailment,
+    classify,
+    consistency,
+    enumerate_models,
+    equivalent,
+    model_count,
+    validity,
+)
+from repro.circuits.nnf import NNF, conj, disj, false_node, lit, true_node
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+from repro.core.boolfunc import BooleanFunction
+
+from ..conftest import boolean_functions
+
+
+def model_dnf(f):
+    return disj(
+        [conj([lit(v, bool(b)) for v, b in sorted(m.items())]) for m in f.models()]
+    )
+
+
+class TestClassification:
+    def test_dnf(self):
+        n = disj([conj([lit("x", True), lit("y", True)]), lit("z", True)])
+        rep = classify(n)
+        assert rep.is_dnf and not rep.is_cnf
+        assert "DNF" in rep.languages()
+
+    def test_cnf(self):
+        n = conj([disj([lit("x", True), lit("y", True)]), lit("z", False)])
+        rep = classify(n)
+        assert rep.is_cnf and not rep.is_dnf
+
+    def test_term_and_clause(self):
+        assert classify(conj([lit("x", True), lit("y", False)])).is_term
+        assert classify(disj([lit("x", True), lit("y", False)])).is_clause
+        assert classify(lit("x", True)).is_term
+        assert classify(true_node()).is_term
+
+    def test_canonical_sdd_is_det_structured(self):
+        f = BooleanFunction.from_callable(["a", "b", "c"], lambda a, b, c: (a and b) or c)
+        t = Vtree.balanced(["a", "b", "c"])
+        sdd = compile_canonical_sdd(f, t)
+        rep = classify(sdd.root, candidate_vtrees=[t])
+        assert rep.is_d_dnnf
+        assert rep.is_structured
+        assert "det. structured NNF" in rep.languages()
+
+    def test_non_decomposable(self):
+        n = conj([lit("x", True), disj([lit("x", False), lit("y", True)])])
+        rep = classify(n)
+        assert rep.is_nnf and not rep.is_dnnf and not rep.is_d_dnnf
+
+
+class TestQueries:
+    def test_consistency_linear_on_dnnf(self):
+        sat = conj([lit("x", True), lit("y", False)])
+        assert consistency(sat)
+        assert not consistency(false_node())
+
+    def test_consistency_nontrivial_unsat(self):
+        # DNNF that is unsat through structure: AND with a FALSE branch
+        n = conj([lit("x", True), false_node()])
+        assert not consistency(n)
+
+    def test_validity(self):
+        tauto = disj([lit("x", True), lit("x", False)])
+        assert validity(tauto)
+        assert not validity(lit("x", True))
+
+    def test_clausal_entailment(self):
+        n = conj([lit("x", True), lit("y", True)])
+        assert clausal_entailment(n, [("x", True)])
+        assert clausal_entailment(n, [("x", True), ("z", False)])
+        assert not clausal_entailment(n, [("z", True)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=3))
+    def test_model_count_dispatch(self, f):
+        n = model_dnf(f)
+        assert model_count(n, f.variables) == f.count_models()
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=3))
+    def test_enumerate_models(self, f):
+        n = model_dnf(f)
+        got = {tuple(sorted(m.items())) for m in enumerate_models(n, sorted(f.variables))}
+        expected = {tuple(sorted(m.items())) for m in f.models()}
+        if f.is_satisfiable():
+            assert got == expected
+        else:
+            assert got == set()
+
+    def test_equivalence(self):
+        a = disj([lit("x", True), lit("y", True)])
+        b = disj([lit("y", True), lit("x", True)])
+        assert equivalent(a, b)
+        assert not equivalent(a, lit("x", True))

@@ -1,0 +1,179 @@
+"""NNF language tests: membership checks, counting, WMC, transformations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.nnf import NNF, conj, disj, false_node, lit, true_node
+from repro.core.boolfunc import BooleanFunction
+from repro.core.vtree import Vtree
+
+from ..conftest import boolean_functions
+
+
+def dnf_of(f: BooleanFunction) -> NNF:
+    terms = []
+    for m in f.models():
+        terms.append(conj([lit(v, bool(b)) for v, b in sorted(m.items())]))
+    return disj(terms)
+
+
+class TestConstructors:
+    def test_conj_simplification(self):
+        assert conj([true_node(), true_node()]).kind == "true"
+        assert conj([lit("x", True), false_node()]).kind == "false"
+        assert conj([lit("x", True)]).kind == "lit"
+
+    def test_disj_simplification(self):
+        assert disj([]).kind == "false"
+        assert disj([true_node(), lit("x", True)]).kind == "true"
+
+    def test_literal_requires_var(self):
+        with pytest.raises(ValueError):
+            NNF("lit")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            NNF("nand")
+
+
+class TestStructure:
+    def test_size_counts_distinct_nodes(self):
+        x = lit("x", True)
+        shared = conj([x, lit("y", True)])
+        root = disj([shared, conj([shared, lit("z", True)])])
+        sizes = root.size
+        # shared subtree counted once
+        assert sizes == len({id(n) for n in root.nodes()})
+
+    def test_variables(self):
+        n = conj([lit("a", True), disj([lit("b", False), lit("c", True)])])
+        assert n.variables == {"a", "b", "c"}
+
+    def test_structural_key_equality(self):
+        a = conj([lit("x", True), lit("y", False)])
+        b = conj([lit("x", True), lit("y", False)])
+        assert a.structural_key() == b.structural_key()
+        c = conj([lit("y", False), lit("x", True)])
+        assert a.structural_key() != c.structural_key()
+
+
+class TestMembershipChecks:
+    def test_decomposable_positive(self):
+        n = conj([lit("x", True), lit("y", True)])
+        assert n.is_decomposable()
+
+    def test_decomposable_negative(self):
+        n = conj([lit("x", True), disj([lit("x", False), lit("y", True)])])
+        assert not n.is_decomposable()
+
+    def test_deterministic_positive(self):
+        n = disj([conj([lit("x", True), lit("y", True)]),
+                  conj([lit("x", False), lit("y", True)])])
+        assert n.is_deterministic()
+
+    def test_deterministic_negative(self):
+        n = disj([lit("x", True), lit("y", True)])
+        assert not n.is_deterministic()
+
+    def test_smoothness(self):
+        s = disj([lit("x", True), lit("x", False)])
+        assert s.is_smooth()
+        ns = disj([lit("x", True), conj([lit("x", False), lit("y", True)])])
+        assert not ns.is_smooth()
+
+    def test_smooth_transform(self):
+        ns = disj([lit("x", True), conj([lit("x", False), lit("y", True)])])
+        s = ns.smooth()
+        assert s.is_smooth()
+        assert s.equivalent(ns)
+
+    def test_structured_by(self):
+        t = Vtree.balanced(["x", "y"])
+        good = conj([lit("x", True), lit("y", True)])
+        assert good.is_structured_by(t)
+        # fanin-3 AND is not structured
+        bad = NNF("and", children=(lit("x", True), lit("y", True), true_node()))
+        assert not bad.is_structured_by(t)
+
+    def test_structured_wrong_orientation(self):
+        t = Vtree.internal(Vtree.leaf("x"), Vtree.leaf("y"))
+        flipped = conj([lit("y", True), lit("x", True)])
+        # (y ∧ x) needs a node with y on the left — t has x on the left.
+        assert not flipped.is_structured_by(t)
+        assert flipped.is_structured_by(t.swap())
+
+    def test_is_structured_search(self):
+        n = conj([lit("x", True), lit("y", True)])
+        assert n.is_structured()
+
+
+class TestCountingAndWMC:
+    @settings(max_examples=25, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=4))
+    def test_model_count_on_model_dnf(self, f):
+        """The models-DNF is deterministic and decomposable, so the counting
+        recursion must match brute force."""
+        n = dnf_of(f)
+        assert n.model_count(f.variables) == f.count_models()
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=3))
+    def test_wmc_matches_probability(self, f):
+        n = dnf_of(f)
+        prob = {v: 0.25 + 0.5 * (i % 2) for i, v in enumerate(f.variables)}
+        assert n.probability(prob, f.variables) == pytest.approx(f.probability(prob))
+
+    def test_scope_padding(self):
+        n = lit("x", True)
+        assert n.model_count(["x", "y"]) == 2
+
+    def test_scope_too_small_raises(self):
+        n = conj([lit("x", True), lit("y", True)])
+        with pytest.raises(ValueError):
+            n.model_count(["x"])
+
+    def test_fraction_weights_exact(self):
+        from fractions import Fraction
+
+        n = disj([conj([lit("x", True), lit("y", True)]),
+                  conj([lit("x", False), lit("y", True)])])
+        w = {"x": (Fraction(1, 2), Fraction(1, 2)), "y": (Fraction(2, 3), Fraction(1, 3))}
+        assert n.weighted_model_count(w) == Fraction(1, 3)
+
+
+class TestTransformations:
+    def test_condition(self):
+        n = conj([lit("x", True), lit("y", True)])
+        assert n.condition({"x": 1}).equivalent(lit("y", True))
+        assert n.condition({"x": 0}).kind == "false"
+
+    def test_condition_preserves_function(self):
+        f = BooleanFunction.from_callable(["a", "b", "c"], lambda a, b, c: (a and b) or c)
+        n = dnf_of(f)
+        cond = n.condition({"a": 1})
+        assert cond.function(("b", "c")) == f.cofactor({"a": 1})
+
+    def test_forget_on_dnnf(self):
+        n = conj([lit("x", True), lit("y", True)])
+        forgotten = n.forget(["y"])
+        assert forgotten.equivalent(lit("x", True))
+
+    def test_forget_requires_decomposability(self):
+        n = conj([lit("x", True), disj([lit("x", False), lit("y", True)])])
+        with pytest.raises(ValueError):
+            n.forget(["y"])
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=3))
+    def test_forget_equals_exists(self, f):
+        n = dnf_of(f)
+        v = f.variables[0]
+        assert n.forget([v]).function(f.variables[1:]).equivalent(f.exists([v]))
+
+    def test_evaluate(self):
+        n = disj([conj([lit("x", True), lit("y", False)]), lit("z", True)])
+        assert n.evaluate({"x": 1, "y": 0, "z": 0})
+        assert not n.evaluate({"x": 0, "y": 0, "z": 0})

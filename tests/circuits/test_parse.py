@@ -1,0 +1,89 @@
+"""Formula parser tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.parse import parse_formula
+from repro.core.boolfunc import BooleanFunction
+
+
+def fn(text, vs):
+    return parse_formula(text).function(vs)
+
+
+class TestBasics:
+    def test_variable(self):
+        assert fn("x", ["x"]) == BooleanFunction.var("x")
+
+    def test_constants(self):
+        assert fn("1", []).is_tautology()
+        assert not fn("0", []).is_satisfiable()
+
+    def test_negation(self):
+        assert fn("~x", ["x"]) == ~BooleanFunction.var("x")
+        assert fn("!x", ["x"]) == ~BooleanFunction.var("x")
+        assert fn("~~x", ["x"]) == BooleanFunction.var("x")
+
+    def test_and_or(self):
+        x, y = BooleanFunction.var("x"), BooleanFunction.var("y")
+        assert fn("x & y", ["x", "y"]) == (x & y)
+        assert fn("x | y", ["x", "y"]) == (x | y)
+
+    def test_implication_right_assoc(self):
+        f = fn("x -> y -> z", ["x", "y", "z"])
+        g = fn("x -> (y -> z)", ["x", "y", "z"])
+        assert f == g
+
+    def test_iff(self):
+        f = fn("x <-> y", ["x", "y"])
+        assert f(x=1, y=1) and f(x=0, y=0)
+        assert not f(x=1, y=0)
+
+    def test_precedence_and_over_or(self):
+        f = fn("x | y & z", ["x", "y", "z"])
+        g = fn("x | (y & z)", ["x", "y", "z"])
+        assert f == g
+
+    def test_parentheses(self):
+        f = fn("(x | y) & z", ["x", "y", "z"])
+        assert f(x=1, y=0, z=1) and not f(x=1, y=0, z=0)
+
+    def test_tuple_style_names(self):
+        f = fn("R(1,2) & S(2,3)", ["R(1,2)", "S(2,3)"])
+        assert f({"R(1,2)": 1, "S(2,3)": 1})
+
+
+class TestErrors:
+    def test_trailing_tokens(self):
+        with pytest.raises(SyntaxError):
+            parse_formula("x y")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(SyntaxError):
+            parse_formula("(x & y")
+
+    def test_empty(self):
+        with pytest.raises(SyntaxError):
+            parse_formula("")
+
+    def test_garbage(self):
+        with pytest.raises(SyntaxError):
+            parse_formula("x & @")
+
+
+class TestRoundTrips:
+    def test_de_morgan(self):
+        f = fn("~(x & y)", ["x", "y"])
+        g = fn("~x | ~y", ["x", "y"])
+        assert f == g
+
+    def test_known_equivalences(self):
+        cases = [
+            ("x -> y", "~x | y"),
+            ("x <-> y", "(x -> y) & (y -> x)"),
+            ("x & (y | z)", "(x & y) | (x & z)"),
+        ]
+        for a, b in cases:
+            vs = ["x", "y", "z"]
+            assert fn(a, vs) == fn(b, vs)

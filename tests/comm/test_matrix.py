@@ -1,0 +1,79 @@
+"""Communication matrix and exact rank tests (Section 2.2, eq. (8))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import disjointness
+from repro.comm.matrix import cm_rank, communication_matrix, disjointness_rank, exact_rank
+from repro.core.boolfunc import BooleanFunction
+
+from ..conftest import boolean_functions
+
+
+class TestCommunicationMatrix:
+    def test_shape(self):
+        f = disjointness(2).function()
+        m = communication_matrix(f, ["x1", "x2"], ["y1", "y2"])
+        assert m.shape == (4, 4)
+
+    def test_entries(self):
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a and b)
+        m = communication_matrix(f, ["a"], ["b"])
+        assert m.tolist() == [[0, 0], [0, 1]]
+
+    def test_blocks_must_partition(self):
+        f = disjointness(1).function()
+        with pytest.raises(ValueError):
+            communication_matrix(f, ["x1"], ["x1"])
+        with pytest.raises(ValueError):
+            communication_matrix(f, ["x1"], [])
+
+
+class TestExactRank:
+    def test_identity(self):
+        assert exact_rank(np.eye(5, dtype=int)) == 5
+
+    def test_all_ones(self):
+        assert exact_rank(np.ones((4, 4), dtype=int)) == 1
+
+    def test_zero(self):
+        assert exact_rank(np.zeros((3, 3), dtype=int)) == 0
+
+    def test_known_rank_2(self):
+        m = [[1, 0, 1], [0, 1, 1], [1, 1, 2]]
+        assert exact_rank(m) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 10_000))
+    def test_matches_numpy_on_random_small(self, r, c, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 2, size=(r, c))
+        assert exact_rank(m) == np.linalg.matrix_rank(m)
+
+    def test_no_float_blowup(self):
+        """Fraction-free elimination keeps exactness where floats round:
+        a scaled near-singular integer matrix."""
+        m = [[2, 4, 6], [1, 2, 3], [3, 6, 9]]
+        assert exact_rank(m) == 1
+
+    def test_empty(self):
+        assert exact_rank(np.zeros((0, 0), dtype=int)) == 0
+
+
+class TestEq8:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_disjointness_full_rank(self, n):
+        """Equation (8): cm(D_n) has full rank 2^n."""
+        assert disjointness_rank(n) == 2 ** n
+
+    def test_complement_rank_lower_bound(self):
+        """The Claim-3 linear algebra: rank(1 - cm) >= 2^n - 1."""
+        n = 3
+        f = ~disjointness(n).function()
+        xs = [f"x{i}" for i in range(1, n + 1)]
+        ys = [f"y{i}" for i in range(1, n + 1)]
+        assert cm_rank(f, xs, ys) >= 2 ** n - 1

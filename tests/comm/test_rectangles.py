@@ -1,0 +1,124 @@
+"""Rectangle covers: Lemma 3 canonical covers, Theorem 1 extraction,
+Theorem 2 rank lower bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.matrix import cm_rank
+from repro.comm.rectangles import (
+    Rectangle,
+    RectangleCover,
+    cover_from_factors,
+    cover_from_structured_nnf,
+    min_disjoint_cover_lower_bound,
+)
+from repro.core.boolfunc import BooleanFunction
+from repro.core.nnf_compile import compile_canonical_nnf
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+
+from ..conftest import boolean_functions
+
+
+class TestRectangle:
+    def test_function_is_product(self):
+        r = Rectangle(BooleanFunction.var("x"), BooleanFunction.var("y"))
+        assert r.function().count_models() == 1
+
+    def test_empty(self):
+        r = Rectangle(BooleanFunction.false(["x"]), BooleanFunction.var("y"))
+        assert r.is_empty()
+
+
+class TestFactorCovers:
+    @settings(max_examples=30, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_lemma3_cover_valid(self, f):
+        y = list(f.variables[: f.arity // 2])
+        cov = cover_from_factors(f, y)
+        cov.validate(f)
+
+    @settings(max_examples=25, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_theorem2_respected(self, f):
+        """The canonical cover can never beat the rank bound."""
+        y = list(f.variables[: f.arity // 2])
+        yp = [v for v in f.variables if v not in y]
+        cov = cover_from_factors(f, y)
+        assert len(cov) >= min_disjoint_cover_lower_bound(f, y, yp) - (
+            0 if f.is_satisfiable() else 0
+        )
+
+    def test_unsat_function_empty_cover(self):
+        f = BooleanFunction.false(["a", "b"])
+        cov = cover_from_factors(f, ["a"])
+        assert len(cov) == 0
+        cov.validate(f)
+
+    def test_disjointness_cover_counts(self):
+        """For D_n with the (X, Y) split, every factor is a single
+        assignment, and the implicants are exactly the disjoint subset
+        pairs: 3^n rectangles, respecting the 2^n rank bound."""
+        from repro.circuits.build import disjointness
+
+        n = 3
+        f = disjointness(n).function()
+        xs = [f"x{i}" for i in range(1, n + 1)]
+        ys = [f"y{i}" for i in range(1, n + 1)]
+        cov = cover_from_factors(f, xs)
+        cov.validate(f)
+        assert len(cov) == 3 ** n
+        assert cm_rank(f, xs, ys) == 2 ** n <= len(cov)
+
+
+class TestTheorem1Extraction:
+    @settings(max_examples=15, deadline=None)
+    @given(boolean_functions(min_vars=3, max_vars=4), st.integers(0, 1000))
+    def test_cover_valid_at_every_node(self, f, seed):
+        """The extracted cover is a valid disjoint cover at *every* vtree
+        node, and always respects the Theorem-2 rank bound."""
+        rng = np.random.default_rng(seed)
+        vs = sorted(f.variables)
+        t = Vtree.random(vs, rng)
+        compiled = compile_canonical_sdd(f, t)
+        for v in t.internal_nodes():
+            left = v.left
+            if left is None or left.is_leaf:
+                continue
+            cov = cover_from_structured_nnf(compiled.root, f, t, left)
+            cov.validate(f)
+            y = [x for x in vs if x in left.variables]
+            yp = [x for x in vs if x not in left.variables]
+            if y and yp:
+                assert len(cov) >= cm_rank(f, y, yp)
+
+    @settings(max_examples=15, deadline=None)
+    @given(boolean_functions(min_vars=3, max_vars=4), st.integers(0, 1000))
+    def test_size_bound_at_root_split(self, f, seed):
+        """Theorem 1's |C| bound, constructive case: at the root split the
+        cover's rectangles are the root-structured AND gates of C_{F,T}."""
+        rng = np.random.default_rng(seed)
+        vs = sorted(f.variables)
+        t = Vtree.random(vs, rng)
+        compiled = compile_canonical_nnf(f, t)
+        cov = cover_from_structured_nnf(compiled.root, f, t, t.left)
+        cov.validate(f)
+        if f.is_satisfiable() and not f.is_constant():
+            root_gates = compiled.and_gates_per_node.get(id(t), 0)
+            assert len(cov) == root_gates
+            assert len(cov) <= max(compiled.root.size, 1)
+
+    def test_extract_from_canonical_nnf(self):
+        rng = np.random.default_rng(3)
+        vs = ["a", "b", "c", "d"]
+        f = BooleanFunction.random(vs, rng)
+        t = Vtree.balanced(vs)
+        compiled = compile_canonical_nnf(f, t)
+        cov = cover_from_structured_nnf(compiled.root, f, t, t.left)
+        cov.validate(f)
+        assert cov.block1 == ("a", "b")
+        assert len(cov) <= compiled.root.size

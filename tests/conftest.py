@@ -1,0 +1,31 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.boolfunc import BooleanFunction
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def variables(n: int) -> list[str]:
+    return [f"v{i}" for i in range(n)]
+
+
+@st.composite
+def boolean_functions(draw, min_vars: int = 1, max_vars: int = 4):
+    """A random exact Boolean function on up to ``max_vars`` variables."""
+    n = draw(st.integers(min_value=min_vars, max_value=max_vars))
+    mask = draw(st.integers(min_value=0, max_value=(1 << (1 << n)) - 1))
+    return BooleanFunction.from_int(variables(n), mask)
+
+
+@st.composite
+def assignments_for(draw, vs):
+    return {v: draw(st.integers(min_value=0, max_value=1)) for v in vs}

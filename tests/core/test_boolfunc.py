@@ -1,0 +1,280 @@
+"""Unit + property tests for the exact Boolean function substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolfunc import BooleanFunction
+
+from ..conftest import boolean_functions, variables
+
+
+class TestConstructors:
+    def test_constant_true(self):
+        f = BooleanFunction.true(["a", "b"])
+        assert f.is_tautology()
+        assert f.count_models() == 4
+
+    def test_constant_false_no_vars(self):
+        f = BooleanFunction.false()
+        assert not f.is_satisfiable()
+        assert f.arity == 0
+        assert f.count_models() == 0
+
+    def test_literal_positive(self):
+        f = BooleanFunction.literal("x", True)
+        assert f(x=1) and not f(x=0)
+
+    def test_literal_negative(self):
+        f = BooleanFunction.literal("x", False)
+        assert f(x=0) and not f(x=1)
+
+    def test_literal_with_context(self):
+        f = BooleanFunction.literal("x", True, ["x", "y"])
+        assert f.variables == ("x", "y")
+        assert f(x=1, y=0) and f(x=1, y=1) and not f(x=0, y=1)
+
+    def test_from_callable(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x <= y)
+        assert f(x=0, y=0) and f(x=0, y=1) and f(x=1, y=1)
+        assert not f(x=1, y=0)
+
+    def test_from_models(self):
+        f = BooleanFunction.from_models(["a", "b"], [{"a": 1, "b": 0}])
+        assert f.count_models() == 1
+        assert f(a=1, b=0)
+
+    def test_from_int_roundtrip(self):
+        f = BooleanFunction.from_int(["a", "b"], 0b0110)
+        assert f.to_int() == 0b0110
+
+    def test_var_shorthand(self):
+        assert BooleanFunction.var("q")(q=1)
+
+    def test_bad_table_length(self):
+        with pytest.raises(ValueError):
+            BooleanFunction(["a"], [True, False, True])
+
+    def test_variables_sorted(self):
+        f = BooleanFunction.true(["b", "a", "c"])
+        assert f.variables == ("a", "b", "c")
+
+
+class TestEvaluationAndModels:
+    def test_models_enumeration(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x ^ y)
+        models = list(f.models())
+        assert len(models) == 2
+        for m in models:
+            assert m["x"] != m["y"]
+
+    def test_missing_variable_raises(self):
+        f = BooleanFunction.var("x")
+        with pytest.raises(KeyError):
+            f({})
+
+    def test_call_with_kwargs_and_dict(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x and y)
+        assert f({"x": 1}, y=1)
+
+
+class TestCofactors:
+    """Example 1 of the paper: F(x, y) = x -> y."""
+
+    @pytest.fixture
+    def implication(self):
+        return BooleanFunction.from_callable(["x", "y"], lambda x, y: (not x) or y)
+
+    def test_cofactors_relative_to_y(self, implication):
+        f0 = implication.cofactor({"x": 0})
+        f1 = implication.cofactor({"x": 1})
+        assert f0 == BooleanFunction.true(["y"])
+        assert f1 == BooleanFunction.var("y")
+
+    def test_cofactors_relative_to_x(self, implication):
+        g0 = implication.cofactor({"y": 0})
+        g1 = implication.cofactor({"y": 1})
+        assert g0 == ~BooleanFunction.var("x")
+        assert g1 == BooleanFunction.true(["x"])
+
+    def test_full_cofactors(self, implication):
+        assert implication.cofactor({"x": 1, "y": 0}) == BooleanFunction.false()
+        assert implication.cofactor({"x": 0, "y": 0}) == BooleanFunction.true()
+
+    def test_empty_cofactor_is_self(self, implication):
+        assert implication.cofactor({}) == implication
+
+    def test_cofactors_wrt(self, implication):
+        cofs = implication.cofactors_wrt(["x"])
+        assert len(cofs) == 2
+        assert set(c.to_int() for c in cofs) == {0b11, 0b10}
+
+    def test_cofactor_ignores_foreign_vars(self, implication):
+        assert implication.cofactor({"zzz": 1}) == implication
+
+
+class TestVariableManipulation:
+    def test_extend_preserves_semantics(self):
+        f = BooleanFunction.var("x")
+        g = f.extend(["x", "y", "z"])
+        assert g.variables == ("x", "y", "z")
+        for y in (0, 1):
+            for z in (0, 1):
+                assert g(x=1, y=y, z=z) and not g(x=0, y=y, z=z)
+
+    def test_extend_must_be_superset(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x and y)
+        with pytest.raises(ValueError):
+            f.extend(["x"])
+
+    def test_project_drops_inessential(self):
+        f = BooleanFunction.var("x").extend(["x", "y"])
+        assert f.project(["x"]) == BooleanFunction.var("x")
+
+    def test_project_essential_raises(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x and y)
+        with pytest.raises(ValueError):
+            f.project(["x"])
+
+    def test_depends_on(self):
+        f = BooleanFunction.var("x").extend(["x", "y"])
+        assert f.depends_on("x") and not f.depends_on("y")
+        assert f.essential_variables() == ("x",)
+
+    def test_drop_inessential(self):
+        f = BooleanFunction.true(["a", "b"])
+        assert f.drop_inessential().arity == 0
+
+    def test_rename(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x and not y)
+        g = f.rename({"x": "b", "y": "a"})
+        assert g.variables == ("a", "b")
+        assert g(a=0, b=1) and not g(a=1, b=1)
+
+    def test_rename_collision_raises(self):
+        f = BooleanFunction.true(["x", "y"])
+        with pytest.raises(ValueError):
+            f.rename({"x": "y"})
+
+
+class TestConnectives:
+    def test_and_aligns_variables(self):
+        f = BooleanFunction.var("x") & BooleanFunction.var("y")
+        assert f.variables == ("x", "y")
+        assert f.count_models() == 1
+
+    def test_de_morgan_concrete(self):
+        x, y = BooleanFunction.var("x"), BooleanFunction.var("y")
+        assert ~(x & y) == (~x | ~y).extend(["x", "y"])
+
+    def test_xor(self):
+        x, y = BooleanFunction.var("x"), BooleanFunction.var("y")
+        assert (x ^ y).count_models() == 2
+
+    def test_implies(self):
+        x, y = BooleanFunction.var("x"), BooleanFunction.var("y")
+        assert (x & y).implies(x.extend(["x", "y"]))
+        assert not x.extend(["x", "y"]).implies(x & y)
+
+    def test_disjoint(self):
+        x = BooleanFunction.var("x")
+        assert x.disjoint(~x)
+        assert not x.disjoint(x)
+
+
+class TestQuantification:
+    def test_exists(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x and y)
+        assert f.exists(["y"]) == BooleanFunction.var("x")
+
+    def test_forall(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x or y)
+        assert f.forall(["y"]) == BooleanFunction.var("x")
+
+    def test_exists_all_vars(self):
+        f = BooleanFunction.var("x")
+        assert f.exists(["x"]) == BooleanFunction.true()
+
+
+class TestProbability:
+    def test_single_variable(self):
+        f = BooleanFunction.var("x")
+        assert f.probability({"x": 0.3}) == pytest.approx(0.3)
+
+    def test_independent_and(self):
+        f = BooleanFunction.var("x") & BooleanFunction.var("y")
+        assert f.probability({"x": 0.5, "y": 0.4}) == pytest.approx(0.2)
+
+    def test_or_inclusion_exclusion(self):
+        f = BooleanFunction.var("x") | BooleanFunction.var("y")
+        assert f.probability({"x": 0.5, "y": 0.5}) == pytest.approx(0.75)
+
+
+class TestEquivalence:
+    def test_equivalent_different_scopes(self):
+        f = BooleanFunction.var("x")
+        g = BooleanFunction.var("x").extend(["x", "y"])
+        assert f.equivalent(g)
+        assert f != g  # strict equality requires identical variable tuples
+
+    def test_hashable(self):
+        a = BooleanFunction.var("x")
+        b = BooleanFunction.var("x")
+        assert hash(a) == hash(b) and a == b
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(boolean_functions())
+def test_double_negation(f):
+    assert ~~f == f
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_functions(), boolean_functions())
+def test_de_morgan_property(f, g):
+    assert ~(f & g) == (~f | ~g)
+    assert ~(f | g) == (~f & ~g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_functions())
+def test_exists_forall_duality(f):
+    v = f.variables[0]
+    assert f.exists([v]) == ~((~f).forall([v]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_functions())
+def test_shannon_expansion(f):
+    v = f.variables[0]
+    x = BooleanFunction.literal(v, True, f.variables)
+    expansion = (x & f.cofactor({v: 1}).extend(f.variables)) | (
+        ~x & f.cofactor({v: 0}).extend(f.variables)
+    )
+    assert expansion == f
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_functions())
+def test_model_count_consistency(f):
+    assert f.count_models() == sum(1 for _ in f.models())
+
+
+@settings(max_examples=30, deadline=None)
+@given(boolean_functions())
+def test_probability_half_is_model_fraction(f):
+    p = f.probability({v: 0.5 for v in f.variables})
+    assert p == pytest.approx(f.count_models() / (1 << f.arity))
+
+
+@settings(max_examples=30, deadline=None)
+@given(boolean_functions())
+def test_extend_project_roundtrip(f):
+    g = f.extend(list(f.variables) + ["zz_fresh"])
+    assert g.project(f.variables) == f

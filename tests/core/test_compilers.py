@@ -1,0 +1,200 @@
+"""Tests for the canonical compilers C_{F,T} and S_{F,T} (Section 3.2):
+correctness, determinism, structuredness, canonicity, and the Theorem 3/4
+size bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.nnf_compile import compile_canonical_nnf
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+from repro.obdd.obdd import obdd_from_function
+
+from ..conftest import boolean_functions, variables
+
+
+def all_small_vtrees(vs):
+    return list(Vtree.enumerate_all(vs))
+
+
+class TestCanonicalNNF:
+    def test_implication_all_vtrees(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: (not x) or y)
+        for t in all_small_vtrees(["x", "y"]):
+            c = compile_canonical_nnf(f, t)
+            assert c.root.function(("x", "y")) == f
+            assert c.root.is_deterministic()
+            assert c.root.is_decomposable()
+            assert c.root.is_structured_by(t)
+
+    def test_constant_functions(self):
+        t = Vtree.balanced(["a", "b"])
+        top = compile_canonical_nnf(BooleanFunction.true(["a", "b"]), t)
+        bot = compile_canonical_nnf(BooleanFunction.false(["a", "b"]), t)
+        assert top.root.kind == "true"
+        assert bot.root.kind == "false"
+        assert top.fiw == 0 and bot.fiw == 0
+
+    def test_single_variable(self):
+        f = BooleanFunction.var("x")
+        c = compile_canonical_nnf(f, Vtree.leaf("x"))
+        assert c.root.kind == "lit" and c.root.sign
+
+    def test_vtree_superset_of_variables(self):
+        f = BooleanFunction.var("x")
+        t = Vtree.balanced(["x", "pad1", "pad2"])
+        c = compile_canonical_nnf(f, t)
+        assert c.root.function(("pad1", "pad2", "x")).equivalent(f)
+
+    def test_vtree_missing_variable_raises(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x and y)
+        with pytest.raises(ValueError):
+            compile_canonical_nnf(f, Vtree.leaf("x"))
+
+    def test_canonicity_syntactic_equality(self):
+        """Theorem 3: the construction is canonical — two runs on the same
+        (F, T) give syntactically identical circuits."""
+        rng = np.random.default_rng(7)
+        vs = variables(4)
+        for _ in range(5):
+            f = BooleanFunction.random(vs, rng)
+            t = Vtree.random(list(vs), rng)
+            a = compile_canonical_nnf(f, t)
+            b = compile_canonical_nnf(f, t)
+            assert a.root.structural_key() == b.root.structural_key()
+
+    def test_theorem3_size_bound(self):
+        rng = np.random.default_rng(8)
+        vs = variables(4)
+        for _ in range(10):
+            f = BooleanFunction.random(vs, rng)
+            t = Vtree.random(list(vs), rng)
+            c = compile_canonical_nnf(f, t)
+            assert c.size <= c.theorem3_size_bound()
+
+    def test_and_gate_attribution(self):
+        """Every AND gate is structured by the node it was built at."""
+        rng = np.random.default_rng(9)
+        f = BooleanFunction.random(variables(3), rng)
+        t = Vtree.balanced(variables(3))
+        c = compile_canonical_nnf(f, t)
+        total = sum(c.and_gates_per_node.values())
+        assert total == len(c.root.and_gates())
+
+
+class TestCanonicalSDD:
+    def test_implication_all_vtrees(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: (not x) or y)
+        for t in all_small_vtrees(["x", "y"]):
+            c = compile_canonical_sdd(f, t)
+            assert c.root.function(("x", "y")) == f
+            assert c.root.is_deterministic()
+            assert c.root.is_structured_by(t)
+
+    def test_sdd_conditions_on_elements(self):
+        """(SD1)-(SD3) hold inside the compiled SDD: for each decision OR,
+        primes are exhaustive & disjoint, subs pairwise inequivalent."""
+        rng = np.random.default_rng(10)
+        vs = variables(3)
+        f = BooleanFunction.random(vs, rng)
+        t = Vtree.balanced(vs)
+        c = compile_canonical_sdd(f, t)
+        for node in c.root.or_gates():
+            kids = node.children
+            if any(k.kind != "and" for k in kids):
+                continue
+            primes = [k.children[0] for k in kids]
+            pvars = sorted(set().union(*[p.variables for p in primes]) or {"__none__"})
+            if pvars == ["__none__"]:
+                continue
+            acc = BooleanFunction.false(pvars)
+            for p in primes:
+                pf = p.function(pvars)
+                assert (acc & pf).count_models() == 0  # SD2
+                acc = acc | pf
+            assert acc.is_tautology()  # SD1
+            subs = [k.children[1] for k in kids]
+            svars = sorted(set().union(*[s.variables for s in subs]) or [])
+            seen = []
+            for s in subs:
+                fn = s.function(svars) if svars else s.function(())
+                assert all(fn != o for o in seen)  # SD3
+                seen.append(fn)
+
+    def test_canonicity(self):
+        rng = np.random.default_rng(11)
+        vs = variables(4)
+        for _ in range(5):
+            f = BooleanFunction.random(vs, rng)
+            t = Vtree.random(list(vs), rng)
+            a = compile_canonical_sdd(f, t)
+            b = compile_canonical_sdd(f, t)
+            assert a.root.structural_key() == b.root.structural_key()
+
+    def test_theorem4_size_bound(self):
+        rng = np.random.default_rng(12)
+        vs = variables(4)
+        for _ in range(10):
+            f = BooleanFunction.random(vs, rng)
+            t = Vtree.random(list(vs), rng)
+            c = compile_canonical_sdd(f, t)
+            assert c.size <= c.theorem4_size_bound()
+
+    def test_constants(self):
+        t = Vtree.balanced(["a", "b"])
+        assert compile_canonical_sdd(BooleanFunction.true(["a", "b"]), t).root.kind == "true"
+        assert compile_canonical_sdd(BooleanFunction.false(["a", "b"]), t).root.kind == "false"
+
+
+class TestObddSpecialCase:
+    """Section 3.2.2: OBDDs are canonical SDDs of linear (right-linear)
+    vtrees, and SDD width on those vtrees is OBDD width."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_right_linear_vtree_matches_obdd_width(self, f):
+        order = sorted(f.variables)
+        t = Vtree.right_linear(order)
+        sdd = compile_canonical_sdd(f, t)
+        mgr, root = obdd_from_function(f, order)
+        obdd_width = mgr.width(root)
+        # The canonical SDD on a linear vtree groups, per decision level,
+        # at most twice as many AND gates as there are OBDD nodes (each
+        # OBDD node is a binary sentential decision); widths track within
+        # the standard factor-2 translation.
+        if obdd_width:
+            assert sdd.sdw <= 2 * max(obdd_width, 1) * 2
+            assert sdd.sdw >= obdd_width
+
+    @settings(max_examples=25, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=4))
+    def test_compilers_agree_semantically(self, f):
+        t = Vtree.balanced(sorted(f.variables))
+        a = compile_canonical_nnf(f, t)
+        b = compile_canonical_sdd(f, t)
+        vs = sorted(f.variables)
+        assert a.root.function(vs) == b.root.function(vs) == f
+
+
+@settings(max_examples=30, deadline=None)
+@given(boolean_functions(min_vars=1, max_vars=4), st.integers(0, 10_000))
+def test_compile_random_function_random_vtree(f, seed):
+    rng = np.random.default_rng(seed)
+    t = Vtree.random(sorted(f.variables), rng)
+    vs = sorted(f.variables)
+    cn = compile_canonical_nnf(f, t)
+    cs = compile_canonical_sdd(f, t)
+    assert cn.root.function(vs) == f
+    assert cs.root.function(vs) == f
+    assert cn.root.is_deterministic()
+    assert cs.root.is_deterministic()
+    assert cn.root.is_structured_by(t)
+    assert cs.root.is_structured_by(t)
+    # model counting through the d-DNNF recursion agrees with brute force
+    assert cn.root.model_count(vs) == f.count_models()
+    assert cs.root.model_count(vs) == f.count_models()

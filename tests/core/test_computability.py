@@ -1,0 +1,85 @@
+"""Tests for Result 2 (Proposition 1): circuit treewidth is computable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.computability import (
+    ctw_lower_bound_from_fw,
+    ctw_upper_bound,
+    dnf_upper_bound_circuit,
+    exact_circuit_treewidth,
+)
+
+
+class TestExactCtw:
+    def test_constant(self):
+        res = exact_circuit_treewidth(BooleanFunction.true(["x"]))
+        assert res.value == 0 and res.exhausted
+
+    def test_positive_literal(self):
+        res = exact_circuit_treewidth(BooleanFunction.var("x"))
+        assert res.value == 0
+
+    def test_negative_literal_needs_a_wire(self):
+        """¬x has no treewidth-0 circuit (a treewidth-0 graph has no edges,
+        so the only gates available are bare inputs)."""
+        res = exact_circuit_treewidth(~BooleanFunction.var("x"), max_gates=2)
+        assert res.value == 1
+        assert res.witness is not None
+        assert res.witness.function(("x",)) == ~BooleanFunction.var("x")
+
+    def test_conjunction_is_tree(self):
+        f = BooleanFunction.var("x") & BooleanFunction.var("y")
+        res = exact_circuit_treewidth(f, max_gates=3)
+        assert res.value == 1
+
+    def test_xor_needs_sharing(self):
+        """Parity is not read-once: every circuit must wire x and y into two
+        gates, creating a cycle — ctw(xor) = 2 within the search budget."""
+        f = BooleanFunction.var("x") ^ BooleanFunction.var("y")
+        res = exact_circuit_treewidth(f, max_gates=4)
+        assert res.value == 2
+        assert res.witness.function(("x", "y")) == f
+
+    def test_budget_too_small(self):
+        f = BooleanFunction.var("x") ^ BooleanFunction.var("y")
+        res = exact_circuit_treewidth(f, max_gates=1)
+        assert res.value == -1 and not res.exhausted
+
+    def test_witness_computes_function(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: (not x) or y)
+        res = exact_circuit_treewidth(f, max_gates=3)
+        assert res.value == 1
+        assert res.witness.function(("x", "y")) == f
+
+
+class TestBounds:
+    def test_dnf_circuit_computes_f(self):
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a != b)
+        c = dnf_upper_bound_circuit(f)
+        assert c.function(("a", "b")) == f
+
+    def test_upper_bound_at_least_exact(self):
+        f = BooleanFunction.var("x") ^ BooleanFunction.var("y")
+        up = ctw_upper_bound(f)
+        res = exact_circuit_treewidth(f, max_gates=4)
+        assert up >= res.value
+
+    def test_lower_bound_consistent(self):
+        """The Lemma-1-inverted lower bound never exceeds the exhaustive
+        value on functions where the search is exact."""
+        for fn in [
+            BooleanFunction.var("x") ^ BooleanFunction.var("y"),
+            BooleanFunction.var("x") & BooleanFunction.var("y"),
+            ~BooleanFunction.var("x"),
+        ]:
+            lo = ctw_lower_bound_from_fw(fn)
+            res = exact_circuit_treewidth(fn, max_gates=4)
+            assert lo <= res.value
+
+    def test_lower_bound_zero_for_tiny_widths(self):
+        # fw of simple functions is <= 16 = lemma1_bound(0), so the certified
+        # lower bound is 0 — sound, just weak.
+        assert ctw_lower_bound_from_fw(BooleanFunction.var("x")) == 0

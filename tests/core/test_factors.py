@@ -1,0 +1,190 @@
+"""Tests for factors / factorized implicants / sentential decompositions
+(Definitions 1–3, Lemmas 2, 3, 5, and the sd() partition of Section 3.2.2)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.factors import (
+    factorized_implicants,
+    factors,
+    rectangle_status,
+    sentential_decomposition,
+)
+
+from ..conftest import boolean_functions
+
+
+@pytest.fixture
+def implication():
+    return BooleanFunction.from_callable(["x", "y"], lambda x, y: (not x) or y)
+
+
+class TestFactorsExamples:
+    """Examples 3 and 4 of the paper."""
+
+    def test_example3_x_is_factor(self, implication):
+        dec = factors(implication, ["x"])
+        assert len(dec) == 2
+        tables = {g.to_int(): h.to_int() for g, h in zip(dec.factors, dec.cofactors)}
+        # G(x) = x pairs with cofactor y;  G(x) = ¬x pairs with ⊤(y).
+        assert tables[0b10] == 0b10  # x -> cofactor y
+        assert tables[0b01] == 0b11  # ¬x -> cofactor ⊤
+
+    def test_example4_factor_is_not_cofactor(self, implication):
+        dec = factors(implication, ["x"])
+        factor_tables = {g.to_int() for g in dec.factors}
+        cof_tables = {c.to_int() for c in implication.cofactors_wrt(["y"])}
+        assert 0b10 in factor_tables  # G(x) = x is a factor...
+        assert 0b10 not in cof_tables  # ...but not a cofactor relative to x
+
+    def test_only_cofactor_with_no_vars_assigned(self, implication):
+        dec = factors(implication, [])
+        assert len(dec) == 1
+        assert dec.cofactors[0] == implication
+
+    def test_factors_of_full_block(self, implication):
+        dec = factors(implication, ["x", "y"])
+        # cofactors over ∅ are ⊥ and ⊤: two factors (¬F and F)
+        assert len(dec) == 2
+        sat_sizes = sorted(g.count_models() for g in dec.factors)
+        assert sat_sizes == [1, 3]
+
+
+class TestFactorProperties:
+    def test_eq9_extra_vars_ignored(self, implication):
+        a = factors(implication, ["x"])
+        b = factors(implication, ["x", "unrelated"])
+        assert [g.key() for g in a.factors] == [g.key() for g in b.factors]
+
+    def test_partition_eq10(self, implication):
+        factors(implication, ["x"]).validate()
+        factors(implication, ["y"]).validate()
+        factors(implication, ["x", "y"]).validate()
+
+    def test_factor_index_of(self, implication):
+        dec = factors(implication, ["x"])
+        i0 = dec.factor_index_of({"x": 0})
+        i1 = dec.factor_index_of({"x": 1})
+        assert i0 != i1
+        assert dec.factors[i1] == BooleanFunction.var("x")
+
+    def test_representative_is_model(self, implication):
+        dec = factors(implication, ["x"])
+        for i in range(len(dec)):
+            rep = dec.representative(i)
+            assert dec.factors[i](rep)
+
+    def test_parity_factors_coincide_with_cofactors(self):
+        """Footnote 7: for parity, factors and cofactors coincide."""
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: x ^ y)
+        dec = factors(f, ["x"])
+        factor_tables = sorted(g.to_int() for g in dec.factors)
+        cof_tables = sorted(c.to_int() for c in f.cofactors_wrt(["y"]))
+        assert factor_tables == cof_tables
+
+
+@settings(max_examples=30, deadline=None)
+@given(boolean_functions(min_vars=2, max_vars=4))
+def test_factors_partition_property(f):
+    y = list(f.variables[: f.arity // 2])
+    dec = factors(f, y)
+    dec.validate()
+    # each factor's models induce exactly its recorded cofactor
+    for g, c in zip(dec.factors, dec.cofactors):
+        for model in g.models():
+            assert f.cofactor(model) == c
+
+
+@settings(max_examples=25, deadline=None)
+@given(boolean_functions(min_vars=3, max_vars=4))
+def test_lemma2_dichotomy_exhaustive(f):
+    """Lemma 2: rectangles of factor pairs are contained in or disjoint from
+    every factor of the union block — verified exhaustively."""
+    vs = f.variables
+    y = list(vs[:1])
+    yp = list(vs[1:2])
+    du = factors(f, set(y) | set(yp))
+    dl = factors(f, y)
+    dr = factors(f, yp)
+    for h in range(len(du)):
+        hf = du.factors[h]
+        for i, g in enumerate(dl.factors):
+            for j, gp in enumerate(dr.factors):
+                rect = g & gp
+                inter = rect & hf.extend(rect.variables)
+                contained = inter == rect
+                disjoint = not inter.is_satisfiable()
+                assert contained or disjoint
+                status = rectangle_status(du, h, dl, i, dr, j)
+                assert (status == "contained") == contained
+
+
+@settings(max_examples=25, deadline=None)
+@given(boolean_functions(min_vars=2, max_vars=4))
+def test_lemma3_disjoint_rectangle_cover(f):
+    """Lemma 3: implicants of H form a disjoint rectangle cover of H."""
+    vs = f.variables
+    y = list(vs[: f.arity // 2])
+    yp = [v for v in vs if v not in y]
+    du = factors(f, vs)
+    impl = factorized_implicants(f, y, yp, union_dec=du)
+    dl, dr = factors(f, y), factors(f, yp)
+    for h in range(len(du)):
+        acc = BooleanFunction.false(vs)
+        total = np.zeros(1 << len(vs), dtype=int)
+        for (i, j) in impl[h]:
+            rect = (dl.factors[i] & dr.factors[j]).extend(vs)
+            total += rect.table.astype(int)
+            acc = acc | rect
+        assert acc == du.factors[h].extend(vs)
+        assert (total <= 1).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(boolean_functions(min_vars=2, max_vars=4), st.integers(0, 1000))
+def test_sentential_decomposition_sd_conditions(f, seed):
+    """(SD1)-(SD3) for sd(F, H, Y, Y') on random factor subsets."""
+    vs = f.variables
+    y = list(vs[: f.arity // 2])
+    yp = [v for v in vs if v not in y]
+    du = factors(f, vs)
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, len(du) + 1))
+    hset = set(int(i) for i in rng.choice(len(du), size=k, replace=False))
+    elements = sentential_decomposition(f, hset, y, yp, union_dec=du)
+    dl, dr = factors(f, y), factors(f, yp)
+    # SD1: primes exhaust the factor index set of Y
+    all_primes = sorted(p for el in elements for p in el.primes)
+    assert all_primes == list(range(len(dl)))
+    # SD2: prime groups are disjoint (each index used once) — implied above.
+    # SD3: distinct sub sets
+    subs = [frozenset(el.subs) for el in elements]
+    assert len(set(subs)) == len(subs)
+    # semantic check: the OR over elements equals the union of the selected
+    # factors
+    target = BooleanFunction.false(vs)
+    for h in hset:
+        target = target | du.factors[h].extend(vs)
+    got = BooleanFunction.false(vs)
+    for el in elements:
+        p_fn = BooleanFunction.false(y or [])
+        for p in el.primes:
+            p_fn = p_fn | dl.factors[p]
+        s_fn = BooleanFunction.false(yp or [])
+        for s in el.subs:
+            s_fn = s_fn | dr.factors[s]
+        got = got | (p_fn & s_fn).extend(vs)
+    assert got == target
+
+
+def test_disjoint_blocks_required():
+    f = BooleanFunction.true(["a", "b"])
+    with pytest.raises(ValueError):
+        factorized_implicants(f, ["a"], ["a"])

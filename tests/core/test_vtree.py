@@ -1,0 +1,144 @@
+"""Vtree construction, traversal, transformation, enumeration tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.vtree import Vtree
+
+
+class TestConstruction:
+    def test_leaf(self):
+        v = Vtree.leaf("x")
+        assert v.is_leaf and v.variables == {"x"} and v.size == 1
+
+    def test_internal(self):
+        v = Vtree.internal(Vtree.leaf("x"), Vtree.leaf("y"))
+        assert not v.is_leaf
+        assert v.variables == {"x", "y"}
+        assert v.size == 3
+
+    def test_shared_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Vtree.internal(Vtree.leaf("x"), Vtree.leaf("x"))
+
+    def test_leaf_with_children_rejected(self):
+        with pytest.raises(ValueError):
+            Vtree("x", Vtree.leaf("y"), Vtree.leaf("z"))
+
+    def test_right_linear(self):
+        v = Vtree.right_linear(["a", "b", "c"])
+        assert v.is_right_linear()
+        assert v.leaf_order() == ["a", "b", "c"]
+        assert v.to_nested() == ("a", ("b", "c"))
+
+    def test_left_linear(self):
+        v = Vtree.left_linear(["a", "b", "c"])
+        assert v.is_left_linear()
+        assert v.to_nested() == (("a", "b"), "c")
+
+    def test_balanced(self):
+        v = Vtree.balanced(["a", "b", "c", "d"])
+        assert v.depth() == 2
+        assert v.leaf_order() == ["a", "b", "c", "d"]
+
+    def test_single_leaf_orders(self):
+        assert Vtree.right_linear(["x"]).is_leaf
+        assert Vtree.balanced(["x"]).is_leaf
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(ValueError):
+            Vtree.right_linear([])
+
+    def test_random_is_valid(self):
+        rng = np.random.default_rng(0)
+        v = Vtree.random(["a", "b", "c", "d", "e"], rng)
+        assert v.variables == {"a", "b", "c", "d", "e"}
+        assert len(list(v.leaves())) == 5
+
+
+class TestTraversal:
+    def test_postorder_children_first(self):
+        v = Vtree.balanced(["a", "b", "c"])
+        nodes = list(v.nodes())
+        assert nodes[-1] is v
+        seen = set()
+        for n in nodes:
+            if not n.is_leaf:
+                assert id(n.left) in seen and id(n.right) in seen
+            seen.add(id(n))
+
+    def test_counts(self):
+        v = Vtree.balanced(["a", "b", "c", "d"])
+        assert len(list(v.leaves())) == 4
+        assert len(list(v.internal_nodes())) == 3
+
+    def test_find_structuring_node(self):
+        v = Vtree.balanced(["a", "b", "c", "d"])
+        node = v.find_structuring_node({"a"}, {"c", "d"})
+        assert node is v
+        assert v.find_structuring_node({"a", "c"}, {"b"}) is None
+
+
+class TestTransformations:
+    def test_prune_to(self):
+        v = Vtree.balanced(["a", "b", "c", "d"])
+        p = v.prune_to({"a", "d"})
+        assert p.variables == {"a", "d"}
+        assert p.to_nested() == ("a", "d")
+
+    def test_prune_everything_raises(self):
+        with pytest.raises(ValueError):
+            Vtree.leaf("x").prune_to(set())
+
+    def test_swap(self):
+        v = Vtree.internal(Vtree.leaf("a"), Vtree.leaf("b"))
+        assert v.swap().to_nested() == ("b", "a")
+
+    def test_nested_roundtrip(self):
+        spec = (("a", "b"), ("c", ("d", "e")))
+        assert Vtree.from_nested(spec).to_nested() == spec
+
+    def test_equality_and_hash(self):
+        a = Vtree.balanced(["x", "y", "z"])
+        b = Vtree.balanced(["x", "y", "z"])
+        assert a == b and hash(a) == hash(b)
+        assert a != Vtree.left_linear(["x", "y", "z"])
+
+
+class TestEnumeration:
+    def test_count_two_vars(self):
+        # 2 variables: 2 orders x 1 shape = 2 vtrees
+        assert sum(1 for _ in Vtree.enumerate_all(["a", "b"])) == 2
+
+    def test_count_three_vars(self):
+        # 3! orders x Catalan(2)=2 shapes = 12
+        assert sum(1 for _ in Vtree.enumerate_all(["a", "b", "c"])) == 12
+
+    def test_count_four_vars(self):
+        # 4! x Catalan(3)=5 = 120
+        assert sum(1 for _ in Vtree.enumerate_all(["a", "b", "c", "d"])) == 120
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValueError):
+            list(Vtree.enumerate_all([f"v{i}" for i in range(8)]))
+
+    def test_candidates_cover_basics(self):
+        cands = Vtree.candidate_vtrees(["a", "b", "c", "d"])
+        shapes = {c.to_nested() for c in cands}
+        assert Vtree.right_linear(["a", "b", "c", "d"]).to_nested() in shapes
+        assert Vtree.balanced(["a", "b", "c", "d"]).to_nested() in shapes
+
+
+class TestRendering:
+    def test_render_contains_all_leaves(self):
+        v = Vtree.balanced(["a", "b", "c"])
+        text = v.render()
+        for leaf in ("a", "b", "c"):
+            assert leaf in text
+
+    def test_render_is_multiline(self):
+        assert len(Vtree.balanced(["a", "b"]).render().splitlines()) == 3

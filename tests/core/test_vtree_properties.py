@@ -1,0 +1,80 @@
+"""Hypothesis property tests on vtrees (core data-structure invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vtree import Vtree
+
+
+@st.composite
+def vtrees(draw, min_vars: int = 1, max_vars: int = 6):
+    n = draw(st.integers(min_vars, max_vars))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return Vtree.random([f"v{i}" for i in range(n)], rng)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vtrees())
+def test_leaf_order_matches_variables(t):
+    order = t.leaf_order()
+    assert len(order) == len(t.variables)
+    assert set(order) == t.variables
+
+
+@settings(max_examples=50, deadline=None)
+@given(vtrees())
+def test_nested_round_trip(t):
+    assert Vtree.from_nested(t.to_nested()) == t
+
+
+@settings(max_examples=50, deadline=None)
+@given(vtrees())
+def test_size_is_node_count(t):
+    assert t.size == sum(1 for _ in t.nodes())
+    # a binary tree with L leaves has 2L-1 nodes
+    assert t.size == 2 * len(t.variables) - 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(vtrees(min_vars=2))
+def test_internal_nodes_partition_variables(t):
+    for v in t.internal_nodes():
+        assert v.left is not None and v.right is not None
+        assert v.left.variables | v.right.variables == v.variables
+        assert not (v.left.variables & v.right.variables)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vtrees(min_vars=2), st.integers(0, 10_000))
+def test_prune_keeps_exactly_requested(t, seed):
+    rng = np.random.default_rng(seed)
+    vs = sorted(t.variables)
+    k = int(rng.integers(1, len(vs) + 1))
+    keep = set(rng.choice(vs, size=k, replace=False))
+    pruned = t.prune_to(keep)
+    assert pruned.variables == frozenset(keep)
+    # pruning preserves the relative left-to-right order of kept leaves
+    original = [v for v in t.leaf_order() if v in keep]
+    assert pruned.leaf_order() == original
+
+
+@settings(max_examples=40, deadline=None)
+@given(vtrees(min_vars=2))
+def test_swap_is_involution_at_root(t):
+    assert t.swap().swap() == t
+
+
+@settings(max_examples=40, deadline=None)
+@given(vtrees(min_vars=2))
+def test_structuring_node_found_for_own_splits(t):
+    for v in t.internal_nodes():
+        assert v.left is not None and v.right is not None
+        found = t.find_structuring_node(v.left.variables, v.right.variables)
+        assert found is not None
+        assert v.left.variables <= found.left.variables
+        assert v.right.variables <= found.right.variables

@@ -1,0 +1,96 @@
+"""Vtree local-operation and dynamic-minimization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+from repro.core.vtree_search import (
+    minimize_vtree,
+    neighbors,
+    rotate_left,
+    rotate_right,
+    sdd_size_objective,
+    sdw_objective,
+)
+
+
+class TestRotations:
+    def test_rotate_right(self):
+        v = Vtree.from_nested((("a", "b"), "c"))
+        r = rotate_right(v)
+        assert r.to_nested() == ("a", ("b", "c"))
+
+    def test_rotate_left(self):
+        v = Vtree.from_nested(("a", ("b", "c")))
+        r = rotate_left(v)
+        assert r.to_nested() == (("a", "b"), "c")
+
+    def test_rotations_inverse(self):
+        v = Vtree.from_nested((("a", "b"), ("c", "d")))
+        assert rotate_left(rotate_right(v)).to_nested() == v.to_nested()
+
+    def test_not_applicable(self):
+        assert rotate_right(Vtree.from_nested(("a", "b"))) is None
+        assert rotate_left(Vtree.from_nested(("a", "b"))) is None
+        assert rotate_left(Vtree.leaf("a")) is None
+
+    def test_rotations_preserve_leaf_set(self):
+        v = Vtree.from_nested((("a", "b"), ("c", "d")))
+        for r in (rotate_left(v), rotate_right(v)):
+            assert r.variables == v.variables
+
+
+class TestNeighbors:
+    def test_neighbors_are_valid_vtrees(self):
+        v = Vtree.balanced(["a", "b", "c", "d"])
+        ns = list(neighbors(v))
+        assert ns
+        for n in ns:
+            assert n.variables == v.variables
+
+    def test_neighbors_include_swap(self):
+        v = Vtree.from_nested(("a", "b"))
+        shapes = {n.to_nested() for n in neighbors(v)}
+        assert ("b", "a") in shapes
+
+    def test_deep_rewrites_reach_inside(self):
+        v = Vtree.from_nested((("a", ("b", "c")), "d"))
+        shapes = {n.to_nested() for n in neighbors(v)}
+        assert ((("a", "b"), "c"), "d") in shapes  # rotate at an inner node
+
+
+class TestMinimize:
+    def test_never_worse_than_start(self):
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            f = BooleanFunction.random(["a", "b", "c", "d"], rng)
+            start = Vtree.right_linear(sorted(f.variables))
+            s0 = compile_canonical_sdd(f, start).size
+            best, t = minimize_vtree(f, start=start, max_rounds=5)
+            assert best <= s0
+            assert compile_canonical_sdd(f, t).size == best
+
+    def test_objective_sdw(self):
+        rng = np.random.default_rng(2)
+        f = BooleanFunction.random(["a", "b", "c", "d"], rng)
+        start = Vtree.balanced(sorted(f.variables))
+        w0 = compile_canonical_sdd(f, start).sdw
+        best, t = minimize_vtree(f, start=start, objective=sdw_objective(f), max_rounds=5)
+        assert best <= w0
+
+    def test_separated_disjointness_improves(self):
+        """Starting from the bad separated vtree for D_2, local search finds
+        a strictly smaller vtree (interleaving helps)."""
+        from repro.circuits.build import disjointness
+
+        f = disjointness(2).function()
+        bad = Vtree.internal(
+            Vtree.balanced(["x1", "x2"]), Vtree.balanced(["y1", "y2"])
+        )
+        s0 = compile_canonical_sdd(f, bad).size
+        best, _ = minimize_vtree(f, start=bad, max_rounds=8)
+        assert best < s0

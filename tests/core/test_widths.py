@@ -1,0 +1,149 @@
+"""Width theory tests: Definitions 2/4/5, eqs. (22), (23), (29), (30),
+Lemma 1's bound and Proposition 2's explicit tree decomposition."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.boolfunc import BooleanFunction
+from repro.core.nnf_compile import compile_canonical_nnf
+from repro.core.vtree import Vtree
+from repro.core.widths import (
+    _nnf_graph,
+    best_vtree,
+    eq22_bound,
+    eq29_bound,
+    factor_width,
+    fiw,
+    lemma1_bound,
+    min_factor_width,
+    min_fiw,
+    min_sdw,
+    prop2_tree_decomposition,
+    sdw,
+)
+from repro.graphs.exact_tw import exact_treewidth
+
+from ..conftest import boolean_functions, variables
+
+
+class TestFactorWidth:
+    def test_implication(self):
+        f = BooleanFunction.from_callable(["x", "y"], lambda x, y: (not x) or y)
+        for t in Vtree.enumerate_all(["x", "y"]):
+            assert factor_width(f, t) == 2
+
+    def test_constant_has_width_one(self):
+        f = BooleanFunction.true(["a", "b"])
+        assert factor_width(f, Vtree.balanced(["a", "b"])) == 1
+
+    def test_parity_factor_width_two(self):
+        f = BooleanFunction.from_callable(["a", "b", "c"], lambda a, b, c: a ^ b ^ c)
+        w, t = min_factor_width(f)
+        assert w == 2
+
+    def test_min_over_vtrees_beats_fixed(self):
+        rng = np.random.default_rng(0)
+        f = BooleanFunction.random(variables(4), rng)
+        w, t = min_factor_width(f, exhaustive=True)
+        assert w <= factor_width(f, Vtree.balanced(variables(4)))
+        assert factor_width(f, t) == w
+
+
+class TestWidthInequalities:
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=3))
+    def test_eq22_fiw_le_fw_squared(self, f):
+        """fiw(F,T) <= fw(F,T)^2 node-wise (eq. 22, first inequality)."""
+        for t in [Vtree.balanced(sorted(f.variables)), Vtree.right_linear(sorted(f.variables))]:
+            assert fiw(f, t) <= eq22_bound(factor_width(f, t))
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=3))
+    def test_eq29_sdw_le_exp_fw(self, f):
+        """sdw(F,T) <= 2^{2 fw(F,T)+1} (eq. 29, first inequality)."""
+        for t in [Vtree.balanced(sorted(f.variables)), Vtree.right_linear(sorted(f.variables))]:
+            assert sdw(f, t) <= eq29_bound(factor_width(f, t))
+
+    def test_lemma1_bound_values(self):
+        assert lemma1_bound(0) == 2 ** 4
+        assert lemma1_bound(1) == 2 ** 12
+        assert lemma1_bound(2) == 2 ** 32
+        with pytest.raises(ValueError):
+            lemma1_bound(-1)
+
+
+class TestProposition2:
+    """ctw(F) <= 3·fiw(F): the explicit tree decomposition of the compiled
+    circuit is valid and narrow."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_prop2_decomposition_valid_and_narrow(self, f):
+        t = Vtree.balanced(sorted(f.variables))
+        compiled = compile_canonical_nnf(f, t)
+        res = prop2_tree_decomposition(compiled)
+        res.validate()
+        k = compiled.fiw
+        # Bags collect closed neighborhoods of <= k AND gates of degree 3;
+        # the paper's bound is 3k (we allow the root sweep-up slack).
+        assert res.width <= 3 * max(k, 1) + 2
+
+    def test_prop2_gives_ctw_upper_bound(self):
+        """The graph of C_{F,T} really has small treewidth: check against
+        the exact DP on a small instance."""
+        f = BooleanFunction.from_callable(
+            ["a", "b", "c"], lambda a, b, c: (a and b) or c
+        )
+        t = Vtree.balanced(["a", "b", "c"])
+        compiled = compile_canonical_nnf(f, t)
+        res = prop2_tree_decomposition(compiled)
+        if res.graph.number_of_nodes() <= 14:
+            tw = exact_treewidth(res.graph)
+            assert tw <= 3 * max(compiled.fiw, 1)
+
+
+class TestMinimization:
+    def test_min_fiw_and_sdw_witnesses(self):
+        rng = np.random.default_rng(1)
+        f = BooleanFunction.random(variables(3), rng)
+        wf, tf = min_fiw(f, exhaustive=True)
+        ws, ts = min_sdw(f, exhaustive=True)
+        assert fiw(f, tf) == wf
+        assert sdw(f, ts) == ws
+
+    def test_best_vtree_objectives(self):
+        rng = np.random.default_rng(2)
+        f = BooleanFunction.random(variables(3), rng)
+        for obj in ("fw", "fiw", "sdw"):
+            t = best_vtree(f, obj, exhaustive=True)
+            assert t.variables >= set(f.variables)
+        with pytest.raises(ValueError):
+            best_vtree(f, "nope")
+
+    def test_heuristic_candidates_path(self):
+        rng = np.random.default_rng(3)
+        f = BooleanFunction.random(variables(5), rng)
+        w, t = min_factor_width(f, exhaustive=False, rng=rng)
+        assert w >= 1
+
+
+class TestProposition2OnSDD:
+    """Eq. (30): the Prop-2 decomposition applies to the canonical SDD as
+    well (ctw(F)/3 <= sdw(F))."""
+
+    def test_sdd_decomposition_valid(self):
+        import numpy as np
+        from repro.core.sdd_compile import compile_canonical_sdd
+
+        rng = np.random.default_rng(21)
+        for _ in range(4):
+            f = BooleanFunction.random(variables(4), rng)
+            t = Vtree.balanced(variables(4))
+            compiled = compile_canonical_sdd(f, t)
+            res = prop2_tree_decomposition(compiled)
+            res.validate()
+            assert res.width <= 3 * max(compiled.sdw, 1) + 2

@@ -1,0 +1,105 @@
+"""Exact treewidth / pathwidth DP tests against known values."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.exact_tw import exact_tree_decomposition, exact_treewidth, treewidth
+from repro.graphs.pathwidth import (
+    exact_pathwidth,
+    exact_vertex_order,
+    heuristic_pathwidth,
+    order_to_path_decomposition,
+    pathwidth,
+)
+
+
+KNOWN_TW = [
+    (nx.path_graph(1), 0),
+    (nx.path_graph(5), 1),
+    (nx.cycle_graph(4), 2),
+    (nx.cycle_graph(7), 2),
+    (nx.complete_graph(4), 3),
+    (nx.complete_graph(6), 5),
+    (nx.balanced_tree(2, 3), 1),
+    (nx.grid_2d_graph(3, 3), 3),
+    (nx.complete_bipartite_graph(3, 3), 3),
+    (nx.petersen_graph(), 4),
+]
+
+
+class TestExactTreewidth:
+    @pytest.mark.parametrize("graph,expected", KNOWN_TW)
+    def test_known_values(self, graph, expected):
+        assert exact_treewidth(graph) == expected
+
+    def test_empty_graph(self):
+        assert exact_treewidth(nx.Graph()) == -1
+
+    def test_selfloops_ignored(self):
+        g = nx.path_graph(3)
+        g.add_edge(1, 1)
+        assert exact_treewidth(g) == 1
+
+    def test_limit_guard(self):
+        with pytest.raises(ValueError):
+            exact_treewidth(nx.path_graph(30))
+
+    def test_auto_dispatch(self):
+        assert treewidth(nx.cycle_graph(5)) == 2
+        # beyond the limit: heuristic upper bound, still valid for a cycle
+        assert treewidth(nx.cycle_graph(40), exact_limit=10) >= 2
+
+    @pytest.mark.parametrize("graph", [nx.cycle_graph(6), nx.complete_graph(4), nx.grid_2d_graph(2, 3)])
+    def test_witness_decomposition(self, graph):
+        td = exact_tree_decomposition(graph)
+        td.validate(graph)
+        assert td.width == exact_treewidth(graph)
+
+
+KNOWN_PW = [
+    (nx.path_graph(6), 1),
+    (nx.star_graph(5), 1),
+    (nx.cycle_graph(6), 2),
+    (nx.complete_graph(5), 4),
+    (nx.grid_2d_graph(2, 4), 2),
+    (nx.balanced_tree(2, 2), 1),
+    (nx.balanced_tree(2, 3), 2),
+]
+
+
+class TestExactPathwidth:
+    @pytest.mark.parametrize("graph,expected", KNOWN_PW)
+    def test_known_values(self, graph, expected):
+        assert exact_pathwidth(graph) == expected
+
+    def test_pathwidth_at_least_treewidth(self):
+        for g in (nx.cycle_graph(5), nx.balanced_tree(2, 3), nx.grid_2d_graph(3, 3)):
+            assert exact_pathwidth(g) >= exact_treewidth(g)
+
+    def test_tree_pathwidth_grows_with_depth(self):
+        """Complete binary trees: treewidth stays 1 but pathwidth grows —
+        the CPW vs CTW gap of Figure 1, on the graph level."""
+        pws = [exact_pathwidth(nx.balanced_tree(2, d)) for d in (1, 2, 3)]
+        assert pws == sorted(pws)
+        assert pws[-1] > pws[0]
+        assert all(exact_treewidth(nx.balanced_tree(2, d)) == 1 for d in (1, 2, 3))
+
+    def test_empty(self):
+        assert exact_pathwidth(nx.Graph()) == -1
+
+    def test_order_witness(self):
+        g = nx.cycle_graph(5)
+        order = exact_vertex_order(g)
+        pd = order_to_path_decomposition(g, order)
+        pd.validate(g)
+        assert pd.width == exact_pathwidth(g)
+
+    def test_heuristic_upper_bound(self):
+        for g in (nx.path_graph(8), nx.cycle_graph(8)):
+            assert heuristic_pathwidth(g) >= exact_pathwidth(g)
+
+    def test_auto_dispatch(self):
+        assert pathwidth(nx.path_graph(5)) == 1
+        assert pathwidth(nx.path_graph(40), exact_limit=10) >= 1

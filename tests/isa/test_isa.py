@@ -1,0 +1,131 @@
+"""ISA function and Appendix-A SDD construction tests (Proposition 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.isa import (
+    isa_accepts,
+    isa_function,
+    isa_n,
+    isa_parameters,
+    isa_vtree,
+    word_positions,
+    yvars,
+    zvars,
+)
+from repro.isa.sdd_construction import build_isa_sdd, small_term_count_bound
+
+
+class TestParameters:
+    def test_valid_pairs(self):
+        assert isa_parameters() == [(1, 1), (1, 2), (2, 4), (5, 8)]
+
+    def test_sizes(self):
+        assert isa_n(1, 1) == 3
+        assert isa_n(1, 2) == 5
+        assert isa_n(2, 4) == 18
+        assert isa_n(5, 8) == 261
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            isa_n(2, 3)
+
+    def test_word_positions(self):
+        assert word_positions(1, 2, 1) == [1, 2]
+        assert word_positions(1, 2, 2) == [3, 4]
+        with pytest.raises(ValueError):
+            word_positions(1, 2, 3)
+
+
+class TestSemantics:
+    def test_isa3_manual(self):
+        # k=1, m=1: y1 selects word = z1 or z2; word value selects z1/z2.
+        a = {"y1": 0, "z1": 0, "z2": 1}
+        # word 1 = (z1) = 0 -> j=1 -> read z1 = 0
+        assert not isa_accepts(1, 1, a)
+        a = {"y1": 0, "z1": 1, "z2": 0}
+        # word 1 = 1 -> j=2 -> read z2 = 0
+        assert not isa_accepts(1, 1, a)
+        a = {"y1": 1, "z1": 1, "z2": 1}
+        # word 2 = z2 = 1 -> j=2 -> read z2 = 1
+        assert isa_accepts(1, 1, a)
+
+    def test_isa5_msb_first(self):
+        # k=1, m=2: address y1=0 -> word 1 = (z1 z2) MSB-first.
+        a = {"y1": 0, "z1": 1, "z2": 0, "z3": 1, "z4": 0}
+        # word value = 10b = 2 -> j = 3 -> read z3 = 1
+        assert isa_accepts(1, 2, a)
+
+    def test_function_matches_accepts(self):
+        for (k, m) in [(1, 1), (1, 2)]:
+            f = isa_function(k, m)
+            rng = np.random.default_rng(0)
+            for _ in range(30):
+                a = {v: int(rng.integers(0, 2)) for v in f.variables}
+                assert f(a) == isa_accepts(k, m, a)
+
+    def test_function_guard(self):
+        with pytest.raises(ValueError):
+            isa_function(5, 8)
+
+
+class TestVtree:
+    def test_figure4_shape(self):
+        """The paper's Figure 4: T_5 = (y1, (((z1,z2),z3),z4))."""
+        assert isa_vtree(1, 2).to_nested() == ("y1", ((("z1", "z2"), "z3"), "z4"))
+
+    def test_covers_variables(self):
+        t = isa_vtree(2, 4)
+        assert t.variables == set(yvars(2)) | set(zvars(4))
+
+    def test_y_part_right_linear(self):
+        t = isa_vtree(2, 4)
+        assert t.left.is_leaf and t.left.var == "y1"
+        assert t.right.left.is_leaf and t.right.left.var == "y2"
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 2)])
+    def test_exact_equivalence_small(self, k, m):
+        f = isa_function(k, m)
+        s = build_isa_sdd(k, m)
+        assert s.root.function(sorted(f.variables)) == f
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 2)])
+    def test_structured_and_deterministic(self, k, m):
+        s = build_isa_sdd(k, m)
+        assert s.root.is_deterministic()
+        assert s.root.is_structured_by(isa_vtree(k, m))
+
+    def test_isa18_model_count(self):
+        """Full semantic check is infeasible at n=18; the exact model count
+        through the d-DNNF recursion is a strong fingerprint."""
+        f = isa_function(2, 4)
+        s = build_isa_sdd(2, 4)
+        assert s.root.model_count(sorted(f.variables)) == f.count_models()
+
+    def test_isa18_sampled_evaluation(self):
+        s = build_isa_sdd(2, 4)
+        rng = np.random.default_rng(1)
+        vs = sorted(yvars(2) + zvars(4))
+        for _ in range(60):
+            a = {v: int(rng.integers(0, 2)) for v in vs}
+            assert s.root.evaluate(a) == isa_accepts(2, 4, a)
+
+    def test_size_tracks_prop3_bound(self):
+        """Proposition 3 shape: size = O(n^{13/5}); the ratio size/n^{2.6}
+        stays bounded across the family (we check it never exceeds the
+        small-n maximum by more than 2x)."""
+        ratios = []
+        for (k, m) in [(1, 1), (1, 2), (2, 4)]:
+            s = build_isa_sdd(k, m)
+            ratios.append(s.size / s.n ** 2.6)
+        assert max(ratios) <= 2 * ratios[0] + 2
+
+    def test_accounting(self):
+        s = build_isa_sdd(1, 2)
+        assert s.and_gate_count == len(s.root.and_gates())
+        assert s.distinct_terms >= 1
+        assert small_term_count_bound(1, 2) == 28

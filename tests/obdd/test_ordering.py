@@ -1,0 +1,63 @@
+"""Variable-order search tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.build import disjointness
+from repro.core.boolfunc import BooleanFunction
+from repro.obdd.obdd import obdd_width_of_function
+from repro.obdd.ordering import (
+    best_order_exhaustive,
+    best_order_hillclimb,
+    min_obdd_size,
+    min_obdd_width,
+)
+
+
+class TestExhaustive:
+    def test_beats_any_fixed_order(self):
+        f = disjointness(3).function()
+        best_w, order = best_order_exhaustive(f, "width", limit=6)
+        assert best_w <= obdd_width_of_function(f, sorted(f.variables))
+        assert obdd_width_of_function(f, order) == best_w
+
+    def test_limit_guard(self):
+        f = BooleanFunction.true([f"v{i}" for i in range(9)])
+        with pytest.raises(ValueError):
+            best_order_exhaustive(f, limit=8)
+
+    def test_size_objective(self):
+        f = disjointness(2).function()
+        best_s, order = best_order_exhaustive(f, "size", limit=6)
+        assert best_s >= 3  # at least a node and two terminals
+
+
+class TestHillclimb:
+    def test_never_worse_than_start(self):
+        f = disjointness(3).function()
+        start = sorted(f.variables)  # the bad separated order
+        w0 = obdd_width_of_function(f, start)
+        w1, order = best_order_hillclimb(f, "width", start=start)
+        assert w1 <= w0
+        assert obdd_width_of_function(f, list(order)) == w1
+
+    def test_finds_interleaving_for_disjointness(self):
+        f = disjointness(3).function()
+        w, _ = best_order_hillclimb(f, "width", max_rounds=20)
+        assert w <= 4  # far below the separated 2^3
+
+
+class TestDispatch:
+    def test_min_width_small_exact(self):
+        f = disjointness(2).function()
+        assert min_obdd_width(f) <= 3
+
+    def test_min_size(self):
+        f = BooleanFunction.var("x")
+        assert min_obdd_size(f) == 3
+
+    def test_large_uses_hillclimb(self):
+        f = disjointness(4).function()  # 8 vars > exact limit 7
+        assert min_obdd_width(f, exact_limit=7) <= 2 ** 4

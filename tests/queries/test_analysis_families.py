@@ -1,0 +1,96 @@
+"""Inversion/hierarchy analysis and the Lemma-7 query families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.analysis import find_inversion, is_hierarchical, is_inversion_free
+from repro.queries.families import (
+    chain_database,
+    chain_schema,
+    hierarchical_query,
+    independent_query,
+    inequality_query,
+    inversion_chain_query,
+    inversion_chain_with_inequality,
+    lemma7_assignment,
+    lemma7_blocks,
+    verify_lemma7,
+)
+from repro.queries.syntax import parse_cq, parse_ucq
+
+
+class TestHierarchy:
+    def test_hierarchical_positive(self):
+        assert is_hierarchical(parse_cq("R(x),S(x,y)"))
+
+    def test_hierarchical_negative(self):
+        # at(x) and at(y) overlap at S but neither contains the other
+        assert not is_hierarchical(parse_cq("R(x),S(x,y),T(y)"))
+
+    def test_disjoint_atom_sets_ok(self):
+        assert is_hierarchical(parse_cq("R(x),T(y)"))
+
+
+class TestInversions:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_chain_has_length_k_inversion(self, k):
+        w = find_inversion(inversion_chain_query(k))
+        assert w is not None
+        assert w.length == k
+
+    def test_inversion_free_families(self):
+        assert is_inversion_free(hierarchical_query())
+        assert is_inversion_free(independent_query())
+        assert is_inversion_free(inequality_query())
+
+    def test_chain_with_inequality_still_inverted(self):
+        w = find_inversion(inversion_chain_with_inequality(2))
+        assert w is not None
+        assert w.length <= 2
+
+    def test_single_atom_query(self):
+        assert is_inversion_free(parse_ucq("R(x,y)"))
+
+    def test_classic_nonhierarchical_single_cq(self):
+        """R(x),S(x,y),T(y) alone has no inversion (no unifiable partner),
+        even though it is not hierarchical."""
+        assert is_inversion_free(parse_ucq("R(x),S(x,y),T(y)"))
+
+
+class TestChainFamilies:
+    def test_schema(self):
+        assert chain_schema(2) == {"R": 1, "T": 1, "S1": 2, "S2": 2}
+
+    def test_database_size(self):
+        db = chain_database(2, 3)
+        # R: 3, T: 3, S1: 9, S2: 9
+        assert db.size == 24
+
+    def test_blocks_partition_tuples(self):
+        blocks = lemma7_blocks(2, 2)
+        db = chain_database(2, 2)
+        flat = [v for vs in blocks.values() for v in vs]
+        assert sorted(flat) == db.all_tuple_variables()
+
+    def test_assignment_keeps_two_blocks(self):
+        blocks = lemma7_blocks(2, 2)
+        a = lemma7_assignment(2, 2, 1)
+        free = [v for vs in blocks.values() for v in vs if v not in a]
+        assert set(free) == set(blocks["Z1"]) | set(blocks["Z2"])
+
+    def test_assignment_bad_index(self):
+        with pytest.raises(ValueError):
+            lemma7_assignment(2, 2, 3)
+
+    @pytest.mark.parametrize("k,n", [(1, 2), (1, 3), (2, 2), (3, 1)])
+    def test_lemma7_all_indices(self, k, n):
+        """F(b_i, ·) ≡ H^i_{k,n} for every i — the executable Lemma 7."""
+        for i in range(k + 1):
+            assert verify_lemma7(k, n, i), (k, n, i)
+
+    def test_query_shape(self):
+        q = inversion_chain_query(3)
+        assert len(q.disjuncts) == 4
+        assert str(q.disjuncts[0]) == "R(x),S1(x,y)"
+        assert str(q.disjuncts[-1]) == "S3(x,y),T(y)"

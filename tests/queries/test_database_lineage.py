@@ -1,0 +1,166 @@
+"""Database and lineage construction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boolfunc import BooleanFunction
+from repro.queries.database import (
+    Database,
+    ProbabilisticDatabase,
+    complete_database,
+    tuple_variable,
+)
+from repro.queries.lineage import (
+    ground_cq,
+    lineage_circuit,
+    lineage_function,
+    lineage_nnf,
+    lineage_terms,
+)
+from repro.queries.syntax import parse_cq, parse_ucq
+
+
+class TestDatabase:
+    def test_add_and_contains(self):
+        db = Database()
+        name = db.add("R", 1, 2)
+        assert name == "R(1,2)"
+        assert db.contains("R", (1, 2))
+        assert not db.contains("R", (2, 1))
+
+    def test_active_domain(self):
+        db = Database()
+        db.add("R", 1)
+        db.add("S", 2, 3)
+        assert db.active_domain() == [1, 2, 3]
+
+    def test_arity_mismatch(self):
+        db = Database()
+        db.add("R", 1)
+        with pytest.raises(ValueError):
+            db.add("R", 1, 2)
+
+    def test_size(self):
+        db = Database()
+        db.add("R", 1)
+        db.add("R", 2)
+        assert db.size == 2
+
+    def test_probabilistic_add(self):
+        db = ProbabilisticDatabase()
+        db.add("R", 1, p=0.7)
+        assert db.probability_map() == {"R(1)": 0.7}
+
+    def test_bad_probability(self):
+        db = ProbabilisticDatabase()
+        with pytest.raises(ValueError):
+            db.add("R", 1, p=1.5)
+
+    def test_complete_database(self):
+        db = complete_database({"R": 1, "S": 2}, 2)
+        assert len(db.tuples("R")) == 2
+        assert len(db.tuples("S")) == 4
+        assert all(p == 0.5 for p in db.probability_map().values())
+
+    def test_random_database(self):
+        rng = np.random.default_rng(0)
+        db = ProbabilisticDatabase.random({"R": 1}, 3, rng, tuple_density=1.0)
+        assert db.size == 3
+
+    def test_all_tuple_variables_sorted(self):
+        db = Database()
+        db.add("S", 2)
+        db.add("R", 1)
+        assert db.all_tuple_variables() == ["R(1)", "S(2)"]
+
+
+class TestGrounding:
+    def test_hand_grounding(self):
+        db = Database()
+        db.add("R", 1)
+        db.add("S", 1, 1)
+        db.add("S", 2, 2)
+        cq = parse_cq("R(x),S(x,y)")
+        terms = list(ground_cq(cq, db))
+        assert terms == [frozenset({"R(1)", "S(1,1)"})]
+
+    def test_inequality_filters(self):
+        db = Database()
+        db.add("R", 1)
+        db.add("R", 2)
+        db.add("S", 1)
+        db.add("S", 2)
+        cq = parse_cq("R(x),S(y),x!=y")
+        terms = set(ground_cq(cq, db))
+        assert frozenset({"R(1)", "S(2)"}) in terms
+        assert frozenset({"R(1)", "S(1)"}) not in terms
+
+    def test_constant_in_query(self):
+        db = Database()
+        db.add("R", 1, 2)
+        db.add("R", 1, 3)
+        cq = parse_cq("R(x,2)")
+        terms = list(ground_cq(cq, db))
+        assert terms == [frozenset({"R(1,2)"})]
+
+    def test_explicit_domain(self):
+        db = Database()
+        db.add("R", 1)
+        cq = parse_cq("R(x)")
+        assert list(ground_cq(cq, db, domain=[2])) == []
+
+
+class TestLineage:
+    def test_terms_deduplicated(self):
+        db = Database()
+        db.add("R", 1)
+        q = parse_ucq("R(x) | R(y)")
+        assert lineage_terms(q, db) == [frozenset({"R(1)"})]
+
+    def test_lineage_is_monotone(self):
+        db = complete_database({"R": 1, "S": 2}, 2)
+        f = lineage_function(parse_ucq("R(x),S(x,y)"), db)
+        # monotone: flipping any 0 to 1 never turns a model into a non-model
+        for m in f.models():
+            for v in f.variables:
+                if m[v] == 0:
+                    m2 = dict(m)
+                    m2[v] = 1
+                    assert f(m2)
+
+    def test_circuit_nnf_function_agree(self):
+        db = complete_database({"R": 1, "S": 2}, 2)
+        q = parse_ucq("R(x),S(x,y)")
+        f = lineage_function(q, db)
+        circuit_f = lineage_circuit(q, db).function(db.all_tuple_variables())
+        nnf_f = lineage_nnf(q, db).function(db.all_tuple_variables())
+        assert f == circuit_f == nnf_f
+
+    def test_lineage_definition(self):
+        """D' |= Q iff the indicator assignment models L(Q, D)."""
+        db = Database()
+        db.add("R", 1)
+        db.add("S", 1, 1)
+        db.add("S", 1, 2)
+        q = parse_ucq("R(x),S(x,y)")
+        f = lineage_function(q, db)
+        # world {R(1), S(1,2)} satisfies Q
+        assert f({"R(1)": 1, "S(1,1)": 0, "S(1,2)": 1})
+        # world {S(1,1), S(1,2)} does not (no R fact)
+        assert not f({"R(1)": 0, "S(1,1)": 1, "S(1,2)": 1})
+
+    def test_empty_lineage(self):
+        db = Database()
+        db.add("R", 1)
+        q = parse_ucq("T(x)")
+        f = lineage_function(q, db)
+        assert not f.is_satisfiable()
+
+    def test_lineage_scopes_all_tuples(self):
+        db = Database()
+        db.add("R", 1)
+        db.add("T", 9)  # unrelated tuple still in scope
+        f = lineage_function(parse_ucq("R(x)"), db)
+        assert set(f.variables) == {"R(1)", "T(9)"}

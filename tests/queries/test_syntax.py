@@ -1,0 +1,92 @@
+"""UCQ syntax and parser tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.syntax import (
+    Atom,
+    ConjunctiveQuery,
+    Inequality,
+    Term,
+    parse_cq,
+    parse_ucq,
+)
+
+
+class TestTerms:
+    def test_variable_lowercase(self):
+        assert Term.of("x").is_variable
+
+    def test_constant_number(self):
+        assert not Term.of("5").is_variable
+
+    def test_constant_uppercase(self):
+        assert not Term.of("Alice").is_variable
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Term.of("  ")
+
+
+class TestParser:
+    def test_single_atom(self):
+        cq = parse_cq("R(x,y)")
+        assert len(cq.atoms) == 1
+        assert cq.atoms[0].relation == "R"
+        assert cq.atoms[0].variables() == ("x", "y")
+
+    def test_multiple_atoms(self):
+        cq = parse_cq("R(x),S(x,y)")
+        assert len(cq.atoms) == 2
+        assert cq.variables() == ("x", "y")
+
+    def test_inequality(self):
+        cq = parse_cq("R(x),S(y),x!=y")
+        assert cq.inequalities == (Inequality("x", "y"),)
+
+    def test_constants_in_atoms(self):
+        cq = parse_cq("R(x,5)")
+        assert cq.atoms[0].args[1] == Term("5", False)
+        assert cq.variables() == ("x",)
+
+    def test_ucq_split(self):
+        q = parse_ucq("R(x) | S(x,y) | T(y)")
+        assert len(q.disjuncts) == 3
+        assert q.relations() == {"R", "S", "T"}
+        assert q.variables() == {"x", "y"}
+
+    def test_no_atoms_rejected(self):
+        with pytest.raises(SyntaxError):
+            parse_cq("x!=y")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SyntaxError):
+            parse_cq("R(x), ???")
+
+    def test_str_roundtrip(self):
+        text = "R(x),S(x,y),x!=y"
+        assert str(parse_cq(text)) == text
+
+    def test_ucq_str_roundtrip(self):
+        text = "R(x),S(x,y) | S(x,y),T(y)"
+        assert str(parse_ucq(text)) == text
+
+
+class TestAccessors:
+    def test_atoms_containing(self):
+        cq = parse_cq("R(x),S(x,y)")
+        assert cq.atoms_containing("x") == frozenset({0, 1})
+        assert cq.atoms_containing("y") == frozenset({1})
+        assert cq.atoms_containing("zz") == frozenset()
+
+    def test_variables_dedupe_order(self):
+        cq = parse_cq("S(x,y),R(x)")
+        assert cq.variables() == ("x", "y")
+
+    def test_has_inequalities(self):
+        assert parse_ucq("R(x),S(y),x!=y").has_inequalities()
+        assert not parse_ucq("R(x),S(y)").has_inequalities()
+
+    def test_arity(self):
+        assert parse_cq("R(x,y,z)").atoms[0].arity == 3

@@ -1,0 +1,108 @@
+"""Tests for circuit-level SDD vtree search and serialization round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import chain_and_or, disjointness
+from repro.circuits.random_circuits import random_circuit
+from repro.circuits.serialize import (
+    circuit_from_dict,
+    circuit_to_dict,
+    nnf_dumps,
+    nnf_from_dict,
+    nnf_loads,
+    nnf_to_dict,
+)
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+from repro.sdd.compile import (
+    candidate_compilations,
+    compile_with_vtree,
+    minimize_vtree_for_circuit,
+)
+
+
+class TestCircuitVtreeSearch:
+    def test_compile_with_vtree(self):
+        c = chain_and_or(5)
+        mgr, root, size = compile_with_vtree(c, Vtree.balanced(sorted(c.variables)))
+        assert size == mgr.size(root)
+        assert mgr.function(root, sorted(c.variables)) == c.function()
+
+    def test_candidates_sorted(self):
+        c = chain_and_or(5)
+        pairs = candidate_compilations(c)
+        sizes = [s for _, s in pairs]
+        assert sizes == sorted(sizes)
+
+    def test_search_never_worse(self):
+        c = disjointness(3)
+        xs = [f"x{i}" for i in range(1, 4)]
+        ys = [f"y{i}" for i in range(1, 4)]
+        bad = Vtree.internal(Vtree.balanced(xs), Vtree.balanced(ys))
+        _, _, s0 = compile_with_vtree(c, bad)
+        best, t = minimize_vtree_for_circuit(c, start=bad, max_rounds=5)
+        assert best <= s0
+        _, _, check = compile_with_vtree(c, t)
+        assert check == best
+
+    def test_neighbor_sampling_path(self):
+        rng = np.random.default_rng(0)
+        c = chain_and_or(5)
+        best, _ = minimize_vtree_for_circuit(
+            c, max_rounds=2, max_neighbors=3, rng=rng
+        )
+        assert best > 0
+
+
+class TestNnfSerialization:
+    def test_round_trip_preserves_structure(self):
+        rng = np.random.default_rng(1)
+        c = random_circuit(rng, n_vars=4, n_gates=8)
+        f = c.function()
+        sdd = compile_canonical_sdd(f, Vtree.balanced(sorted(f.variables)))
+        restored = nnf_loads(nnf_dumps(sdd.root))
+        assert restored.structural_key() == sdd.root.structural_key()
+        assert restored.function(sorted(f.variables)) == f
+
+    def test_sharing_survives(self):
+        rng = np.random.default_rng(2)
+        c = random_circuit(rng, n_vars=4, n_gates=10)
+        sdd = compile_canonical_sdd(c.function(), Vtree.balanced(sorted(c.variables)))
+        data = nnf_to_dict(sdd.root)
+        assert len(data["nodes"]) == sdd.root.size  # one entry per DAG node
+        assert nnf_from_dict(data).size == sdd.root.size
+
+    def test_constants_and_literals(self):
+        from repro.circuits.nnf import false_node, lit, true_node
+
+        for node in (true_node(), false_node(), lit("x", False)):
+            assert nnf_loads(nnf_dumps(node)).structural_key() == node.structural_key()
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            nnf_from_dict({"format": "nope"})
+
+
+class TestCircuitSerialization:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        c = random_circuit(rng, n_vars=3, n_gates=6)
+        restored = circuit_from_dict(circuit_to_dict(c))
+        assert restored.size == c.size
+        assert restored.function(c.variables) == c.function()
+
+    def test_var_dedup_restored(self):
+        c = chain_and_or(4)
+        restored = circuit_from_dict(circuit_to_dict(c))
+        assert restored.add_var("x1") == c.add_var("x1")
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            circuit_from_dict({"format": "nope"})

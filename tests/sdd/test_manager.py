@@ -1,0 +1,222 @@
+"""Apply-based SDD manager tests: canonicity, apply, invariants, counting."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import chain_and_or, disjointness, h0, parity
+from repro.circuits.circuit import Circuit
+from repro.core.boolfunc import BooleanFunction
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+from repro.sdd.manager import SddManager, sdd_from_circuit
+
+from ..conftest import boolean_functions
+
+
+def compile_fn(mgr: SddManager, f: BooleanFunction) -> int:
+    return mgr.compile_circuit(Circuit.from_function_dnf(f))
+
+
+class TestBasics:
+    def test_terminals(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        assert mgr.false == 0 and mgr.true == 1
+
+    def test_literal_unknown_var(self):
+        mgr = SddManager(Vtree.leaf("x"))
+        with pytest.raises(ValueError):
+            mgr.literal("zz")
+
+    def test_literal_same_id(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        assert mgr.literal("x", True) == mgr.literal("x", True)
+
+    def test_same_var_literal_ops(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        x, nx_ = mgr.literal("x", True), mgr.literal("x", False)
+        assert mgr.apply(x, nx_, "and") == mgr.false
+        assert mgr.apply(x, nx_, "or") == mgr.true
+
+    def test_negate_involution(self):
+        mgr = SddManager(Vtree.balanced(["x", "y", "z"]))
+        u = mgr.conjoin(mgr.literal("x", True), mgr.literal("y", False))
+        assert mgr.negate(mgr.negate(u)) == u
+
+
+class TestApplyCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        boolean_functions(min_vars=2, max_vars=4),
+        boolean_functions(min_vars=2, max_vars=4),
+        st.integers(0, 10_000),
+    )
+    def test_ops_match_semantics(self, f, g, seed):
+        vs = sorted(set(f.variables) | set(g.variables))
+        rng = np.random.default_rng(seed)
+        mgr = SddManager(Vtree.random(vs, rng))
+        u, v = compile_fn(mgr, f.extend(vs)), compile_fn(mgr, g.extend(vs))
+        assert mgr.function(mgr.apply(u, v, "and"), vs) == (f & g).extend(vs)
+        assert mgr.function(mgr.apply(u, v, "or"), vs) == (f | g).extend(vs)
+        assert mgr.function(mgr.negate(u), vs) == ~(f.extend(vs))
+
+    @settings(max_examples=30, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=5), st.integers(0, 10_000))
+    def test_canonicity(self, f, seed):
+        """Same function, same manager ⇒ same node id — regardless of the
+        circuit shape it was compiled from."""
+        vs = sorted(f.variables)
+        rng = np.random.default_rng(seed)
+        mgr = SddManager(Vtree.random(vs, rng))
+        a = compile_fn(mgr, f)
+        # a different circuit for the same function: CNF of the complement's
+        # models, negated
+        b = mgr.negate(compile_fn(mgr, ~f))
+        assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_invariants_validate(self, f):
+        vs = sorted(f.variables)
+        mgr = SddManager(Vtree.balanced(vs))
+        root = compile_fn(mgr, f)
+        mgr.validate(root)
+
+    def test_bad_op(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        with pytest.raises(ValueError):
+            mgr.apply(0, 1, "xor")
+
+
+class TestCompilation:
+    def test_compile_circuit_matches_function(self):
+        c = chain_and_or(5)
+        mgr, root = sdd_from_circuit(c)
+        assert mgr.function(root, sorted(c.variables)) == c.function()
+
+    def test_compile_nnf(self):
+        from repro.circuits.nnf import conj, disj, lit
+
+        n = disj([conj([lit("a", True), lit("b", True)]), lit("c", True)])
+        mgr = SddManager(Vtree.balanced(["a", "b", "c"]))
+        root = mgr.compile_nnf(n)
+        assert mgr.function(root, ["a", "b", "c"]) == n.function(["a", "b", "c"])
+
+    def test_matches_canonical_compile_semantics(self):
+        rng = np.random.default_rng(5)
+        vs = [f"v{i}" for i in range(4)]
+        f = BooleanFunction.random(vs, rng)
+        t = Vtree.balanced(vs)
+        mgr = SddManager(t)
+        root = compile_fn(mgr, f)
+        canonical = compile_canonical_sdd(f, t)
+        assert mgr.function(root, vs) == canonical.root.function(vs) == f
+
+
+class TestConditionRestrict:
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_condition(self, f):
+        vs = sorted(f.variables)
+        mgr = SddManager(Vtree.balanced(vs))
+        root = compile_fn(mgr, f)
+        v0 = vs[0]
+        conditioned = mgr.condition(root, {v0: 1})
+        expect = f.cofactor({v0: 1}).extend(vs)
+        assert mgr.function(conditioned, vs) == expect
+
+
+class TestMeasures:
+    def test_size_and_width(self):
+        c = h0(1, 2)
+        mgr, root = sdd_from_circuit(c)
+        assert mgr.size(root) > 0
+        assert mgr.width(root) > 0
+        assert mgr.node_count(root) >= mgr.width(root) // 2
+
+    def test_constant_sizes(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        assert mgr.size(mgr.true) == 0
+        assert mgr.width(mgr.false) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=5), st.integers(0, 10_000))
+    def test_count_models(self, f, seed):
+        vs = sorted(f.variables)
+        rng = np.random.default_rng(seed)
+        mgr = SddManager(Vtree.random(vs, rng))
+        root = compile_fn(mgr, f)
+        assert mgr.count_models(root) == f.count_models()
+
+    def test_count_models_scope(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        root = mgr.literal("x", True)
+        assert mgr.count_models(root, ["x", "y", "z"]) == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=1, max_vars=4))
+    def test_probability(self, f):
+        vs = sorted(f.variables)
+        mgr = SddManager(Vtree.balanced(vs))
+        root = compile_fn(mgr, f)
+        prob = {v: 0.4 for v in vs}
+        assert mgr.probability(root, prob) == pytest.approx(f.probability(prob))
+
+    def test_wmc_fraction_exact(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        root = mgr.disjoin(mgr.literal("x", True), mgr.literal("y", True))
+        w = {"x": (Fraction(1, 2), Fraction(1, 2)), "y": (Fraction(1, 2), Fraction(1, 2))}
+        assert mgr.weighted_count(root, w) == Fraction(3, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_evaluate(self, f):
+        vs = sorted(f.variables)
+        mgr = SddManager(Vtree.balanced(vs))
+        root = compile_fn(mgr, f)
+        for m in list(f.models())[:4]:
+            assert mgr.evaluate(root, m)
+
+    @settings(max_examples=15, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_to_nnf_structured_deterministic(self, f):
+        vs = sorted(f.variables)
+        t = Vtree.balanced(vs)
+        mgr = SddManager(t)
+        root = compile_fn(mgr, f)
+        nnf = mgr.to_nnf(root)
+        assert nnf.function(vs) == f
+        if nnf.kind not in ("true", "false", "lit"):
+            assert nnf.is_deterministic()
+            assert nnf.is_structured_by(t)
+
+
+class TestForgetRestrict:
+    def test_restrict_matches_semantics(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        vs = ["a", "b", "c"]
+        f = BooleanFunction.random(vs, rng)
+        mgr = SddManager(Vtree.balanced(vs))
+        root = compile_fn(mgr, f)
+        r = mgr._restrict(root, "a", True)
+        assert mgr.function(r, vs).exists(["a"]).extend(vs) == (
+            f.cofactor({"a": 1}).extend(vs)
+        )
+
+    def test_forget_var_is_exists(self):
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        vs = ["a", "b", "c"]
+        f = BooleanFunction.random(vs, rng)
+        mgr = SddManager(Vtree.balanced(vs))
+        root = compile_fn(mgr, f)
+        forgotten = mgr._forget_var(root, "b")
+        assert mgr.function(forgotten, vs) == f.exists(["b"]).extend(vs)

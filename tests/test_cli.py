@@ -1,0 +1,74 @@
+"""CLI smoke tests (driving main() directly)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCompile:
+    def test_compile_balanced(self, capsys):
+        assert main(["compile", "(a & b) | c"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical SDD" in out and "models:" in out
+
+    def test_compile_search(self, capsys):
+        assert main(["compile", "a & b", "--vtree", "search"]) == 0
+
+    def test_compile_constant(self, capsys):
+        assert main(["compile", "1"]) == 0
+        assert "constant" in capsys.readouterr().out
+
+
+class TestCtw:
+    def test_ctw_literal(self, capsys):
+        assert main(["ctw", "x"]) == 0
+        assert "ctw = 0" in capsys.readouterr().out
+
+    def test_ctw_xor(self, capsys):
+        assert main(["ctw", "(x & ~y) | (~x & y)"]) == 0
+        assert "ctw = 2" in capsys.readouterr().out
+
+    def test_ctw_budget_exhausted(self, capsys):
+        rc = main(["ctw", "(x & ~y) | (~x & y)", "--max-gates", "1"])
+        assert rc == 1
+
+
+class TestQuery:
+    def test_inversion_free(self, capsys):
+        assert main(["query", "R(x),S(x,y)", "--domain", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "none" in out and "P(q)" in out
+
+    def test_inversion_reported(self, capsys):
+        assert main(["query", "R(x),S1(x,y) | S1(x,y),T(y)", "--domain", "2"]) == 0
+        assert "length 1" in capsys.readouterr().out
+
+
+class TestIsa:
+    def test_isa_small(self, capsys):
+        assert main(["isa", "1", "2", "--show-vtree"]) == 0
+        out = capsys.readouterr().out
+        assert "ISA_5" in out and "z4" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+class TestReportUtil:
+    def test_format_table(self):
+        from repro.util.report import format_table
+
+        text = format_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "333" in text and "22" in text
+
+    def test_report_prints(self, capsys):
+        from repro.util.report import report
+
+        report("X", ["c"], [[9]])
+        assert "== X ==" in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Failure-injection tests: every engine must reject malformed input with
+a clear error instead of returning silently wrong results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.nnf import NNF, conj, lit
+from repro.core.boolfunc import BooleanFunction
+from repro.core.nnf_compile import compile_canonical_nnf
+from repro.core.sdd_compile import compile_canonical_sdd
+from repro.core.vtree import Vtree
+from repro.obdd.obdd import ObddManager
+from repro.sdd.manager import SddManager
+
+
+class TestBooleanFunctionFailures:
+    def test_wrong_table_size(self):
+        with pytest.raises(ValueError):
+            BooleanFunction(["a", "b"], [True] * 3)
+
+    def test_evaluate_incomplete_assignment(self):
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a and b)
+        with pytest.raises(KeyError):
+            f({"a": 1})
+
+    def test_project_essential(self):
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a and b)
+        with pytest.raises(ValueError):
+            f.project(["a"])
+
+    def test_rename_collision(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.true(["a", "b"]).rename({"a": "b"})
+
+    def test_all_functions_guard(self):
+        with pytest.raises(ValueError):
+            list(BooleanFunction.all_functions([f"v{i}" for i in range(5)]))
+
+
+class TestCircuitFailures:
+    def test_forward_reference(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_and(0, 1)
+
+    def test_gate_kind_validation(self):
+        with pytest.raises(ValueError):
+            Gate("xor", (0, 1))
+
+    def test_var_gate_payload(self):
+        with pytest.raises(ValueError):
+            Gate("var", (), None)
+
+    def test_const_gate_payload(self):
+        with pytest.raises(ValueError):
+            Gate("const", (), "yes")
+
+    def test_input_gate_with_wires(self):
+        with pytest.raises(ValueError):
+            Gate("var", (0,), "x")
+
+    def test_evaluate_without_output(self):
+        c = Circuit()
+        c.add_var("x")
+        with pytest.raises(ValueError):
+            c.evaluate({"x": 1})
+
+
+class TestVtreeFailures:
+    def test_overlapping_children(self):
+        with pytest.raises(ValueError):
+            Vtree.internal(Vtree.leaf("x"), Vtree.leaf("x"))
+
+    def test_compile_missing_variable(self):
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a or b)
+        with pytest.raises(ValueError):
+            compile_canonical_nnf(f, Vtree.leaf("a"))
+        with pytest.raises(ValueError):
+            compile_canonical_sdd(f, Vtree.leaf("a"))
+
+
+class TestManagerFailures:
+    def test_obdd_unknown_variable(self):
+        mgr = ObddManager(["a"])
+        with pytest.raises(KeyError):
+            mgr.var("zz")
+
+    def test_obdd_function_outside_order(self):
+        mgr = ObddManager(["a"])
+        f = BooleanFunction.from_callable(["a", "b"], lambda a, b: a and b)
+        with pytest.raises(ValueError):
+            mgr.from_function(f)
+
+    def test_sdd_unknown_literal(self):
+        mgr = SddManager(Vtree.balanced(["a", "b"]))
+        with pytest.raises(ValueError):
+            mgr.literal("zz")
+
+    def test_sdd_compile_circuit_with_foreign_vars(self):
+        mgr = SddManager(Vtree.leaf("a"))
+        c = Circuit()
+        c.set_output(c.add_var("zz"))
+        with pytest.raises(ValueError):
+            mgr.compile_circuit(c)
+
+    def test_obdd_evaluate_missing_var(self):
+        mgr = ObddManager(["a"])
+        root = mgr.var("a")
+        with pytest.raises(KeyError):
+            mgr.evaluate(root, {})
+
+
+class TestNNFFailures:
+    def test_wmc_missing_weight(self):
+        n = conj([lit("x", True), lit("y", True)])
+        with pytest.raises(KeyError):
+            n.weighted_model_count({"x": (0.5, 0.5)})
+
+    def test_forget_requires_dnnf(self):
+        shared = lit("x", True)
+        n = conj([shared, NNF("or", children=(NNF("lit", "x", False), lit("y", True)))])
+        with pytest.raises(ValueError):
+            n.forget(["y"])
+
+    def test_scope_smaller_than_vars(self):
+        n = conj([lit("x", True), lit("y", True)])
+        with pytest.raises(ValueError):
+            n.model_count(["x"])
+
+
+class TestQueryFailures:
+    def test_unknown_relation_gives_empty_lineage(self):
+        """Semantics, not an error: querying an absent relation means the
+        query is unsatisfiable over D."""
+        from repro.queries.database import Database
+        from repro.queries.lineage import lineage_function
+        from repro.queries.syntax import parse_ucq
+
+        db = Database()
+        db.add("R", 1)
+        f = lineage_function(parse_ucq("Missing(x)"), db)
+        assert not f.is_satisfiable()
+
+    def test_parser_rejects_noise(self):
+        from repro.queries.syntax import parse_cq
+
+        with pytest.raises(SyntaxError):
+            parse_cq("R(x) AND S(y)")
+
+    def test_lifted_rejects_unsafe(self):
+        from repro.queries.database import complete_database
+        from repro.queries.safety import lifted_probability_cq
+        from repro.queries.syntax import parse_cq
+
+        db = complete_database({"R": 1, "S": 2, "T": 1}, 2)
+        with pytest.raises(ValueError):
+            lifted_probability_cq(parse_cq("R(x),S(x,y),T(y)"), db)
+
+
+class TestIsaFailures:
+    def test_invalid_parameters(self):
+        from repro.isa.isa import isa_function, isa_n
+
+        with pytest.raises(ValueError):
+            isa_n(3, 3)
+        with pytest.raises(ValueError):
+            isa_function(3, 3)
+
+    def test_large_truth_table_guard(self):
+        from repro.isa.isa import isa_function
+
+        with pytest.raises(ValueError):
+            isa_function(5, 8)

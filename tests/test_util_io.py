@@ -1,0 +1,75 @@
+"""Vtree file-format interop and DOT export tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.build import chain_and_or
+from repro.core.vtree import Vtree
+from repro.obdd.obdd import obdd_from_function
+from repro.util.io import (
+    nnf_to_dot,
+    obdd_to_dot,
+    vtree_from_sdd_format,
+    vtree_to_sdd_format,
+)
+
+
+class TestVtreeFormat:
+    def test_round_trip_shapes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            t = Vtree.random([f"v{i + 1}" for i in range(5)], rng)
+            ids = {f"v{i + 1}": i + 1 for i in range(5)}
+            text = vtree_to_sdd_format(t, var_ids=ids)
+            back = vtree_from_sdd_format(text)
+            assert back.to_nested() == t.to_nested()
+
+    def test_header_counts(self):
+        t = Vtree.balanced(["a", "b", "c"])
+        text = vtree_to_sdd_format(t)
+        assert "vtree 5" in text  # 3 leaves + 2 internals
+        assert text.count("L ") == 3 and text.count("I ") == 2
+
+    def test_custom_names(self):
+        t = Vtree.right_linear(["x", "y"])
+        text = vtree_to_sdd_format(t, var_ids={"x": 7, "y": 9})
+        back = vtree_from_sdd_format(text, var_names={7: "x", 9: "y"})
+        assert back.to_nested() == ("x", "y")
+
+    def test_comments_ignored(self):
+        text = "c hello\nvtree 1\nL 0 1\n"
+        assert vtree_from_sdd_format(text).is_leaf
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            vtree_from_sdd_format("L 0 1\n")
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            vtree_from_sdd_format("vtree 3\nL 0 1\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(ValueError):
+            vtree_from_sdd_format("vtree 1\nX 0 1\n")
+
+
+class TestDot:
+    def test_obdd_dot(self):
+        f = chain_and_or(4).function()
+        mgr, root = obdd_from_function(f)
+        dot = obdd_to_dot(mgr, root)
+        assert dot.startswith("digraph obdd {")
+        assert "style=dashed" in dot
+        assert dot.count("shape=box") == 2  # two terminals
+
+    def test_nnf_dot(self):
+        from repro.core.sdd_compile import compile_canonical_sdd
+
+        f = chain_and_or(4).function()
+        sdd = compile_canonical_sdd(f, Vtree.balanced(sorted(f.variables)))
+        dot = nnf_to_dot(sdd.root)
+        assert "∧" in dot and "∨" in dot
+        # one DOT node per DAG node
+        assert dot.count("[shape=") == sdd.root.size
