@@ -27,7 +27,12 @@ from .core.factors import (
     sentential_decomposition,
 )
 from .core.nnf_compile import CompiledNNF, compile_canonical_nnf
-from .core.pipeline import PipelineResult, compile_circuit, vtree_from_circuit
+from .core.pipeline import (
+    PipelineResult,
+    compile_circuit,
+    compile_circuit_apply,
+    vtree_from_circuit,
+)
 from .core.sdd_compile import CompiledSDD, compile_canonical_sdd
 from .core.vtree import Vtree
 from .core.widths import (
@@ -62,6 +67,7 @@ __all__ = [
     "compile_canonical_sdd",
     "PipelineResult",
     "compile_circuit",
+    "compile_circuit_apply",
     "vtree_from_circuit",
     "factor_width",
     "fiw",

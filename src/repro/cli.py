@@ -3,11 +3,17 @@
 Usage::
 
     python -m repro.cli compile "(a & b) | c" [--vtree balanced|right|left|search]
+                                              [--backend canonical|apply]
     python -m repro.cli ctw "x & ~y" [--max-gates 4]
-    python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5]
+    python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5] [--backend obdd|sdd]
+    python -m repro.cli batch "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
     python -m repro.cli isa 2 4
 
 Each subcommand prints a small report; exit code 0 on success.
+
+The ``--backend apply`` / ``batch`` paths never materialize a truth table:
+they run the scalable :class:`repro.SddManager` pipeline, so formulas and
+workloads with dozens-to-hundreds of variables stay tractable.
 """
 
 from __future__ import annotations
@@ -19,14 +25,15 @@ from typing import Sequence
 from .circuits.parse import parse_formula
 from .core.computability import ctw_upper_bound, exact_circuit_treewidth
 from .core.nnf_compile import compile_canonical_nnf
+from .core.pipeline import compile_circuit_apply
 from .core.sdd_compile import compile_canonical_sdd
 from .core.vtree import Vtree
 from .core.vtree_search import minimize_vtree
 from .obdd.obdd import obdd_from_function
 from .queries.analysis import find_inversion
-from .queries.compile import compile_lineage_obdd
+from .queries.compile import compile_lineage_obdd, compile_lineage_sdd
+from .queries.evaluate import evaluate_many, probability_via_obdd
 from .queries.database import complete_database
-from .queries.evaluate import probability_via_obdd
 from .queries.syntax import parse_ucq
 from .util.report import report
 
@@ -35,11 +42,28 @@ __all__ = ["main"]
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     circuit = parse_formula(args.formula)
-    f = circuit.function()
-    vs = sorted(f.variables)
+    vs = sorted(map(str, circuit.variables))
     if not vs:
+        f = circuit.function()
         print(f"constant formula: {'true' if f.is_tautology() else 'false'}")
         return 0
+    if args.backend == "apply":
+        if args.vtree == "balanced":
+            res = compile_circuit_apply(circuit, vtree=Vtree.balanced(vs))
+        elif args.vtree == "right":
+            res = compile_circuit_apply(circuit, vtree=Vtree.right_linear(vs))
+        elif args.vtree == "left":
+            res = compile_circuit_apply(circuit, vtree=Vtree.left_linear(vs))
+        else:  # search → the Lemma-1 extraction
+            res = compile_circuit_apply(circuit)
+        report(
+            f"compile (apply backend): {args.formula}",
+            ["form", "size", "width"],
+            [["SDD (manager)", res.sdd_size, res.sdd_width]],
+        )
+        print(f"models: {res.model_count()} / 2^{len(vs)}")
+        return 0
+    f = circuit.function()
     if args.vtree == "balanced":
         t = Vtree.balanced(vs)
     elif args.vtree == "right":
@@ -77,26 +101,69 @@ def _cmd_ctw(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    q = parse_ucq(args.query)
-    inv = find_inversion(q)
+def _schema_of(q) -> dict[str, int]:
     schema: dict[str, int] = {}
     for cq in q.disjuncts:
         for atom in cq.atoms:
             schema[atom.relation] = atom.arity
-    db = complete_database(schema, args.domain, p=args.prob)
-    mgr, root = compile_lineage_obdd(q, db)
-    p = probability_via_obdd(q, db)
+    return schema
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    q = parse_ucq(args.query)
+    inv = find_inversion(q)
+    db = complete_database(_schema_of(q), args.domain, p=args.prob)
+    if args.backend == "sdd":
+        from .sdd.wmc import probability as sdd_probability
+
+        mgr, root = compile_lineage_sdd(q, db)
+        p = sdd_probability(mgr, root, db.probability_map(), exact=args.exact)
+        form = "SDD"
+    else:
+        mgr, root = compile_lineage_obdd(q, db)
+        p = probability_via_obdd(q, db)
+        form = "OBDD"
     report(
         f"query: {q}",
         ["property", "value"],
         [
             ["inversion", "none" if inv is None else f"length {inv.length}"],
             ["tuples", db.size],
-            ["lineage OBDD width", mgr.width(root)],
-            ["lineage OBDD size", mgr.size(root)],
-            ["P(q)", f"{p:.6f}"],
+            [f"lineage {form} width", mgr.width(root)],
+            [f"lineage {form} size", mgr.size(root)],
+            ["P(q)", str(p) if args.exact else f"{p:.6f}"],
         ],
+    )
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Evaluate a ';'-separated workload of UCQs against one complete
+    database through the shared-manager batch pipeline."""
+    queries = [parse_ucq(part.strip()) for part in args.queries.split(";") if part.strip()]
+    if not queries:
+        print("no queries given", file=sys.stderr)
+        return 1
+    schema: dict[str, int] = {}
+    for q in queries:
+        schema.update(_schema_of(q))
+    db = complete_database(schema, args.domain, p=args.prob)
+    batch = evaluate_many(queries, db, exact=args.exact)
+    rows = [
+        [str(q), batch.sizes[i],
+         str(batch.probabilities[i]) if args.exact else f"{batch.probabilities[i]:.6f}"]
+        for i, q in enumerate(queries)
+    ]
+    report(
+        f"batch: {len(queries)} queries, {db.size} tuples, one shared manager",
+        ["query", "SDD size", "P(q)"],
+        rows,
+    )
+    s = batch.stats
+    print(
+        f"shared manager: {s['manager_nodes']} nodes, "
+        f"{s['apply_cache_entries']} apply-cache entries, "
+        f"{s['wmc_memo_entries']} WMC memo entries"
     )
     return 0
 
@@ -122,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("formula")
     c.add_argument("--vtree", choices=["balanced", "right", "left", "search"],
                    default="balanced")
+    c.add_argument("--backend", choices=["canonical", "apply"], default="canonical",
+                   help="'apply' compiles bottom-up without a truth table "
+                        "(scales past 20 variables)")
     c.set_defaults(fn=_cmd_compile)
 
     t = sub.add_parser("ctw", help="exhaustive circuit treewidth (Result 2)")
@@ -133,7 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("query")
     q.add_argument("--domain", type=int, default=2)
     q.add_argument("--prob", type=float, default=0.5)
+    q.add_argument("--backend", choices=["obdd", "sdd"], default="obdd")
+    q.add_argument("--exact", action="store_true",
+                   help="exact Fraction probability (sdd backend only)")
     q.set_defaults(fn=_cmd_query)
+
+    b = sub.add_parser("batch", help="evaluate a ';'-separated UCQ workload "
+                                     "through one shared SDD manager")
+    b.add_argument("queries")
+    b.add_argument("--domain", type=int, default=2)
+    b.add_argument("--prob", type=float, default=0.5)
+    b.add_argument("--exact", action="store_true",
+                   help="exact Fraction probabilities")
+    b.set_defaults(fn=_cmd_batch)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")
     i.add_argument("k", type=int)

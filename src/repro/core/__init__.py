@@ -4,6 +4,11 @@ width theory, the Lemma-1 pipeline, and Result-2 computability."""
 from .boolfunc import BooleanFunction
 from .factors import FactorDecomposition, factorized_implicants, factors, sentential_decomposition
 from .nnf_compile import CompiledNNF, compile_canonical_nnf
-from .pipeline import PipelineResult, compile_circuit, vtree_from_circuit
+from .pipeline import (
+    PipelineResult,
+    compile_circuit,
+    compile_circuit_apply,
+    vtree_from_circuit,
+)
 from .sdd_compile import CompiledSDD, compile_canonical_sdd
 from .vtree import Vtree

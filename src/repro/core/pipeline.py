@@ -20,9 +20,8 @@ The vtree extraction follows the proof of Lemma 1 exactly:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-
-import networkx as nx
+from fractions import Fraction
+from typing import Mapping
 
 from .boolfunc import BooleanFunction
 from .nnf_compile import CompiledNNF, compile_canonical_nnf
@@ -32,21 +31,71 @@ from .widths import factor_width, lemma1_bound
 from ..circuits.circuit import Circuit, VAR
 from ..graphs.elimination import heuristic_tree_decomposition
 from ..graphs.exact_tw import exact_tree_decomposition
-from ..graphs.treedecomp import NiceNode, NiceTreeDecomposition, TreeDecomposition
+from ..graphs.treedecomp import TreeDecomposition
+from ..sdd.manager import SddManager
 
-__all__ = ["PipelineResult", "vtree_from_circuit", "compile_circuit"]
+__all__ = [
+    "PipelineResult",
+    "vtree_from_circuit",
+    "compile_circuit",
+    "compile_circuit_apply",
+]
 
 
-@dataclass
 class PipelineResult:
-    """Everything the Lemma-1 pipeline produces for one circuit."""
+    """Everything the Lemma-1 pipeline produces for one circuit.
 
-    circuit: Circuit
-    function: BooleanFunction
-    decomposition_width: int
-    vtree: Vtree
-    sdd: CompiledSDD
-    nnf: CompiledNNF
+    Two backends share this interface:
+
+    - ``backend == "canonical"`` — the paper-faithful ``S_{F,T}`` / NNF
+      construction from the full truth table (``sdd``/``nnf``/``function``
+      populated eagerly; limited to ~20 variables);
+    - ``backend == "apply"`` — bottom-up :class:`SddManager` compilation
+      through ``apply`` over the same Lemma-1 vtree (``manager``/``root``
+      populated; scales to hundreds of variables, ``function`` available
+      lazily and only sensible at small ``n``).
+
+    The unified accessors (:attr:`sdd_size`, :attr:`sdd_width`,
+    :meth:`model_count`, :meth:`probability`, :meth:`evaluate`) work on
+    either backend so callers can switch on scale without branching.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        decomposition_width: int,
+        vtree: Vtree,
+        *,
+        backend: str = "canonical",
+        function: BooleanFunction | None = None,
+        sdd: CompiledSDD | None = None,
+        nnf: CompiledNNF | None = None,
+        manager: SddManager | None = None,
+        root: int | None = None,
+    ):
+        if backend not in ("canonical", "apply"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.circuit = circuit
+        self.backend = backend
+        self.decomposition_width = decomposition_width
+        self.vtree = vtree
+        self.sdd = sdd
+        self.nnf = nnf
+        self.manager = manager
+        self.root = root
+        self._function = function
+
+    # -- truth-table views (computed lazily for the apply backend) -------
+    @property
+    def function(self) -> BooleanFunction:
+        """The circuit's exact Boolean function.
+
+        Materializes the ``2^n`` truth table on first access for the apply
+        backend — only call it at small ``n``.
+        """
+        if self._function is None:
+            self._function = self.circuit.function()
+        return self._function
 
     @property
     def factor_width(self) -> int:
@@ -55,6 +104,74 @@ class PipelineResult:
     def lemma1_bound(self) -> int:
         """``2^{(w+2)·2^{w+1}}`` for ``w`` the decomposition width used."""
         return lemma1_bound(self.decomposition_width)
+
+    # -- backend-independent measures ------------------------------------
+    @property
+    def sdd_size(self) -> int:
+        """SDD size in the backend's own convention (NNF gates for the
+        canonical construction, decision elements for the manager)."""
+        if self.backend == "canonical":
+            assert self.sdd is not None
+            return self.sdd.size
+        assert self.manager is not None and self.root is not None
+        return self.manager.size(self.root)
+
+    @property
+    def sdd_width(self) -> int:
+        if self.backend == "canonical":
+            assert self.sdd is not None
+            return self.sdd.sdw
+        assert self.manager is not None and self.root is not None
+        return self.manager.width(self.root)
+
+    def _extra_vtree_vars(self) -> frozenset[str]:
+        """Vtree variables beyond the circuit's own (unpruned dummies, or a
+        reused manager whose vtree covers a larger variable set)."""
+        assert self.manager is not None
+        return self.manager.vtree.variables - set(map(str, self.circuit.variables))
+
+    def model_count(self) -> int:
+        """Exact model count over the circuit's variables (linear-time on
+        the apply backend, truth-table on the canonical one)."""
+        if self.backend == "apply":
+            assert self.manager is not None and self.root is not None
+            base = self.manager.count_models(self.root, self.circuit.variables)
+            # The WMC sweep counts over *all* vtree variables; the circuit
+            # doesn't depend on the extra ones, so each contributes an
+            # exact factor of 2.
+            return base >> len(self._extra_vtree_vars())
+        return self.function.count_models()
+
+    def probability(
+        self, prob: Mapping[str, float], *, exact: bool = False
+    ) -> float | Fraction:
+        """Probability under independent literal probabilities.
+
+        ``exact=True`` runs the WMC in :class:`~fractions.Fraction`
+        arithmetic (apply backend only, where exactness matters at scale).
+        """
+        if self.backend == "apply":
+            from ..sdd.wmc import probability as sdd_probability
+
+            assert self.manager is not None and self.root is not None
+            extra = self._extra_vtree_vars() - set(prob)
+            if extra:
+                # The root is independent of these; any weight pair summing
+                # to 1 marginalizes them out.
+                prob = {**prob, **{v: 0.5 for v in extra}}
+            return sdd_probability(self.manager, self.root, prob, exact=exact)
+        if exact:
+            from ..sdd.wmc import exact_weights
+
+            mgr = SddManager(self.vtree)
+            return mgr.weighted_count(mgr.compile_circuit(self.circuit), exact_weights(prob))
+        return self.function.probability(prob)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        if self.backend == "apply":
+            assert self.manager is not None and self.root is not None
+            return self.manager.evaluate(self.root, assignment)
+        return bool(self.function(dict(assignment)))
 
 
 def vtree_from_circuit(
@@ -90,29 +207,27 @@ def vtree_from_circuit(
     }
     dummy_counter = itertools.count()
 
-    def build(node: NiceNode) -> Vtree | None:
+    # Iterative postorder over the (deep) nice tree; Vtrees keyed by object
+    # identity of the nice node they were built for.
+    built: dict[int, Vtree | None] = {}
+    for node in nice.root.nodes():
+        out: Vtree | None
         if node.kind == "leaf":
-            if prune_dummies:
-                return None
-            return Vtree.leaf(f"__dummy{next(dummy_counter)}__")
-        if node.kind == "join":
-            l = build(node.children[0])
-            r = build(node.children[1])
-            if l is None:
-                return r
-            if r is None:
-                return l
-            return Vtree.internal(l, r)
-        child = build(node.children[0])
-        if node.kind == "forget" and node.vertex in var_of_gate:
-            x_leaf = Vtree.leaf(str(var_of_gate[node.vertex]))
-            if child is None:
-                return x_leaf
-            return Vtree.internal(child, x_leaf)
-        # introduce nodes and forgets of non-variable gates are unary: contract.
-        return child
+            out = None if prune_dummies else Vtree.leaf(f"__dummy{next(dummy_counter)}__")
+        elif node.kind == "join":
+            l = built[id(node.children[0])]
+            r = built[id(node.children[1])]
+            out = l if r is None else (r if l is None else Vtree.internal(l, r))
+        else:
+            out = built[id(node.children[0])]
+            if node.kind == "forget" and node.vertex in var_of_gate:
+                x_leaf = Vtree.leaf(str(var_of_gate[node.vertex]))
+                out = x_leaf if out is None else Vtree.internal(out, x_leaf)
+            # introduce nodes and forgets of non-variable gates are unary:
+            # contract.
+        built[id(node)] = out
 
-    vtree = build(nice.root)
+    vtree = built[id(nice.root)]
     assert vtree is not None, "circuit with variables must yield a vtree"
     if prune_dummies:
         vtree = vtree.prune_to(set(map(str, variables)))
@@ -139,10 +254,61 @@ def compile_circuit(
     sdd = compile_canonical_sdd(f, vtree)
     nnf = compile_canonical_nnf(f, vtree)
     return PipelineResult(
-        circuit=circuit,
+        circuit,
+        width,
+        vtree,
+        backend="canonical",
         function=f,
-        decomposition_width=width,
-        vtree=vtree,
         sdd=sdd,
         nnf=nnf,
+    )
+
+
+def compile_circuit_apply(
+    circuit: Circuit,
+    decomposition: TreeDecomposition | None = None,
+    *,
+    exact: bool | None = None,
+    prune_dummies: bool = True,
+    vtree: Vtree | None = None,
+    manager: SddManager | None = None,
+) -> PipelineResult:
+    """Run the Result-1 pipeline through :class:`SddManager.apply` — no
+    truth table anywhere, so circuits with hundreds of variables compile.
+
+    The vtree is the same Lemma-1 extraction as :func:`compile_circuit`
+    (bounded-treewidth circuits therefore keep their linear-size guarantee);
+    the SDD itself is built bottom-up over the circuit's gates with
+    hash-consing and apply-caching instead of the ``(v, H)`` truth-table
+    keys of ``S_{F,T}``.
+
+    ``vtree`` overrides the extraction (``decomposition``/``exact``/
+    ``prune_dummies`` are then ignored and the reported width is ``-1``);
+    ``manager`` reuses an existing manager — its vtree must cover the
+    circuit's variables — so a batch of circuits shares one apply cache.
+    """
+    if manager is not None:
+        vt = manager.vtree
+        if not set(map(str, circuit.variables)) <= vt.variables:
+            raise ValueError("manager's vtree does not cover the circuit")
+        width = -1
+        mgr = manager
+    elif vtree is not None:
+        if not set(map(str, circuit.variables)) <= vtree.variables:
+            raise ValueError("vtree does not cover the circuit's variables")
+        vt, width = vtree, -1
+        mgr = SddManager(vt)
+    else:
+        vt, width = vtree_from_circuit(
+            circuit, decomposition, exact=exact, prune_dummies=prune_dummies
+        )
+        mgr = SddManager(vt)
+    root = mgr.compile_circuit(circuit)
+    return PipelineResult(
+        circuit,
+        width,
+        vt,
+        backend="apply",
+        manager=mgr,
+        root=root,
     )

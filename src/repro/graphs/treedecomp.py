@@ -44,21 +44,34 @@ class TreeDecomposition:
 
     def validate(self, graph: nx.Graph) -> None:
         """Raise AssertionError unless this is a valid tree decomposition of
-        ``graph`` (coverage of vertices and edges + connectivity)."""
+        ``graph`` (coverage of vertices and edges + connectivity).
+
+        Runs in ``O(Σ|bag|)`` — one pass to index vertices, one pass over
+        tree edges for connectivity — so validation stays cheap even for
+        the thousands-of-bags decompositions of large circuits.
+        """
         if self.tree.number_of_nodes() and not nx.is_tree(self.tree):
             raise AssertionError("decomposition tree is not a tree")
-        covered = self.vertices()
+        occurrences: dict = {}  # vertex -> set of tree nodes whose bag has it
+        for n, b in self.bags.items():
+            for x in b:
+                occurrences.setdefault(x, set()).add(n)
+        covered = set(occurrences)
         if set(graph.nodes) - covered:
             raise AssertionError(f"vertices not covered: {set(graph.nodes) - covered}")
         for u, v in graph.edges:
             if u == v:
                 continue
-            if not any(u in b and v in b for b in self.bags.values()):
+            if not (occurrences[u] & occurrences[v]):
                 raise AssertionError(f"edge {(u, v)} not covered")
-        for x in covered:
-            nodes = [n for n, b in self.bags.items() if x in b]
-            sub = self.tree.subgraph(nodes)
-            if nodes and not nx.is_connected(sub):
+        # Connectivity: the tree nodes containing x induce a forest; they
+        # form one component iff #nodes - #induced-edges == 1.
+        induced_edges: dict = {x: 0 for x in covered}
+        for n1, n2 in self.tree.edges:
+            for x in self.bags[n1] & self.bags[n2]:
+                induced_edges[x] += 1
+        for x, occ in occurrences.items():
+            if len(occ) - induced_edges[x] != 1:
                 raise AssertionError(f"bags containing {x!r} are not connected")
 
     # ------------------------------------------------------------------
@@ -79,20 +92,33 @@ class TreeDecomposition:
         return NiceTreeDecomposition(root=built)
 
     def _build_nice(self, node: int, parent: int | None) -> "NiceNode":
-        bag = self.bags[node]
-        children = [c for c in self.tree.neighbors(node) if c != parent]
-        if not children:
-            return _chain_from_empty(bag)
-        sub = [self._adapt(self._build_nice(c, node), bag) for c in children]
-        # Binarize joins.
-        while len(sub) > 1:
-            merged: list[NiceNode] = []
-            for i in range(0, len(sub) - 1, 2):
-                merged.append(NiceNode("join", bag, (sub[i], sub[i + 1])))
-            if len(sub) % 2 == 1:
-                merged.append(sub[-1])
-            sub = merged
-        return sub[0]
+        # Iterative bottom-up construction (an explicit DFS preorder,
+        # consumed in reverse): deep decompositions of large circuits blow
+        # Python's recursion limit otherwise.
+        preorder: list[tuple[int, int | None]] = []
+        stack: list[tuple[int, int | None]] = [(node, parent)]
+        while stack:
+            n, par = stack.pop()
+            preorder.append((n, par))
+            stack.extend((c, n) for c in self.tree.neighbors(n) if c != par)
+        built: dict[int, NiceNode] = {}
+        for n, par in reversed(preorder):
+            bag = self.bags[n]
+            children = [c for c in self.tree.neighbors(n) if c != par]
+            if not children:
+                built[n] = _chain_from_empty(bag)
+                continue
+            sub = [self._adapt(built[c], bag) for c in children]
+            # Binarize joins.
+            while len(sub) > 1:
+                merged: list[NiceNode] = []
+                for i in range(0, len(sub) - 1, 2):
+                    merged.append(NiceNode("join", bag, (sub[i], sub[i + 1])))
+                if len(sub) % 2 == 1:
+                    merged.append(sub[-1])
+                sub = merged
+            built[n] = sub[0]
+        return built[node]
 
     @staticmethod
     def _adapt(child: "NiceNode", target_bag: frozenset) -> "NiceNode":
@@ -136,9 +162,16 @@ class NiceNode:
             raise ValueError("join nodes have exactly two children")
 
     def nodes(self) -> Iterator["NiceNode"]:
-        for c in self.children:
-            yield from c.nodes()
-        yield self
+        """Postorder traversal, iterative (nice trees get very deep)."""
+        stack: list[tuple["NiceNode", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            stack.append((node, True))
+            for c in reversed(node.children):
+                stack.append((c, False))
 
 
 class NiceTreeDecomposition:
@@ -174,21 +207,20 @@ class NiceTreeDecomposition:
     def validate(self, graph: nx.Graph) -> None:
         if self.root.bag:
             raise AssertionError("root bag is not empty")
-        # Rebuild a plain decomposition and validate it.
+        # Rebuild a plain decomposition and validate it (iteratively —
+        # nice trees are deep).
         tree = nx.Graph()
         bags: dict[int, frozenset] = {}
         counter = itertools.count()
-
-        def walk(n: NiceNode) -> int:
+        stack: list[tuple[NiceNode, int | None]] = [(self.root, None)]
+        while stack:
+            n, pid = stack.pop()
             nid = next(counter)
             bags[nid] = n.bag
             tree.add_node(nid)
-            for c in n.children:
-                cid = walk(c)
-                tree.add_edge(nid, cid)
-            return nid
-
-        walk(self.root)
+            if pid is not None:
+                tree.add_edge(pid, nid)
+            stack.extend((c, nid) for c in n.children)
         TreeDecomposition(tree, bags).validate(graph)
         # Every vertex forgotten exactly once.
         forgotten = [n.vertex for n in self.forget_nodes()]

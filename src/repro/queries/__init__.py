@@ -1,7 +1,14 @@
 """Query compilation over tuple-independent probabilistic databases."""
 
 from .analysis import find_inversion, is_hierarchical, is_inversion_free
+from .compile import compile_lineage_obdd, compile_lineage_sdd, lineage_vtree
 from .database import Database, ProbabilisticDatabase, complete_database
-from .evaluate import probability_brute_force, probability_via_obdd, probability_via_sdd
+from .evaluate import (
+    BatchEvaluation,
+    evaluate_many,
+    probability_brute_force,
+    probability_via_obdd,
+    probability_via_sdd,
+)
 from .lineage import lineage_circuit, lineage_function
 from .syntax import UCQ, ConjunctiveQuery, parse_cq, parse_ucq

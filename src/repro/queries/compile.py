@@ -22,6 +22,7 @@ from ..sdd.manager import SddManager
 
 __all__ = [
     "hierarchy_order",
+    "lineage_vtree",
     "compile_lineage_obdd",
     "compile_lineage_sdd",
     "lineage_obdd_width",
@@ -93,21 +94,50 @@ def compile_lineage_obdd(
     return mgr, mgr.compile_circuit(circuit)
 
 
+def lineage_vtree(query: UCQ, db: Database, shape: str = "right") -> Vtree:
+    """The default lineage vtree: the hierarchy order arranged right-linear
+    (mirroring the OBDD construction) or balanced.
+
+    The order covers *every* tuple variable of ``db``, so one vtree — and
+    hence one :class:`SddManager` — serves any query against the same
+    database (what :func:`repro.queries.evaluate.evaluate_many` exploits).
+    """
+    order = hierarchy_order(query, db)
+    missing = set(db.all_tuple_variables()) - set(order)
+    if missing:
+        order = order + sorted(missing)
+    if shape == "right":
+        return Vtree.right_linear(order)
+    if shape == "balanced":
+        return Vtree.balanced(order)
+    raise ValueError(f"unknown vtree shape {shape!r}")
+
+
 def compile_lineage_sdd(
-    query: UCQ, db: Database, vtree: Vtree | None = None
+    query: UCQ,
+    db: Database,
+    vtree: Vtree | None = None,
+    *,
+    manager: SddManager | None = None,
 ) -> tuple[SddManager, int]:
-    """Compile the lineage into an SDD (default vtree: right-linear over the
-    hierarchy order, mirroring the OBDD construction; callers exploring
-    Figure-2/3 shapes may pass balanced or custom vtrees)."""
+    """Compile the lineage into an SDD via bottom-up ``apply`` — no truth
+    table, so instances with hundreds of tuples compile.
+
+    Default vtree: right-linear over the hierarchy order, mirroring the
+    OBDD construction; callers exploring Figure-2/3 shapes may pass
+    balanced or custom vtrees.  Passing ``manager`` compiles into an
+    existing manager (its vtree must cover the lineage variables), sharing
+    its hash-cons tables and apply cache with previous compilations.
+    """
     circuit = lineage_circuit(query, db)
-    if vtree is None:
-        order = hierarchy_order(query, db)
-        missing = set(circuit.variables) - set(order)
-        if missing:
-            order = order + sorted(missing)
-        vtree = Vtree.right_linear(order)
-    mgr = SddManager(vtree)
-    return mgr, mgr.compile_circuit(circuit)
+    if manager is None:
+        if vtree is None:
+            vtree = lineage_vtree(query, db)
+        manager = SddManager(vtree)
+    missing = set(circuit.variables) - manager.vtree.variables
+    if missing:
+        raise ValueError(f"manager vtree misses lineage variables: {sorted(missing)[:5]}")
+    return manager, manager.compile_circuit(circuit)
 
 
 def lineage_obdd_width(query: UCQ, db: Database, order: Sequence[str] | None = None) -> int:

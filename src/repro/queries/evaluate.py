@@ -1,31 +1,43 @@
 """Probabilistic query evaluation — the application the paper's compilation
 results serve.
 
-Three exact evaluators, cross-checked in tests:
+Exact evaluators, cross-checked in tests:
 
 - :func:`probability_brute_force` — sums over possible worlds through the
   exact lineage function (exponential; ground truth for small instances);
 - :func:`probability_via_obdd` / :func:`probability_via_sdd` — compile the
   lineage and run the linear-time weighted model count on the tractable
-  form (the query-compilation pipeline end-to-end).
+  form (the query-compilation pipeline end-to-end; ``exact=True`` keeps
+  the arithmetic in :class:`~fractions.Fraction`, so results stay exact
+  even on databases far beyond the truth-table regime);
+- :func:`evaluate_many` — a *workload* evaluator: many queries against one
+  database share a single vtree, one :class:`SddManager` (hash-cons tables
+  and apply cache included), and one WMC memo, so common sub-lineages are
+  compiled and counted once across the whole batch.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
-from .compile import compile_lineage_obdd, compile_lineage_sdd
+from .compile import compile_lineage_obdd, compile_lineage_sdd, lineage_vtree
 from .database import ProbabilisticDatabase
-from .lineage import lineage_function
+from .lineage import lineage_circuit, lineage_function
 from .syntax import UCQ
 from ..core.vtree import Vtree
+from ..sdd.manager import SddManager
+from ..sdd.wmc import SddWmcEvaluator, exact_weights, float_weights
+from ..sdd.wmc import probability as sdd_probability
 
 __all__ = [
     "probability_brute_force",
     "probability_via_obdd",
     "probability_via_sdd",
     "probability_exact_fraction",
+    "BatchEvaluation",
+    "evaluate_many",
 ]
 
 
@@ -43,10 +55,20 @@ def probability_via_obdd(
 
 
 def probability_via_sdd(
-    query: UCQ, db: ProbabilisticDatabase, vtree: Vtree | None = None
-) -> float:
+    query: UCQ,
+    db: ProbabilisticDatabase,
+    vtree: Vtree | None = None,
+    *,
+    exact: bool = False,
+) -> float | Fraction:
+    """Query probability through the apply-based SDD pipeline.
+
+    ``exact=True`` runs the WMC in rational arithmetic and returns the
+    exact :class:`~fractions.Fraction` — the only trustworthy mode once
+    instances outgrow float precision (hundreds of tuples).
+    """
     mgr, root = compile_lineage_sdd(query, db, vtree)
-    return mgr.probability(root, db.probability_map())
+    return sdd_probability(mgr, root, db.probability_map(), exact=exact)
 
 
 def probability_exact_fraction(
@@ -55,8 +77,75 @@ def probability_exact_fraction(
     """Exact rational probability via the OBDD WMC with Fraction weights
     (tuple probabilities are converted with ``Fraction(str(p))`` fidelity)."""
     mgr, root = compile_lineage_obdd(query, db, order)
-    weights = {}
-    for v, p in db.probability_map().items():
-        fp = Fraction(str(p))
-        weights[v] = (1 - fp, fp)
-    return mgr.weighted_count(root, weights)
+    return mgr.weighted_count(root, exact_weights(db.probability_map()))
+
+
+@dataclass
+class BatchEvaluation:
+    """Everything :func:`evaluate_many` produces for one workload."""
+
+    queries: list[UCQ]
+    probabilities: list[float | Fraction]
+    roots: list[int]
+    sizes: list[int]
+    manager: SddManager
+    vtree: Vtree
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, i: int):
+        return self.probabilities[i]
+
+
+def evaluate_many(
+    queries: Sequence[UCQ],
+    db: ProbabilisticDatabase,
+    *,
+    vtree: Vtree | None = None,
+    exact: bool = False,
+) -> BatchEvaluation:
+    """Compile and exactly evaluate a workload of queries against one
+    database, sharing everything shareable.
+
+    All lineages are functions over the same variable set (the tuples of
+    ``db``), so one vtree fits all; one :class:`SddManager` then gives the
+    batch a common hash-cons table and apply cache — a sub-lineage two
+    queries share is compiled once — and one :class:`SddWmcEvaluator`
+    gives them a common WMC memo keyed by node id, so shared nodes are
+    counted once too.
+
+    Returns a :class:`BatchEvaluation`; ``probabilities[i]`` is the exact
+    :class:`~fractions.Fraction` (``exact=True``) or ``float`` probability
+    of ``queries[i]``.
+    """
+    queries = list(queries)
+    if not queries:
+        raise ValueError("empty workload")
+    if vtree is None:
+        vtree = lineage_vtree(queries[0], db)
+    mgr = SddManager(vtree)
+    roots: list[int] = []
+    for q in queries:
+        _, root = compile_lineage_sdd(q, db, manager=mgr)
+        roots.append(root)
+    prob = db.probability_map()
+    weights = exact_weights(prob) if exact else float_weights(prob)
+    evaluator = SddWmcEvaluator(mgr, weights)
+    values = [evaluator.value(r) for r in roots]
+    # Constant roots short-circuit to int 0/1; normalize the ring.
+    values = [Fraction(v) if exact else float(v) for v in values]
+    return BatchEvaluation(
+        queries=queries,
+        probabilities=values,
+        roots=roots,
+        sizes=[mgr.size(r) for r in roots],
+        manager=mgr,
+        vtree=vtree,
+        stats={
+            "manager_nodes": len(mgr.node_kind),
+            "apply_cache_entries": len(mgr._and_cache) + len(mgr._or_cache),
+            "wmc_memo_entries": len(evaluator._memo),
+        },
+    )

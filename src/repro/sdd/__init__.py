@@ -2,3 +2,11 @@
 
 from .compile import compile_with_vtree, minimize_vtree_for_circuit
 from .manager import SddManager, sdd_from_circuit
+from .wmc import (
+    SddWmcEvaluator,
+    exact_weights,
+    float_weights,
+    model_count,
+    probability,
+    weighted_model_count,
+)

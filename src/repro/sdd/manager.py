@@ -40,6 +40,8 @@ class SddManager:
         self.v_left: list[int | None] = [None] * len(self.v_nodes)
         self.v_right: list[int | None] = [None] * len(self.v_nodes)
         self.v_interval: list[tuple[int, int]] = [(0, 0)] * len(self.v_nodes)
+        self.v_lo: list[int] = [0] * len(self.v_nodes)
+        self.v_hi: list[int] = [0] * len(self.v_nodes)
         self.v_nvars: list[int] = [0] * len(self.v_nodes)
         self.leaf_of_var: dict[str, int] = {}
         pos = 0
@@ -57,6 +59,7 @@ class SddManager:
                 self.v_parent[ri] = i
                 self.v_interval[i] = (self.v_interval[li][0], self.v_interval[ri][1])
                 self.v_nvars[i] = self.v_nvars[li] + self.v_nvars[ri]
+            self.v_lo[i], self.v_hi[i] = self.v_interval[i]
         # --- sdd node tables ----------------------------------------------
         # id 0 = FALSE, id 1 = TRUE; literals and decisions from 2 on.
         self.node_kind: list[str] = ["false", "true"]
@@ -66,7 +69,11 @@ class SddManager:
         self.node_elements: list[tuple[tuple[int, int], ...] | None] = [None, None]
         self._lit_table: dict[tuple[str, bool], int] = {}
         self._dec_table: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
-        self._apply_cache: dict[tuple, int] = {}
+        # Apply caches are op-specialized and keyed by the packed pair
+        # (a << 32) | b with a < b — integer keys hash far faster than
+        # tuples on this, the hottest dictionary in the engine.
+        self._and_cache: dict[int, int] = {}
+        self._or_cache: dict[int, int] = {}
         self._neg_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -75,14 +82,6 @@ class SddManager:
     def _contains(self, outer: int, inner: int) -> bool:
         (a, b), (c, d) = self.v_interval[outer], self.v_interval[inner]
         return a <= c and d <= b
-
-    def _lca(self, a: int, b: int) -> int:
-        x = a
-        while not (self._contains(x, a) and self._contains(x, b)):
-            p = self.v_parent[x]
-            assert p is not None, "lca walked past the root"
-            x = p
-        return x
 
     def vnode_of(self, u: int) -> int:
         return self.node_vnode[u]
@@ -121,11 +120,9 @@ class SddManager:
         for p, s in elements:
             if p == _FALSE:
                 continue
-            if s in by_sub:
-                by_sub[s] = self._apply(by_sub[s], p, "or")
-            else:
-                by_sub[s] = p
-        elems = tuple(sorted(((p, s) for s, p in by_sub.items())))
+            q = by_sub.get(s)
+            by_sub[s] = p if q is None else self._apply(q, p, False)
+        elems = tuple(sorted((p, s) for s, p in by_sub.items()))
         if not elems:
             return _FALSE
         # Trimming rules.
@@ -180,84 +177,93 @@ class SddManager:
         return res
 
     def apply(self, a: int, b: int, op: str) -> int:
-        if op not in ("and", "or"):
-            raise ValueError("op must be 'and' or 'or'")
-        return self._apply(a, b, op)
+        if op == "and":
+            return self._apply(a, b, True)
+        if op == "or":
+            return self._apply(a, b, False)
+        raise ValueError("op must be 'and' or 'or'")
 
-    def _apply(self, a: int, b: int, op: str) -> int:
-        # constant shortcuts
+    def _apply(self, a: int, b: int, is_and: bool) -> int:
+        # Apply is commutative for both ops: order the pair so constants
+        # (the smallest ids) surface as ``a`` and the cache key is unique.
         if a == b:
             return a
-        if op == "and":
-            if a == _FALSE or b == _FALSE:
-                return _FALSE
-            if a == _TRUE:
-                return b
-            if b == _TRUE:
-                return a
-        else:
-            if a == _TRUE or b == _TRUE:
-                return _TRUE
-            if a == _FALSE:
-                return b
-            if b == _FALSE:
-                return a
-        if self.node_kind[a] == "lit" and self.node_kind[b] == "lit" and self.node_var[a] == self.node_var[b]:
+        if a > b:
+            a, b = b, a
+        if a == _FALSE:
+            return _FALSE if is_and else b
+        if a == _TRUE:
+            return b if is_and else _TRUE
+        kind = self.node_kind
+        if kind[a] == "lit" and kind[b] == "lit" and self.node_var[a] == self.node_var[b]:
             # same variable, different sign (equal handled above)
-            return _FALSE if op == "and" else _TRUE
-        key = (op, a, b) if a <= b else (op, b, a)
-        got = self._apply_cache.get(key)
+            return _FALSE if is_and else _TRUE
+        cache = self._and_cache if is_and else self._or_cache
+        key = (a << 32) | b
+        got = cache.get(key)
         if got is not None:
             return got
-        va, vb = self.node_vnode[a], self.node_vnode[b]
-        v = self._lca(va, vb)
-        ea = self._norm_elements(a, v)
-        eb = self._norm_elements(b, v)
+        v_lo, v_hi = self.v_lo, self.v_hi
+        node_vnode = self.node_vnode
+        va, vb = node_vnode[a], node_vnode[b]
+        # lca walk: climb from va until the interval covers vb's.
+        v = va
+        lob, hib = v_lo[vb], v_hi[vb]
+        parent = self.v_parent
+        while not (v_lo[v] <= lob and hib <= v_hi[v]):
+            p = parent[v]
+            assert p is not None, "lca walked past the root"
+            v = p
+        ea = self._elements_at(a, v)
+        eb = self._elements_at(b, v)
+        _ap = self._apply
         out: list[tuple[int, int]] = []
         for pa, sa in ea:
             for pb, sb in eb:
-                p = self._apply(pa, pb, "and")
+                p = _ap(pa, pb, True)
                 if p == _FALSE:
                     continue
-                s = self._apply(sa, sb, op)
-                out.append((p, s))
+                out.append((p, _ap(sa, sb, is_and)))
         res = self._decision(v, out)
-        self._apply_cache[key] = res
+        cache[key] = res
         return res
 
-    def _norm_elements(self, u: int, v: int) -> list[tuple[int, int]]:
-        """View ``u`` as a decision list normalized for internal vtree node
-        ``v`` (``u``'s vtree node must be within ``v``'s subtree)."""
-        vl, vr = self.v_left[v], self.v_right[v]
-        assert vl is not None and vr is not None
+    def _elements_at(self, u: int, v: int) -> tuple[tuple[int, int], ...]:
+        """View ``u`` as a decision element list normalized for internal
+        vtree node ``v`` (``u``'s vtree node must be within ``v``'s
+        subtree)."""
         vu = self.node_vnode[u]
-        if self.node_kind[u] == "dec" and vu == v:
+        if vu == v and self.node_kind[u] == "dec":
             elems = self.node_elements[u]
             assert elems is not None
-            return list(elems)
-        if self._contains(vl, vu):
-            return [(u, _TRUE), (self.negate(u), _FALSE)]
-        if self._contains(vr, vu):
-            return [(_TRUE, u)]
+            return elems
+        v_lo, v_hi = self.v_lo, self.v_hi
+        lo, hi = v_lo[vu], v_hi[vu]
+        vl, vr = self.v_left[v], self.v_right[v]
+        assert vl is not None and vr is not None
+        if v_lo[vl] <= lo and hi <= v_hi[vl]:
+            return ((u, _TRUE), (self.negate(u), _FALSE))
+        if v_lo[vr] <= lo and hi <= v_hi[vr]:
+            return ((_TRUE, u),)
         raise AssertionError("node does not fit under the requested vtree node")
 
     def conjoin(self, *nodes: int) -> int:
         acc = _TRUE
         for u in nodes:
-            acc = self._apply(acc, u, "and")
+            acc = self._apply(acc, u, True)
         return acc
 
     def disjoin(self, *nodes: int) -> int:
         acc = _FALSE
         for u in nodes:
-            acc = self._apply(acc, u, "or")
+            acc = self._apply(acc, u, False)
         return acc
 
     def condition(self, u: int, assignment: Mapping[str, int]) -> int:
         """Condition on a partial assignment (literal substitution)."""
         out = u
         for var, val in assignment.items():
-            out = self._apply(out, self.literal(var, bool(val)), "and")
+            out = self._apply(out, self.literal(var, bool(val)), True)
             out = self._forget_var(out, var)
         return out
 
@@ -265,7 +271,7 @@ class SddManager:
         """Existentially quantify one variable."""
         pos = self._restrict(u, var, True)
         neg = self._restrict(u, var, False)
-        return self._apply(pos, neg, "or")
+        return self._apply(pos, neg, False)
 
     def _restrict(self, u: int, var: str, value: bool) -> int:
         cache: dict[int, int] = {}
@@ -372,98 +378,25 @@ class SddManager:
         return max(per.values(), default=0)
 
     def count_models(self, u: int, scope: Iterable[str] | None = None) -> int:
-        scope_set = set(scope) if scope is not None else self.vtree.variables
-        missing = len(scope_set - self.vtree.variables)
-        root_vars = len(self.vtree.variables)
-        memo: dict[int, int] = {}
+        """Exact model count via the linear sweep of :mod:`repro.sdd.wmc`."""
+        from .wmc import model_count
 
-        def vars_of(w: int) -> int:
-            # number of vtree variables under the node w is normalized for
-            return self.v_nvars[self.node_vnode[w]] if w > 1 else 0
-
-        def rec(w: int) -> int:
-            """models over exactly the variables under w's vtree node"""
-            if w == _FALSE:
-                return 0
-            if w == _TRUE:
-                return 1
-            got = memo.get(w)
-            if got is not None:
-                return got
-            if self.node_kind[w] == "lit":
-                res = 1
-            else:
-                vn = self.node_vnode[w]
-                vl, vr = self.v_left[vn], self.v_right[vn]
-                assert vl is not None and vr is not None
-                res = 0
-                elems = self.node_elements[w]
-                assert elems is not None
-                for p, s in elems:
-                    pc = rec(p) << (self.v_nvars[vl] - vars_of(p)) if p > 1 else (
-                        rec(p) << self.v_nvars[vl]
-                    )
-                    sc = rec(s) << (self.v_nvars[vr] - vars_of(s)) if s > 1 else (
-                        rec(s) << self.v_nvars[vr]
-                    )
-                    res += pc * sc
-            memo[w] = res
-            return res
-
-        base = rec(u) << (root_vars - (self.v_nvars[self.node_vnode[u]] if u > 1 else 0))
-        return base << missing
+        return model_count(self, u, list(scope) if scope is not None else None)
 
     def weighted_count(self, u: int, weights: Mapping[str, tuple[float, float]]):
-        """WMC with weights ``(w_neg, w_pos)``; exact with Fractions."""
-        order = self.vtree.leaf_order()
-        sums = {v: weights[v][0] + weights[v][1] for v in order}
+        """WMC with weights ``(w_neg, w_pos)``; exact with Fractions.
 
-        def gap_product(vn: int, inner: int | None):
-            """Product of sums over vars under vn but not under inner."""
-            vars_vn = self.v_nodes[vn].variables
-            vars_inner = self.v_nodes[inner].variables if inner is not None else frozenset()
-            f = 1
-            for v in vars_vn - vars_inner:
-                f = f * sums[v]
-            return f
+        Delegates to the iterative linear-time sweep of
+        :mod:`repro.sdd.wmc` (no recursion, amortized gap products).
+        """
+        from .wmc import weighted_model_count
 
-        memo: dict[int, object] = {}
-
-        def rec(w: int):
-            if w == _FALSE:
-                return 0
-            if w == _TRUE:
-                return 1
-            got = memo.get(w)
-            if got is not None:
-                return got
-            if self.node_kind[w] == "lit":
-                w0, w1 = weights[self.node_var[w]]  # type: ignore[index]
-                res = w1 if self.node_sign[w] else w0
-            else:
-                vn = self.node_vnode[w]
-                vl, vr = self.v_left[vn], self.v_right[vn]
-                assert vl is not None and vr is not None
-                res = 0
-                elems = self.node_elements[w]
-                assert elems is not None
-                for p, s in elems:
-                    pv = rec(p) * gap_product(vl, self.node_vnode[p] if p > 1 else None)
-                    sv = rec(s) * gap_product(vr, self.node_vnode[s] if s > 1 else None)
-                    res = res + pv * sv
-            memo[w] = res
-            return res
-
-        root_vn = self.node_vnode[u] if u > 1 else None
-        top_gap = 1
-        covered = self.v_nodes[root_vn].variables if root_vn is not None else frozenset()
-        for v in self.vtree.variables - covered:
-            top_gap = top_gap * sums[v]
-        return rec(u) * top_gap
+        return weighted_model_count(self, u, weights)
 
     def probability(self, u: int, prob: Mapping[str, float]) -> float:
-        weights = {v: (1.0 - float(p), float(p)) for v, p in prob.items()}
-        return float(self.weighted_count(u, weights))
+        from .wmc import probability
+
+        return float(probability(self, u, prob))
 
     def evaluate(self, u: int, assignment: Mapping[str, int]) -> bool:
         memo: dict[int, bool] = {}
@@ -532,9 +465,9 @@ class SddManager:
             acc = _FALSE
             for i, p in enumerate(primes):
                 for q in primes[i + 1 :]:
-                    if self._apply(p, q, "and") != _FALSE:
+                    if self._apply(p, q, True) != _FALSE:
                         raise AssertionError("primes not pairwise disjoint")
-                acc = self._apply(acc, p, "or")
+                acc = self._apply(acc, p, False)
             if acc != _TRUE:
                 raise AssertionError("primes do not exhaust")
 

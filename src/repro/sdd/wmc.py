@@ -1,0 +1,182 @@
+"""Linear-time (weighted) model counting over :class:`SddManager` node ids.
+
+The manager's SDDs are hash-consed, so every node id is created *after* the
+ids it references.  That makes a single ascending-id sweep a topological
+traversal: each reachable node is visited once, each element ``(p, s)``
+combines the already-computed child values, and the whole count costs
+``O(size(α))`` ring operations — the linear-time WMC the knowledge
+compilation literature promises for deterministic structured forms.
+
+Two things distinguish this module from a naive recursive walk:
+
+- **No recursion.**  Lineages of 100+ tuples compile against deep
+  right-linear vtrees; a recursive traversal overflows Python's stack long
+  before the instances get interesting.  The sweep here is iterative.
+- **Amortized gap products.**  A sub-SDD normalized for a vtree node ``v``
+  deep inside the tree says nothing about the variables outside ``v``; its
+  value must be multiplied by the product of ``w_neg + w_pos`` over the
+  *gap* variables.  Those products are precomputed per vtree node and the
+  path products are cached, so the sweep stays linear instead of paying an
+  ``O(n)`` set difference per element (as the manager's original recursive
+  implementation did).
+
+The evaluator is generic over the weight ring: ``int`` weights give exact
+model counts, :class:`~fractions.Fraction` weights give exact probabilities,
+``float`` weights give the fast inexact mode.  One evaluator instance can be
+reused across many roots of the same manager — the memo table is keyed by
+node id, so a workload of queries sharing sub-lineages pays for each shared
+node once (this is what :func:`repro.queries.evaluate.evaluate_many` leans
+on).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+__all__ = [
+    "SddWmcEvaluator",
+    "model_count",
+    "weighted_model_count",
+    "probability",
+    "exact_weights",
+    "float_weights",
+]
+
+_FALSE = 0
+_TRUE = 1
+
+
+def exact_weights(prob: Mapping[str, float]) -> dict[str, tuple[Fraction, Fraction]]:
+    """Literal weights ``(1-p, p)`` as exact rationals.
+
+    Floats are converted with ``Fraction(str(p))`` fidelity so that ``0.1``
+    means the decimal ``1/10``, not its binary approximation.
+    """
+    out: dict[str, tuple[Fraction, Fraction]] = {}
+    for v, p in prob.items():
+        fp = p if isinstance(p, Fraction) else Fraction(str(p))
+        out[v] = (1 - fp, fp)
+    return out
+
+
+def float_weights(prob: Mapping[str, float]) -> dict[str, tuple[float, float]]:
+    """Literal weights ``(1-p, p)`` as floats (the fast inexact mode)."""
+    return {v: (1.0 - float(p), float(p)) for v, p in prob.items()}
+
+
+class SddWmcEvaluator:
+    """Weighted model counting over one manager, reusable across roots.
+
+    ``weights`` maps every vtree variable to ``(w_neg, w_pos)``.  Values may
+    be ``int``, ``float`` or :class:`~fractions.Fraction`; results stay in
+    the ring the weights live in (Python's numeric tower does the rest).
+    """
+
+    def __init__(self, mgr, weights: Mapping[str, tuple]):
+        self.mgr = mgr
+        missing = mgr.vtree.variables - set(weights)
+        if missing:
+            raise ValueError(f"weights missing for variables: {sorted(missing)[:5]}")
+        self.weights = {v: weights[v] for v in mgr.vtree.variables}
+        # Product of (w_neg + w_pos) over the variables under each vtree
+        # node, bottom-up (v_nodes is postorder: children precede parents).
+        prod: list = [1] * len(mgr.v_nodes)
+        for i, v in enumerate(mgr.v_nodes):
+            if v.is_leaf:
+                w0, w1 = self.weights[v.var]
+                prod[i] = w0 + w1
+            else:
+                prod[i] = prod[mgr.v_left[i]] * prod[mgr.v_right[i]]
+        self._subtree_prod = prod
+        self._root_vnode = len(mgr.v_nodes) - 1
+        self._gap_cache: dict[tuple[int, int], object] = {}
+        self._memo: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def _gap(self, outer: int, inner: int):
+        """Product of leaf sums under vtree node ``outer`` but not ``inner``
+        (``inner`` must lie in ``outer``'s subtree)."""
+        if outer == inner:
+            return 1
+        key = (outer, inner)
+        got = self._gap_cache.get(key)
+        if got is not None:
+            return got
+        mgr = self.mgr
+        g = 1
+        x = inner
+        while x != outer:
+            p = mgr.v_parent[x]
+            assert p is not None, "inner vtree node not under outer"
+            sib = mgr.v_left[p] if mgr.v_right[p] == x else mgr.v_right[p]
+            g = g * self._subtree_prod[sib]
+            x = p
+        self._gap_cache[key] = g
+        return g
+
+    def _lift(self, u: int, target_vnode: int):
+        """Value of node ``u`` normalized to ``target_vnode``'s full scope."""
+        if u == _FALSE:
+            return 0
+        if u == _TRUE:
+            return self._subtree_prod[target_vnode]
+        return self._memo[u] * self._gap(target_vnode, self.mgr.node_vnode[u])
+
+    def _sweep(self, root: int) -> None:
+        """Fill the memo for every reachable, not-yet-visited node."""
+        mgr = self.mgr
+        memo = self._memo
+        todo = [
+            u for u in mgr.reachable(root) if u > _TRUE and u not in memo
+        ]
+        todo.sort()  # ids are topological: children are interned first
+        for u in todo:
+            if mgr.node_kind[u] == "lit":
+                w0, w1 = self.weights[mgr.node_var[u]]
+                memo[u] = w1 if mgr.node_sign[u] else w0
+            else:
+                vn = mgr.node_vnode[u]
+                vl, vr = mgr.v_left[vn], mgr.v_right[vn]
+                acc = 0
+                for p, s in mgr.node_elements[u]:
+                    acc = acc + self._lift(p, vl) * self._lift(s, vr)
+                memo[u] = acc
+
+    def value(self, root: int):
+        """WMC of ``root`` over *all* vtree variables."""
+        self._sweep(root)
+        return self._lift(root, self._root_vnode)
+
+
+# ----------------------------------------------------------------------
+# functional entry points
+# ----------------------------------------------------------------------
+def weighted_model_count(mgr, root: int, weights: Mapping[str, tuple]):
+    """One-shot WMC; see :class:`SddWmcEvaluator` for the reusable form."""
+    return SddWmcEvaluator(mgr, weights).value(root)
+
+
+def model_count(mgr, root: int, scope: Sequence[str] | None = None) -> int:
+    """Exact model count over the vtree variables (integer weights 1/1).
+
+    ``scope`` may name extra variables outside the vtree; each contributes a
+    free factor of 2, matching :meth:`SddManager.count_models`.
+    """
+    weights = {v: (1, 1) for v in mgr.vtree.variables}
+    base = SddWmcEvaluator(mgr, weights).value(root)
+    missing = len(set(scope) - mgr.vtree.variables) if scope is not None else 0
+    return base << missing
+
+
+def probability(mgr, root: int, prob: Mapping[str, float], *, exact: bool = False):
+    """Probability of ``root`` under independent literal probabilities.
+
+    ``exact=True`` computes in :class:`~fractions.Fraction` arithmetic and
+    returns the exact rational; otherwise floats are used and a ``float``
+    returned.
+    """
+    if exact:
+        # Constant roots short-circuit to int 0/1; normalize the ring.
+        return Fraction(weighted_model_count(mgr, root, exact_weights(prob)))
+    return float(weighted_model_count(mgr, root, float_weights(prob)))

@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.core.boolfunc import BooleanFunction
+
+# CI machines have unpredictable timing; disable hypothesis deadlines there
+# (and in any environment that opts in via HYPOTHESIS_PROFILE=ci).
+settings.register_profile(
+    "ci", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.register_profile("dev", deadline=None)
+if os.environ.get("CI") or os.environ.get("HYPOTHESIS_PROFILE") == "ci":
+    settings.load_profile("ci")
+else:
+    settings.load_profile("dev")
 
 
 @pytest.fixture

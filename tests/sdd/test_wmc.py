@@ -1,0 +1,127 @@
+"""Tests for the linear-time WMC/model-count sweep of :mod:`repro.sdd.wmc`."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import chain_and_or, parity
+from repro.circuits.circuit import Circuit
+from repro.core.vtree import Vtree
+from repro.sdd.manager import SddManager
+from repro.sdd.wmc import (
+    SddWmcEvaluator,
+    exact_weights,
+    model_count,
+    probability,
+    weighted_model_count,
+)
+
+from ..conftest import boolean_functions
+
+
+class TestModelCount:
+    @settings(max_examples=40, deadline=None)
+    @given(boolean_functions(max_vars=4))
+    def test_matches_truth_table(self, f):
+        vt = Vtree.balanced(sorted(f.variables))
+        mgr = SddManager(vt)
+        root = mgr.compile_circuit(Circuit.from_function_dnf(f))
+        assert model_count(mgr, root) == f.count_models()
+
+    def test_terminals(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        assert model_count(mgr, mgr.false) == 0
+        assert model_count(mgr, mgr.true) == 4
+        assert model_count(mgr, mgr.literal("x")) == 2
+
+    def test_scope_extends_count(self):
+        mgr = SddManager(Vtree.balanced(["x", "y"]))
+        x = mgr.literal("x")
+        assert model_count(mgr, x, scope=["x", "y", "z", "w"]) == 8
+
+
+class TestWeighted:
+    @settings(max_examples=30, deadline=None)
+    @given(boolean_functions(min_vars=2, max_vars=4))
+    def test_fraction_probability_matches_float(self, f):
+        vt = Vtree.right_linear(sorted(f.variables))
+        mgr = SddManager(vt)
+        root = mgr.compile_circuit(Circuit.from_function_dnf(f))
+        prob = {v: 0.25 for v in f.variables}
+        exact = probability(mgr, root, prob, exact=True)
+        assert isinstance(exact, Fraction)
+        assert float(exact) == pytest.approx(probability(mgr, root, prob))
+        assert float(exact) == pytest.approx(f.probability(prob))
+
+    def test_unnormalized_integer_weights(self):
+        """The sweep is ring-generic: integer (1,1) weights count models."""
+        mgr = SddManager(Vtree.balanced(["a", "b", "c"]))
+        u = mgr.disjoin(
+            mgr.conjoin(mgr.literal("a"), mgr.literal("b")),
+            mgr.conjoin(mgr.literal("b"), mgr.literal("c")),
+        )
+        w = {v: (1, 1) for v in "abc"}
+        assert weighted_model_count(mgr, u, w) == 3
+
+    def test_missing_weights_raise(self):
+        mgr = SddManager(Vtree.balanced(["a", "b"]))
+        with pytest.raises(ValueError):
+            SddWmcEvaluator(mgr, {"a": (1, 1)})
+
+    def test_exact_weights_decimal_fidelity(self):
+        w = exact_weights({"t": 0.1})
+        assert w["t"] == (Fraction(9, 10), Fraction(1, 10))
+
+
+class TestScaleAndSharing:
+    def test_deep_vtree_no_recursion_error(self):
+        """150-variable right-linear vtree: the iterative sweep must not
+        touch Python's recursion limit."""
+        n = 150
+        c = chain_and_or(n)
+        vs = [f"x{i}" for i in range(1, n + 1)]
+        mgr = SddManager(Vtree.right_linear(vs))
+        root = mgr.compile_circuit(c)
+        mc = model_count(mgr, root)
+        mc_neg = model_count(mgr, mgr.negate(root))
+        assert mc + mc_neg == 1 << n
+
+    def test_shared_evaluator_across_roots(self):
+        """One evaluator reused across roots gives the same answers as
+        fresh evaluators, while sharing the memo."""
+        mgr = SddManager(Vtree.balanced([f"v{i}" for i in range(6)]))
+        rng = np.random.default_rng(3)
+        from repro.circuits.random_circuits import random_circuit
+
+        roots = [
+            mgr.compile_circuit(random_circuit(rng, n_vars=6, n_gates=8))
+            for _ in range(4)
+        ]
+        weights = {f"v{i}": (Fraction(1, 2), Fraction(1, 2)) for i in range(6)}
+        shared = SddWmcEvaluator(mgr, weights)
+        got = [shared.value(r) for r in roots]
+        per_root = []
+        for r in roots:
+            ev = SddWmcEvaluator(mgr, weights)
+            per_root.append(ev.value(r))
+            assert len(ev._memo) <= len(shared._memo)
+        assert got == per_root
+
+    def test_manager_delegation_consistency(self):
+        """`SddManager.count_models`/`weighted_count`/`probability` are the
+        same computation as the wmc module."""
+        mgr = SddManager(Vtree.right_linear(["a", "b", "c", "d"]))
+        u = mgr.disjoin(
+            mgr.conjoin(mgr.literal("a"), mgr.literal("b", False)),
+            mgr.literal("d"),
+        )
+        prob = {"a": 0.2, "b": 0.9, "c": 0.5, "d": 0.4}
+        assert mgr.count_models(u) == model_count(mgr, u)
+        assert mgr.probability(u, prob) == pytest.approx(probability(mgr, u, prob))
+        ew = exact_weights(prob)
+        assert mgr.weighted_count(u, ew) == weighted_model_count(mgr, u, ew)
