@@ -17,11 +17,14 @@ Correctness at this scale cannot be cross-checked against brute force, so
 the assertions use self-consistency instead: ``#models(F) + #models(¬F) =
 2^n``, vtree-independence of exact probabilities, and SDD/OBDD agreement.
 
-Run stand-alone for the CI smoke (<60 s): ``python benchmarks/bench_apply_scaling.py``.
+Run stand-alone for the CI smoke (<60 s):
+``python benchmarks/bench_apply_scaling.py --smoke`` (the flag trims the
+slowest Lemma-1 baseline; without it every study runs at full size).
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import time
 from fractions import Fraction
@@ -66,10 +69,10 @@ def _self_consistent(res) -> int:
     return mc
 
 
-def test_chain_lemma1_scaling():
+def test_chain_lemma1_scaling(sizes_to_run=(50, 75, 100)):
     """Chains through the full Lemma-1 extraction, 50–100 variables."""
     rows, sizes = [], []
-    for n in (50, 75, 100):
+    for n in sizes_to_run:
         t0 = time.time()
         res = compile_circuit_apply(chain_and_or(n), exact=False)
         mc = _self_consistent(res)
@@ -175,7 +178,7 @@ def test_batch_sharing_beats_isolated_compilation():
     isolated_entries = 0
     for q in queries:
         mgr, _ = compile_lineage_sdd(q, db, batch.vtree)
-        isolated_entries += len(mgr._and_cache) + len(mgr._or_cache)
+        isolated_entries += mgr.stats()["apply_cache_entries"]
     report(
         "apply backend / batch sharing vs isolated compilation",
         ["mode", "apply-cache entries"],
@@ -185,14 +188,39 @@ def test_batch_sharing_beats_isolated_compilation():
     assert shared_entries < isolated_entries
 
 
-def main() -> int:
-    """CI smoke: run every study once; must finish well under 60 s."""
+def test_chain_100_best_of_strategy_fast():
+    """Strategy-regression guard: the ``best-of`` race on ``chain(100)``
+    must settle on the natural order (small manager, no scrambled-fold
+    blowup) — the full 10× comparison lives in ``bench_strategies.py``."""
+    from repro.compiler import Compiler
+
     t0 = time.time()
-    test_chain_lemma1_scaling()
+    compiled = Compiler(backend="apply", strategy="best-of").compile(chain_and_or(100))
+    elapsed = time.time() - t0
+    report(
+        "apply backend / chain(100) via best-of strategy",
+        ["strategy", "SDD size", "mgr nodes", "time"],
+        [[compiled.strategy, compiled.size, compiled.stats()["nodes"],
+          f"{elapsed:.2f}s"]],
+    )
+    assert compiled.strategy == "best-of:natural"
+    # A scrambled Lemma-1 fold allocates >100k nodes; the race must not.
+    assert compiled.stats()["nodes"] < 30_000
+
+
+def main(argv=None) -> int:
+    """CI smoke: run every study once; must finish well under 60 s."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="trim the slowest Lemma-1 baseline for CI")
+    args = parser.parse_args(argv)
+    t0 = time.time()
+    test_chain_lemma1_scaling((50, 75) if args.smoke else (50, 75, 100))
     test_chain_natural_vtree_200_vars()
     test_ladder_200_vars_lemma1()
     test_ucq_workload_56_tuples()
     test_batch_sharing_beats_isolated_compilation()
+    test_chain_100_best_of_strategy_fast()
     print(f"\nbench_apply_scaling smoke passed in {time.time() - t0:.1f}s")
     return 0
 

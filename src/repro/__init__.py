@@ -3,13 +3,19 @@ Decision, and Query Compilation* (PODS 2017).
 
 Public API highlights
 ---------------------
+- :class:`repro.Compiler` — **the** compilation entry point:
+  ``Compiler(backend="apply", strategy="best-of").compile(circuit)`` with
+  pluggable backends (``canonical``/``apply``/``obdd``) and vtree
+  strategies (``lemma1``/``natural``/``balanced``/``best-of``).
+- :class:`repro.QueryEngine` — **the** query-evaluation entry point: one
+  database, one vtree/manager/WMC-memo, any number of queries.
 - :class:`repro.BooleanFunction` — exact Boolean functions.
 - :class:`repro.Vtree` — variable trees.
 - :func:`repro.factors` — the paper's factor decompositions (Definition 1).
 - :func:`repro.compile_canonical_nnf` / :func:`repro.compile_canonical_sdd`
   — the Section-3.2 canonical constructions ``C_{F,T}`` and ``S_{F,T}``.
-- :func:`repro.compile_circuit` — the Lemma-1 pipeline
-  (circuit → tree decomposition → vtree → SDD).
+- :func:`repro.compile_circuit` / :func:`repro.compile_circuit_apply` —
+  deprecated shims over the facade (kept for compatibility).
 - :class:`repro.ObddManager` / :class:`repro.SddManager` — decision-diagram
   engines with weighted model counting.
 - :mod:`repro.queries` — UCQ (+inequality) syntax, lineage, inversion
@@ -47,14 +53,20 @@ from .core.widths import (
 from .circuits.circuit import Circuit
 from .circuits.nnf import NNF, conj, disj, false_node, lit, true_node
 from .circuits.parse import parse_formula
+from .compiler import Compiled, Compiler, compile_with
 from .obdd.obdd import ObddManager, obdd_from_function
 from .sdd.manager import SddManager, sdd_from_circuit
+from .queries.engine import QueryEngine
 from .queries.syntax import UCQ, ConjunctiveQuery, parse_cq, parse_ucq
 from .queries.database import Database, ProbabilisticDatabase, complete_database
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Compiler",
+    "Compiled",
+    "compile_with",
+    "QueryEngine",
     "BooleanFunction",
     "Vtree",
     "FactorDecomposition",

@@ -34,6 +34,7 @@ __all__ = [
     "path_match",
     "and_or_tree",
     "ladder",
+    "grid",
     "cnf_chain",
 ]
 
@@ -210,6 +211,34 @@ def ladder(n: int) -> Circuit:
         rail = c.add_or(rail, rung, cross)
         a_prev, b_prev = ai, bi
     c.set_output(rail)
+    return c
+
+
+def grid(rows: int, cols: int) -> Circuit:
+    """A grid-shaped circuit (treewidth ~ ``min(rows, cols)``): one variable
+    per cell, one AND per grid edge, ORs accumulated row-major.
+
+    ``rows × cols`` variables named ``g{i}_{j}``; the function is "some two
+    adjacent cells are both true" — the 2-dimensional analogue of
+    :func:`chain_and_or` (``grid(1, n)`` is the same function).
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("need at least two cells")
+    c = Circuit()
+    xs = [
+        [c.add_var(f"g{i}_{j}") for j in range(1, cols + 1)]
+        for i in range(1, rows + 1)
+    ]
+    acc = None
+    for i in range(rows):
+        for j in range(cols):
+            for di, dj in ((0, 1), (1, 0)):
+                ni, nj = i + di, j + dj
+                if ni < rows and nj < cols:
+                    edge = c.add_and(xs[i][j], xs[ni][nj])
+                    acc = edge if acc is None else c.add_or(acc, edge)
+    assert acc is not None
+    c.set_output(acc)
     return c
 
 

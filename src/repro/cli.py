@@ -2,18 +2,23 @@
 
 Usage::
 
-    python -m repro.cli compile "(a & b) | c" [--vtree balanced|right|left|search]
-                                              [--backend canonical|apply]
+    python -m repro.cli compile "(a & b) | c" [--backend canonical|apply|obdd]
+                                              [--strategy lemma1|natural|balanced|best-of|...]
+                                              [--vtree balanced|right|left|search]
     python -m repro.cli ctw "x & ~y" [--max-gates 4]
     python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5] [--backend obdd|sdd]
     python -m repro.cli batch "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
+    python -m repro.cli engine "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
     python -m repro.cli isa 2 4
 
 Each subcommand prints a small report; exit code 0 on success.
 
-The ``--backend apply`` / ``batch`` paths never materialize a truth table:
-they run the scalable :class:`repro.SddManager` pipeline, so formulas and
-workloads with dozens-to-hundreds of variables stay tractable.
+``compile --strategy ...`` routes through the unified
+:class:`repro.compiler.Compiler` facade (any registered backend × any
+registered vtree strategy); the legacy ``--vtree`` flag keeps its original
+behaviour when no strategy is given.  ``engine`` evaluates a workload
+through one :class:`repro.queries.QueryEngine` session and prints its
+public ``stats()``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import sys
 from typing import Sequence
 
 from .circuits.parse import parse_formula
+from .compiler import Compiler, available_backends, available_strategies
 from .core.computability import ctw_upper_bound, exact_circuit_treewidth
 from .core.nnf_compile import compile_canonical_nnf
 from .core.pipeline import compile_circuit_apply
@@ -32,6 +38,7 @@ from .core.vtree_search import minimize_vtree
 from .obdd.obdd import obdd_from_function
 from .queries.analysis import find_inversion
 from .queries.compile import compile_lineage_obdd, compile_lineage_sdd
+from .queries.engine import QueryEngine
 from .queries.evaluate import evaluate_many, probability_via_obdd
 from .queries.database import complete_database
 from .queries.syntax import parse_ucq
@@ -47,6 +54,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f = circuit.function()
         print(f"constant formula: {'true' if f.is_tautology() else 'false'}")
         return 0
+    if args.strategy is not None:
+        compiled = Compiler(backend=args.backend, strategy=args.strategy).compile(circuit)
+        via = compiled.strategy or args.strategy
+        report(
+            f"compile ({args.backend} backend, {args.strategy} strategy): {args.formula}",
+            ["form", "size", "width"],
+            [[f"{args.backend} (via {via})", compiled.size, compiled.width]],
+        )
+        if compiled.decomposition_width is not None:
+            print(f"decomposition width: {compiled.decomposition_width}")
+        print(f"models: {compiled.model_count()} / 2^{len(vs)}")
+        return 0
+    if args.backend == "obdd":
+        print("--backend obdd requires --strategy (facade path)", file=sys.stderr)
+        return 1
     if args.backend == "apply":
         if args.vtree == "balanced":
             res = compile_circuit_apply(circuit, vtree=Vtree.balanced(vs))
@@ -109,6 +131,19 @@ def _schema_of(q) -> dict[str, int]:
     return schema
 
 
+def _parse_workload(args: argparse.Namespace):
+    """Parse a ';'-separated UCQ workload and build the complete database
+    for its union schema.  Returns ``(queries, db)``; ``queries`` is empty
+    when nothing parses (callers report and bail)."""
+    queries = [parse_ucq(part.strip()) for part in args.queries.split(";") if part.strip()]
+    if not queries:
+        return [], None
+    schema: dict[str, int] = {}
+    for q in queries:
+        schema.update(_schema_of(q))
+    return queries, complete_database(schema, args.domain, p=args.prob)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     q = parse_ucq(args.query)
     inv = find_inversion(q)
@@ -140,14 +175,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Evaluate a ';'-separated workload of UCQs against one complete
     database through the shared-manager batch pipeline."""
-    queries = [parse_ucq(part.strip()) for part in args.queries.split(";") if part.strip()]
+    queries, db = _parse_workload(args)
     if not queries:
         print("no queries given", file=sys.stderr)
         return 1
-    schema: dict[str, int] = {}
-    for q in queries:
-        schema.update(_schema_of(q))
-    db = complete_database(schema, args.domain, p=args.prob)
     batch = evaluate_many(queries, db, exact=args.exact)
     rows = [
         [str(q), batch.sizes[i],
@@ -165,6 +196,29 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{s['apply_cache_entries']} apply-cache entries, "
         f"{s['wmc_memo_entries']} WMC memo entries"
     )
+    return 0
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    """Evaluate a ';'-separated workload through one
+    :class:`~repro.queries.engine.QueryEngine` session and print its stats."""
+    queries, db = _parse_workload(args)
+    if not queries:
+        print("no queries given", file=sys.stderr)
+        return 1
+    engine = QueryEngine(db)
+    rows = []
+    for q in queries:
+        p = engine.probability(q, exact=args.exact)
+        rows.append([str(q), engine.lineage_size(q),
+                     str(p) if args.exact else f"{p:.6f}"])
+    report(
+        f"engine: {len(queries)} queries, {db.size} tuples, one session",
+        ["query", "SDD size", "P(q)"],
+        rows,
+    )
+    stats = engine.stats()
+    print("engine stats: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
     return 0
 
 
@@ -188,10 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
     c = sub.add_parser("compile", help="compile a formula into SDD/NNF/OBDD")
     c.add_argument("formula")
     c.add_argument("--vtree", choices=["balanced", "right", "left", "search"],
-                   default="balanced")
-    c.add_argument("--backend", choices=["canonical", "apply"], default="canonical",
+                   default="balanced",
+                   help="legacy vtree shape (ignored when --strategy is given)")
+    c.add_argument("--backend", choices=available_backends(), default="canonical",
                    help="'apply' compiles bottom-up without a truth table "
-                        "(scales past 20 variables)")
+                        "(scales past 20 variables); 'obdd' needs --strategy")
+    c.add_argument("--strategy", choices=available_strategies(), default=None,
+                   help="vtree strategy; routes through the Compiler facade "
+                        "(any backend x any strategy)")
     c.set_defaults(fn=_cmd_compile)
 
     t = sub.add_parser("ctw", help="exhaustive circuit treewidth (Result 2)")
@@ -216,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--exact", action="store_true",
                    help="exact Fraction probabilities")
     b.set_defaults(fn=_cmd_batch)
+
+    e = sub.add_parser("engine", help="evaluate a ';'-separated UCQ workload "
+                                      "through one QueryEngine session")
+    e.add_argument("queries")
+    e.add_argument("--domain", type=int, default=2)
+    e.add_argument("--prob", type=float, default=0.5)
+    e.add_argument("--exact", action="store_true",
+                   help="exact Fraction probabilities")
+    e.set_defaults(fn=_cmd_engine)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")
     i.add_argument("k", type=int)

@@ -1,0 +1,64 @@
+"""repro.compiler — the unified compilation facade (PR 2).
+
+The Result-1 pipeline (circuit → vtree → tractable form) is one algorithm
+with pluggable realizations.  This package is its single front door:
+
+- :class:`Compiler` — ``Compiler(backend=..., strategy=...).compile(circuit)``;
+- the **backend registry** (:mod:`~repro.compiler.backends`):
+  ``canonical`` / ``apply`` / ``obdd``, each returning a uniform
+  :class:`~repro.compiler.backends.Compiled`;
+- the **vtree-strategy registry** (:mod:`~repro.compiler.strategies`):
+  ``lemma1`` (± ``-exact`` / ``-heuristic``), ``natural``, ``balanced`` and
+  the racing ``best-of``.
+
+The legacy entry points (:func:`repro.core.pipeline.compile_circuit`,
+:func:`repro.core.pipeline.compile_circuit_apply`) are deprecated shims over
+this facade.
+"""
+
+from .backends import (
+    ApplyBackend,
+    CanonicalBackend,
+    Compiled,
+    CompilationBackend,
+    ObddBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .facade import Compiler, compile_with
+from .strategies import (
+    BalancedStrategy,
+    BestOfStrategy,
+    Lemma1Strategy,
+    NaturalStrategy,
+    VtreeChoice,
+    VtreeStrategy,
+    available_strategies,
+    get_strategy,
+    natural_variable_order,
+    register_strategy,
+)
+
+__all__ = [
+    "Compiler",
+    "compile_with",
+    "Compiled",
+    "CompilationBackend",
+    "CanonicalBackend",
+    "ApplyBackend",
+    "ObddBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "VtreeChoice",
+    "VtreeStrategy",
+    "Lemma1Strategy",
+    "NaturalStrategy",
+    "BalancedStrategy",
+    "BestOfStrategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "natural_variable_order",
+]

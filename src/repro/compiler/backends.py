@@ -1,0 +1,366 @@
+"""Compilation backends behind the :class:`repro.compiler.Compiler` facade.
+
+The Result-1 pipeline is one algorithm with several realizations.  Each
+realization is a :class:`CompilationBackend`: it takes a circuit and a vtree
+(or a :class:`~repro.compiler.strategies.VtreeChoice` carrying one) and
+returns a :class:`Compiled` — a uniform handle exposing ``size``, ``width``,
+``model_count()``, ``probability()``, ``evaluate()`` and ``stats()`` with no
+cross-backend branching or bare asserts.
+
+Registered backends:
+
+- ``canonical`` — the paper-faithful ``S_{F,T}`` truth-table construction
+  (Section 3.2.2); eager, limited to ~20 variables, but also yields the
+  canonical deterministic structured NNF and the exact function.
+- ``apply`` — bottom-up :class:`~repro.sdd.manager.SddManager` compilation
+  over the same vtree; no truth table, scales to hundreds of variables.
+- ``obdd`` — :class:`~repro.obdd.obdd.ObddManager` compilation under the
+  vtree's left-to-right leaf order (OBDDs are the canonical SDDs of
+  right-linear vtrees, so for linear vtrees this is the same object in the
+  paper's sense).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Mapping, Protocol, runtime_checkable
+
+from ..circuits.circuit import Circuit
+from ..core.vtree import Vtree
+from ..obdd.obdd import ObddManager
+from ..sdd.manager import SddManager
+from ..sdd.wmc import exact_weights, float_weights
+
+__all__ = [
+    "Compiled",
+    "CompilationBackend",
+    "CanonicalBackend",
+    "ApplyBackend",
+    "ObddBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+def _fill_extra(
+    prob: Mapping[str, float], extra: frozenset[str] | set[str]
+) -> Mapping[str, float]:
+    """Weights for vtree variables the circuit does not depend on: any pair
+    summing to 1 marginalizes them out (``Fraction(1, 2)`` stays exact in
+    both rings)."""
+    missing = set(extra) - set(prob)
+    if not missing:
+        return prob
+    return {**prob, **{v: Fraction(1, 2) for v in missing}}
+
+
+@runtime_checkable
+class Compiled(Protocol):
+    """What every backend's compilation result exposes.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the backend that produced this result.
+    circuit:
+        The compiled circuit.
+    vtree:
+        The vtree the compilation respects.
+    decomposition_width:
+        Width of the tree decomposition the vtree came from, or ``None``
+        when the vtree was supplied directly (no decomposition involved).
+    strategy:
+        Name of the vtree strategy used (``""`` for explicit vtrees).
+    """
+
+    backend: str
+    circuit: Circuit
+    vtree: Vtree
+    decomposition_width: int | None
+    strategy: str
+
+    @property
+    def size(self) -> int: ...
+
+    @property
+    def width(self) -> int: ...
+
+    def model_count(self) -> int: ...
+
+    def probability(
+        self, prob: Mapping[str, float], *, exact: bool = False
+    ) -> float | Fraction: ...
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool: ...
+
+    def stats(self) -> dict[str, int]: ...
+
+
+class CompilationBackend(Protocol):
+    """A realization of the pipeline: ``compile(circuit, vtree) -> Compiled``."""
+
+    name: str
+
+    def compile(
+        self,
+        circuit: Circuit,
+        vtree: Vtree,
+        *,
+        decomposition_width: int | None = None,
+        strategy: str = "",
+        trial: tuple[SddManager, int] | None = None,
+    ) -> Compiled: ...
+
+
+class _CompiledBase:
+    """Shared bookkeeping for the concrete ``Compiled`` implementations."""
+
+    backend = ""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        vtree: Vtree,
+        decomposition_width: int | None,
+        strategy: str,
+    ):
+        self.circuit = circuit
+        self.vtree = vtree
+        self.decomposition_width = decomposition_width
+        self.strategy = strategy
+
+    @property
+    def circuit_variables(self) -> set[str]:
+        return set(map(str, self.circuit.variables))
+
+    @property
+    def extra_variables(self) -> set[str]:
+        """Vtree variables beyond the circuit's own (e.g. unpruned Lemma-1
+        dummies); the compiled function never depends on them."""
+        return set(self.vtree.variables) - self.circuit_variables
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} backend={self.backend!r} "
+            f"vars={len(self.circuit_variables)} size={self.size}>"
+        )
+
+
+class CanonicalCompiled(_CompiledBase):
+    """Result of the ``S_{F,T}`` construction (plus the canonical NNF).
+
+    Beyond the uniform interface this exposes ``function`` (the exact
+    :class:`~repro.core.boolfunc.BooleanFunction`), ``sdd`` (the
+    :class:`~repro.core.sdd_compile.CompiledSDD`) and ``nnf``.
+    """
+
+    backend = "canonical"
+
+    def __init__(self, circuit, vtree, decomposition_width, strategy, *, function, sdd, nnf):
+        super().__init__(circuit, vtree, decomposition_width, strategy)
+        self.function = function
+        self.sdd = sdd
+        self.nnf = nnf
+        self._manager_root: tuple[SddManager, int] | None = None
+
+    @property
+    def size(self) -> int:
+        return self.sdd.size
+
+    @property
+    def width(self) -> int:
+        return self.sdd.sdw
+
+    def model_count(self) -> int:
+        return self.function.count_models()
+
+    def _reuse_as_manager_sdd(self) -> tuple[SddManager, int]:
+        """Load the *already-compiled* canonical SDD into a manager (once),
+        for exact WMC — the circuit itself is never recompiled."""
+        if self._manager_root is None:
+            mgr = SddManager(self.vtree)
+            self._manager_root = (mgr, mgr.compile_nnf(self.sdd.root))
+        return self._manager_root
+
+    def probability(self, prob, *, exact: bool = False):
+        if exact:
+            mgr, root = self._reuse_as_manager_sdd()
+            weights = exact_weights(_fill_extra(prob, self.vtree.variables))
+            return Fraction(mgr.weighted_count(root, weights))
+        return self.function.probability(prob)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return bool(self.function(dict(assignment)))
+
+    def stats(self) -> dict[str, int]:
+        out = {
+            "sdd_gates": self.sdd.size,
+            "nnf_gates": self.nnf.size,
+            "truth_table_rows": 1 << len(self.function.variables),
+        }
+        if self._manager_root is not None:
+            out.update(self._manager_root[0].stats())
+        return out
+
+
+class ApplyCompiled(_CompiledBase):
+    """Result of bottom-up :class:`SddManager` compilation; also exposes
+    ``manager`` and ``root`` for callers that want the raw handles."""
+
+    backend = "apply"
+
+    def __init__(self, circuit, vtree, decomposition_width, strategy, *, manager, root):
+        super().__init__(circuit, vtree, decomposition_width, strategy)
+        self.manager = manager
+        self.root = root
+
+    @property
+    def size(self) -> int:
+        return self.manager.size(self.root)
+
+    @property
+    def width(self) -> int:
+        return self.manager.width(self.root)
+
+    def model_count(self) -> int:
+        base = self.manager.count_models(self.root, self.circuit.variables)
+        # The WMC sweep counts over all vtree variables; the circuit does
+        # not depend on the extras, so each contributes an exact factor of 2.
+        extra = self.manager.vtree.variables - self.circuit_variables
+        return base >> len(extra)
+
+    def probability(self, prob, *, exact: bool = False):
+        from ..sdd.wmc import probability as sdd_probability
+
+        full = _fill_extra(prob, self.manager.vtree.variables)
+        return sdd_probability(self.manager, self.root, full, exact=exact)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return self.manager.evaluate(self.root, assignment)
+
+    def stats(self) -> dict[str, int]:
+        return self.manager.stats()
+
+
+class ObddCompiled(_CompiledBase):
+    """Result of OBDD compilation under the vtree's leaf order; exposes
+    ``manager`` (an :class:`ObddManager`) and ``root``."""
+
+    backend = "obdd"
+
+    def __init__(self, circuit, vtree, decomposition_width, strategy, *, manager, root):
+        super().__init__(circuit, vtree, decomposition_width, strategy)
+        self.manager = manager
+        self.root = root
+
+    @property
+    def size(self) -> int:
+        return self.manager.size(self.root)
+
+    @property
+    def width(self) -> int:
+        return self.manager.width(self.root)
+
+    def model_count(self) -> int:
+        base = self.manager.count_models(self.root)
+        extra = set(self.manager.order) - self.circuit_variables
+        return base >> len(extra)
+
+    def probability(self, prob, *, exact: bool = False):
+        full = _fill_extra(prob, set(self.manager.order))
+        weights = exact_weights(full) if exact else float_weights(full)
+        value = self.manager.weighted_count(self.root, weights)
+        return Fraction(value) if exact else float(value)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        # A reduced OBDD of the circuit never tests variables the circuit
+        # does not depend on, so the circuit's assignment suffices.
+        return self.manager.evaluate(self.root, assignment)
+
+    def stats(self) -> dict[str, int]:
+        return self.manager.stats()
+
+
+# ----------------------------------------------------------------------
+# concrete backends
+# ----------------------------------------------------------------------
+class CanonicalBackend:
+    name = "canonical"
+
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+        from ..core.nnf_compile import compile_canonical_nnf
+        from ..core.sdd_compile import compile_canonical_sdd
+
+        f = circuit.function()
+        return CanonicalCompiled(
+            circuit,
+            vtree,
+            decomposition_width,
+            strategy,
+            function=f,
+            sdd=compile_canonical_sdd(f, vtree),
+            nnf=compile_canonical_nnf(f, vtree),
+        )
+
+
+class ApplyBackend:
+    name = "apply"
+
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+        if trial is not None:
+            # The best-of strategy already compiled the winning candidate;
+            # reuse its manager instead of repeating the fold.
+            manager, root = trial
+            if manager.vtree is vtree or manager.vtree == vtree:
+                return ApplyCompiled(
+                    circuit, vtree, decomposition_width, strategy,
+                    manager=manager, root=root,
+                )
+        manager = SddManager(vtree)
+        root = manager.compile_circuit(circuit)
+        return ApplyCompiled(
+            circuit, vtree, decomposition_width, strategy, manager=manager, root=root
+        )
+
+
+class ObddBackend:
+    name = "obdd"
+
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+        manager = ObddManager(vtree.leaf_order())
+        root = manager.compile_circuit(circuit)
+        return ObddCompiled(
+            circuit, vtree, decomposition_width, strategy, manager=manager, root=root
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_BACKENDS: dict[str, Callable[[], CompilationBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], CompilationBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites silently so
+    downstream code can swap implementations)."""
+    _BACKENDS[name] = factory
+
+
+def get_backend(name: str) -> CompilationBackend:
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {available_backends()}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+register_backend("canonical", CanonicalBackend)
+register_backend("apply", ApplyBackend)
+register_backend("obdd", ObddBackend)

@@ -1,0 +1,266 @@
+"""Vtree strategies behind the :class:`repro.compiler.Compiler` facade.
+
+A strategy turns a circuit into a :class:`VtreeChoice` — a vtree plus the
+provenance the facade reports (decomposition width when a tree decomposition
+was involved, the strategy name, and optionally a pre-compiled trial result
+the apply backend can reuse).
+
+Registered strategies:
+
+- ``lemma1`` — the paper's Lemma-1 extraction (circuit → nice tree
+  decomposition → vtree); picks the exact treewidth DP for tiny circuits and
+  the min-degree/min-fill heuristics otherwise.  ``lemma1-exact`` and
+  ``lemma1-heuristic`` pin the choice.
+- ``natural`` — right-linear vtree over the numerically-sorted variable
+  order (``x2`` before ``x10``).  For chain/ladder-shaped circuits this is
+  the order the gates are wired in, and the apply fold stays tiny.
+- ``balanced`` — balanced vtree over the same natural order.
+- ``best-of`` — races a list of candidate strategies, trial-compiling each
+  with an :class:`~repro.sdd.manager.SddManager` under a node budget and
+  keeping the smallest decomposition.  A candidate that compiles to linear
+  size ends the race early, and a candidate that blows up (e.g. a scrambled
+  Lemma-1 leaf order on ``chain(100)``) is abandoned at its budget — see
+  :class:`BestOfStrategy` for the exact rules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..circuits.circuit import Circuit
+from ..core.vtree import Vtree
+from ..sdd.manager import CompilationBudgetExceeded, SddManager
+
+__all__ = [
+    "VtreeChoice",
+    "VtreeStrategy",
+    "Lemma1Strategy",
+    "NaturalStrategy",
+    "BalancedStrategy",
+    "BestOfStrategy",
+    "natural_variable_order",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+]
+
+
+@dataclass
+class VtreeChoice:
+    """A strategy's output: the vtree plus provenance.
+
+    ``trial`` optionally carries ``(manager, root)`` from a strategy that
+    already compiled the circuit while deciding (the ``best-of`` race); the
+    apply backend reuses it instead of compiling again.
+    """
+
+    vtree: Vtree
+    decomposition_width: int | None = None
+    strategy: str = ""
+    trial: tuple[SddManager, int] | None = field(default=None, repr=False)
+
+
+# Callable protocol: a strategy maps a circuit to a VtreeChoice.
+VtreeStrategy = Callable[[Circuit], VtreeChoice]
+
+_SPLIT_DIGITS = re.compile(r"(\d+)")
+
+
+def _natural_key(name: str) -> tuple:
+    """Sort key: numeric components first (in order of appearance), then the
+    name itself as a tiebreaker.
+
+    Number-first ordering interleaves same-index variables from different
+    groups — ``a1, b1, a2, b2, ...`` for :func:`~repro.circuits.build.ladder`
+    — which is the order the gates are wired in.  A plain alphanumeric sort
+    (``a1..a50, b1..b50``) separates the ladder's rails and makes the
+    right-linear compilation exponential.
+    """
+    numbers = tuple(int(t) for t in _SPLIT_DIGITS.findall(name))
+    return (numbers, name)
+
+
+def natural_variable_order(circuit: Circuit) -> list[str]:
+    """The circuit's variables in numeric-aware, number-first sorted order
+    (``x2`` before ``x10``; ``a1, b1`` before ``a2``) — for generator-built
+    families this recovers the wiring order."""
+    return sorted(map(str, circuit.variables), key=_natural_key)
+
+
+def _require_variables(circuit: Circuit) -> None:
+    if not circuit.variables:
+        raise ValueError("circuit has no variables; constants need no vtree")
+
+
+class Lemma1Strategy:
+    """The paper's pipeline: tree decomposition → nice form → vtree.
+
+    ``exact=None`` auto-selects (exact DP for ≤ 12 gates); ``True``/``False``
+    pin the exact DP or the elimination heuristics.
+    """
+
+    def __init__(self, exact: bool | None = None, prune_dummies: bool = True):
+        self.exact = exact
+        self.prune_dummies = prune_dummies
+        suffix = {None: "", True: "-exact", False: "-heuristic"}[exact]
+        self.name = f"lemma1{suffix}"
+
+    def __call__(self, circuit: Circuit) -> VtreeChoice:
+        from ..core.pipeline import vtree_from_circuit
+
+        vtree, width = vtree_from_circuit(
+            circuit, exact=self.exact, prune_dummies=self.prune_dummies
+        )
+        return VtreeChoice(vtree, decomposition_width=width, strategy=self.name)
+
+
+class NaturalStrategy:
+    """Right-linear vtree over the natural variable order."""
+
+    name = "natural"
+
+    def __call__(self, circuit: Circuit) -> VtreeChoice:
+        _require_variables(circuit)
+        return VtreeChoice(
+            Vtree.right_linear(natural_variable_order(circuit)), strategy=self.name
+        )
+
+
+class BalancedStrategy:
+    """Balanced vtree over the natural variable order."""
+
+    name = "balanced"
+
+    def __call__(self, circuit: Circuit) -> VtreeChoice:
+        _require_variables(circuit)
+        return VtreeChoice(
+            Vtree.balanced(natural_variable_order(circuit)), strategy=self.name
+        )
+
+
+class BestOfStrategy:
+    """Race candidate strategies; keep the smallest compiled decomposition.
+
+    Candidates are trial-compiled in order on a fresh
+    :class:`~repro.sdd.manager.SddManager`.  Two mechanisms keep the race
+    cheap:
+
+    - **Early exit.**  Result 1's regime is *linear* SDD size for bounded
+      decomposition width, so once a candidate compiles to at most
+      ``early_exit × n_vars`` elements the remaining candidates can only
+      shave a constant — they are skipped outright.  This is what makes
+      ``best-of`` ~100× faster than plain heuristic ``lemma1`` on
+      ``chain(100)``: the natural order wins immediately and the scrambled
+      Lemma-1 fold never starts.
+    - **Node budget.**  Until a candidate succeeds, trials run under an
+      absolute budget of ``max(floor, initial_per_var × n_vars)`` manager
+      nodes, so one pathological candidate cannot hang the race; after the
+      first success the budget tightens to ``max(slack × best_nodes,
+      floor)``.  A candidate over budget is abandoned, not failed.  If
+      *every* candidate aborts, the first candidate is recompiled without a
+      budget (the race then costs what that strategy alone would have).
+
+    Ranking is by compiled SDD size, then manager node count.  The winner's
+    manager travels in ``VtreeChoice.trial`` so the apply backend never
+    compiles twice.
+
+    The race's cost model *is* the apply backend: trials are
+    :class:`~repro.sdd.manager.SddManager` folds, and only that backend can
+    reuse the winning trial.  With ``backend="canonical"`` or
+    ``backend="obdd"`` the winning *vtree* still transfers (SDD size under
+    a vtree is a reasonable proxy for either), but the trial work is paid
+    and discarded — prefer a direct strategy (``natural``, ``lemma1``)
+    there unless the vtree choice genuinely matters more than the race's
+    overhead.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[str] = ("natural", "balanced", "lemma1-heuristic"),
+        *,
+        slack: int = 2,
+        floor: int = 4096,
+        early_exit: int = 8,
+        initial_per_var: int = 512,
+    ):
+        self.candidates = tuple(candidates)
+        self.slack = slack
+        self.floor = floor
+        self.early_exit = early_exit
+        self.initial_per_var = initial_per_var
+        self.name = "best-of"
+
+    def __call__(self, circuit: Circuit) -> VtreeChoice:
+        _require_variables(circuit)
+        n_vars = len(circuit.variables)
+        linear_size = self.early_exit * n_vars
+        best: VtreeChoice | None = None
+        best_rank: tuple[int, int] | None = None
+        budget = max(self.floor, self.initial_per_var * n_vars)
+        for cand_name in self.candidates:
+            try:
+                choice = get_strategy(cand_name)(circuit)
+                mgr = SddManager(choice.vtree)
+                root = mgr.compile_circuit(circuit, node_budget=budget)
+            except CompilationBudgetExceeded:
+                continue
+            rank = (mgr.size(root), len(mgr.node_kind))
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = VtreeChoice(
+                    choice.vtree,
+                    decomposition_width=choice.decomposition_width,
+                    strategy=f"{self.name}:{cand_name}",
+                    trial=(mgr, root),
+                )
+            if best_rank[0] <= linear_size:
+                break
+            budget = max(self.slack * best_rank[1], self.floor)
+        if best is None:
+            # Every candidate blew the initial budget; fall back to the
+            # first one without a budget so the race always returns.
+            choice = get_strategy(self.candidates[0])(circuit)
+            mgr = SddManager(choice.vtree)
+            root = mgr.compile_circuit(circuit)
+            best = VtreeChoice(
+                choice.vtree,
+                decomposition_width=choice.decomposition_width,
+                strategy=f"{self.name}:{self.candidates[0]}",
+                trial=(mgr, root),
+            )
+        return best
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_STRATEGIES: dict[str, Callable[[], VtreeStrategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[[], VtreeStrategy]) -> None:
+    """Register a strategy factory under ``name`` (overwrites silently)."""
+    _STRATEGIES[name] = factory
+
+
+def get_strategy(name: str) -> VtreeStrategy:
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown vtree strategy {name!r}; registered: {available_strategies()}"
+        ) from None
+    return factory()
+
+
+def available_strategies() -> list[str]:
+    return sorted(_STRATEGIES)
+
+
+register_strategy("lemma1", Lemma1Strategy)
+register_strategy("lemma1-exact", lambda: Lemma1Strategy(exact=True))
+register_strategy("lemma1-heuristic", lambda: Lemma1Strategy(exact=False))
+register_strategy("natural", NaturalStrategy)
+register_strategy("balanced", BalancedStrategy)
+register_strategy("best-of", BestOfStrategy)

@@ -24,8 +24,8 @@ from fractions import Fraction
 from typing import Mapping
 
 from .boolfunc import BooleanFunction
-from .nnf_compile import CompiledNNF, compile_canonical_nnf
-from .sdd_compile import CompiledSDD, compile_canonical_sdd
+from .nnf_compile import CompiledNNF
+from .sdd_compile import CompiledSDD
 from .vtree import Vtree
 from .widths import factor_width, lemma1_bound
 from ..circuits.circuit import Circuit, VAR
@@ -45,6 +45,14 @@ __all__ = [
 class PipelineResult:
     """Everything the Lemma-1 pipeline produces for one circuit.
 
+    .. deprecated:: PR 2
+        New code should use :class:`repro.compiler.Compiler`, whose
+        :class:`~repro.compiler.backends.Compiled` results expose the same
+        measures uniformly across *three* registered backends.  This class
+        remains as the result type of the legacy entry points
+        :func:`compile_circuit` / :func:`compile_circuit_apply`, which now
+        delegate to the facade.
+
     Two backends share this interface:
 
     - ``backend == "canonical"`` — the paper-faithful ``S_{F,T}`` / NNF
@@ -55,6 +63,9 @@ class PipelineResult:
       populated; scales to hundreds of variables, ``function`` available
       lazily and only sensible at small ``n``).
 
+    ``decomposition_width`` is ``None`` when no tree decomposition was
+    involved (explicit vtree or reused manager).
+
     The unified accessors (:attr:`sdd_size`, :attr:`sdd_width`,
     :meth:`model_count`, :meth:`probability`, :meth:`evaluate`) work on
     either backend so callers can switch on scale without branching.
@@ -63,7 +74,7 @@ class PipelineResult:
     def __init__(
         self,
         circuit: Circuit,
-        decomposition_width: int,
+        decomposition_width: int | None,
         vtree: Vtree,
         *,
         backend: str = "canonical",
@@ -84,6 +95,9 @@ class PipelineResult:
         self.manager = manager
         self.root = root
         self._function = function
+        # The facade Compiled this result delegates its measures to; set by
+        # compile_circuit / compile_circuit_apply, built lazily otherwise.
+        self._compiled = None
 
     # -- truth-table views (computed lazily for the apply backend) -------
     @property
@@ -103,44 +117,61 @@ class PipelineResult:
 
     def lemma1_bound(self) -> int:
         """``2^{(w+2)·2^{w+1}}`` for ``w`` the decomposition width used."""
+        if self.decomposition_width is None:
+            raise ValueError(
+                "no tree decomposition was involved (explicit vtree); "
+                "the Lemma-1 bound is undefined"
+            )
         return lemma1_bound(self.decomposition_width)
 
     # -- backend-independent measures ------------------------------------
+    # All measures delegate to the facade's Compiled implementations
+    # (repro.compiler.backends) so there is exactly one copy of the
+    # per-backend logic — extras marginalization, exact-WMC SDD reuse, etc.
+    @property
+    def _delegate(self):
+        if self._compiled is None:
+            if self.backend == "apply":
+                from ..compiler.backends import ApplyCompiled
+
+                assert self.manager is not None and self.root is not None
+                self._compiled = ApplyCompiled(
+                    self.circuit,
+                    self.vtree,
+                    self.decomposition_width,
+                    "",
+                    manager=self.manager,
+                    root=self.root,
+                )
+            else:
+                from ..compiler.backends import CanonicalCompiled
+
+                assert self.sdd is not None
+                self._compiled = CanonicalCompiled(
+                    self.circuit,
+                    self.vtree,
+                    self.decomposition_width,
+                    "",
+                    function=self.function,
+                    sdd=self.sdd,
+                    nnf=self.nnf,
+                )
+        return self._compiled
+
     @property
     def sdd_size(self) -> int:
         """SDD size in the backend's own convention (NNF gates for the
         canonical construction, decision elements for the manager)."""
-        if self.backend == "canonical":
-            assert self.sdd is not None
-            return self.sdd.size
-        assert self.manager is not None and self.root is not None
-        return self.manager.size(self.root)
+        return self._delegate.size
 
     @property
     def sdd_width(self) -> int:
-        if self.backend == "canonical":
-            assert self.sdd is not None
-            return self.sdd.sdw
-        assert self.manager is not None and self.root is not None
-        return self.manager.width(self.root)
-
-    def _extra_vtree_vars(self) -> frozenset[str]:
-        """Vtree variables beyond the circuit's own (unpruned dummies, or a
-        reused manager whose vtree covers a larger variable set)."""
-        assert self.manager is not None
-        return self.manager.vtree.variables - set(map(str, self.circuit.variables))
+        return self._delegate.width
 
     def model_count(self) -> int:
         """Exact model count over the circuit's variables (linear-time on
         the apply backend, truth-table on the canonical one)."""
-        if self.backend == "apply":
-            assert self.manager is not None and self.root is not None
-            base = self.manager.count_models(self.root, self.circuit.variables)
-            # The WMC sweep counts over *all* vtree variables; the circuit
-            # doesn't depend on the extra ones, so each contributes an
-            # exact factor of 2.
-            return base >> len(self._extra_vtree_vars())
-        return self.function.count_models()
+        return self._delegate.model_count()
 
     def probability(
         self, prob: Mapping[str, float], *, exact: bool = False
@@ -148,30 +179,18 @@ class PipelineResult:
         """Probability under independent literal probabilities.
 
         ``exact=True`` runs the WMC in :class:`~fractions.Fraction`
-        arithmetic (apply backend only, where exactness matters at scale).
+        arithmetic (on the canonical backend it reuses the already-compiled
+        SDD instead of recompiling the circuit).
         """
-        if self.backend == "apply":
-            from ..sdd.wmc import probability as sdd_probability
-
-            assert self.manager is not None and self.root is not None
-            extra = self._extra_vtree_vars() - set(prob)
-            if extra:
-                # The root is independent of these; any weight pair summing
-                # to 1 marginalizes them out.
-                prob = {**prob, **{v: 0.5 for v in extra}}
-            return sdd_probability(self.manager, self.root, prob, exact=exact)
-        if exact:
-            from ..sdd.wmc import exact_weights
-
-            mgr = SddManager(self.vtree)
-            return mgr.weighted_count(mgr.compile_circuit(self.circuit), exact_weights(prob))
-        return self.function.probability(prob)
+        return self._delegate.probability(prob, exact=exact)
 
     def evaluate(self, assignment: Mapping[str, int]) -> bool:
-        if self.backend == "apply":
-            assert self.manager is not None and self.root is not None
-            return self.manager.evaluate(self.root, assignment)
-        return bool(self.function(dict(assignment)))
+        return self._delegate.evaluate(assignment)
+
+    def stats(self) -> dict[str, int]:
+        """Public counters of the underlying compilation (see
+        :meth:`repro.compiler.backends.Compiled.stats`)."""
+        return self._delegate.stats()
 
 
 def vtree_from_circuit(
@@ -244,24 +263,31 @@ def compile_circuit(
 ) -> PipelineResult:
     """Run the full Result-1 pipeline on ``circuit``.
 
+    .. deprecated:: PR 2
+        Shim over ``Compiler(backend="canonical")`` — prefer
+        :class:`repro.compiler.Compiler`, which also gives strategy choice
+        and the ``obdd`` backend.
+
     Produces both compiled forms (canonical SDD and canonical deterministic
     structured NNF) over the Lemma-1 vtree.
     """
-    f = circuit.function()
+    from ..compiler.backends import CanonicalBackend
+
     vtree, width = vtree_from_circuit(
         circuit, decomposition, exact=exact, prune_dummies=prune_dummies
     )
-    sdd = compile_canonical_sdd(f, vtree)
-    nnf = compile_canonical_nnf(f, vtree)
-    return PipelineResult(
+    compiled = CanonicalBackend().compile(circuit, vtree, decomposition_width=width)
+    result = PipelineResult(
         circuit,
         width,
         vtree,
         backend="canonical",
-        function=f,
-        sdd=sdd,
-        nnf=nnf,
+        function=compiled.function,
+        sdd=compiled.sdd,
+        nnf=compiled.nnf,
     )
+    result._compiled = compiled
+    return result
 
 
 def compile_circuit_apply(
@@ -276,6 +302,11 @@ def compile_circuit_apply(
     """Run the Result-1 pipeline through :class:`SddManager.apply` — no
     truth table anywhere, so circuits with hundreds of variables compile.
 
+    .. deprecated:: PR 2
+        Shim over ``Compiler(backend="apply")`` — prefer
+        :class:`repro.compiler.Compiler` for one-off circuits and
+        :class:`repro.queries.QueryEngine` for shared-manager workloads.
+
     The vtree is the same Lemma-1 extraction as :func:`compile_circuit`
     (bounded-treewidth circuits therefore keep their linear-size guarantee);
     the SDD itself is built bottom-up over the circuit's gates with
@@ -283,32 +314,38 @@ def compile_circuit_apply(
     keys of ``S_{F,T}``.
 
     ``vtree`` overrides the extraction (``decomposition``/``exact``/
-    ``prune_dummies`` are then ignored and the reported width is ``-1``);
-    ``manager`` reuses an existing manager — its vtree must cover the
-    circuit's variables — so a batch of circuits shares one apply cache.
+    ``prune_dummies`` are then ignored and the reported
+    ``decomposition_width`` is ``None``); ``manager`` reuses an existing
+    manager — its vtree must cover the circuit's variables — so a batch of
+    circuits shares one apply cache.
     """
+    from ..compiler.backends import ApplyBackend
+
     if manager is not None:
         vt = manager.vtree
         if not set(map(str, circuit.variables)) <= vt.variables:
             raise ValueError("manager's vtree does not cover the circuit")
-        width = -1
-        mgr = manager
-    elif vtree is not None:
+        width: int | None = None
+        root = manager.compile_circuit(circuit)
+        return PipelineResult(
+            circuit, width, vt, backend="apply", manager=manager, root=root
+        )
+    if vtree is not None:
         if not set(map(str, circuit.variables)) <= vtree.variables:
             raise ValueError("vtree does not cover the circuit's variables")
-        vt, width = vtree, -1
-        mgr = SddManager(vt)
+        vt, width = vtree, None
     else:
         vt, width = vtree_from_circuit(
             circuit, decomposition, exact=exact, prune_dummies=prune_dummies
         )
-        mgr = SddManager(vt)
-    root = mgr.compile_circuit(circuit)
-    return PipelineResult(
+    compiled = ApplyBackend().compile(circuit, vt, decomposition_width=width)
+    result = PipelineResult(
         circuit,
         width,
         vt,
         backend="apply",
-        manager=mgr,
-        root=root,
+        manager=compiled.manager,
+        root=compiled.root,
     )
+    result._compiled = compiled
+    return result

@@ -237,6 +237,16 @@ class ObddManager:
     # ------------------------------------------------------------------
     # measures / queries
     # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Public counters for the manager's tables and caches (mirrors
+        :meth:`repro.sdd.manager.SddManager.stats`)."""
+        return {
+            "variables": self.n,
+            "nodes": len(self.level),
+            "unique_table_entries": len(self._unique),
+            "apply_cache_entries": len(self._apply_cache),
+        }
+
     def reachable(self, u: int) -> set[int]:
         seen: set[int] = set()
         stack = [u]

@@ -3,6 +3,7 @@
 from .analysis import find_inversion, is_hierarchical, is_inversion_free
 from .compile import compile_lineage_obdd, compile_lineage_sdd, lineage_vtree
 from .database import Database, ProbabilisticDatabase, complete_database
+from .engine import QueryEngine
 from .evaluate import (
     BatchEvaluation,
     evaluate_many,

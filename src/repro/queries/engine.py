@@ -1,0 +1,168 @@
+"""A query-evaluation session: one database, one vtree, one manager.
+
+:class:`QueryEngine` is the stateful front door for probabilistic query
+evaluation.  Where the functional helpers (`probability_via_sdd`,
+`evaluate_many`) build their sharing per call, an engine owns it for its
+whole lifetime:
+
+- **one vtree** — built from the first query's hierarchy order and covering
+  *every* tuple variable of the database, so any later query against the
+  same database fits;
+- **one** :class:`~repro.sdd.manager.SddManager` — hash-cons tables and
+  apply caches accumulate across queries, so a sub-lineage two queries
+  share is compiled once, whenever the queries arrive;
+- **one WMC memo per weight ring** — the
+  :class:`~repro.sdd.wmc.SddWmcEvaluator` memo is keyed by node id, so
+  shared SDD nodes are counted once across the session;
+- **a compiled-query cache** — asking for the same query twice is a
+  dictionary hit.
+
+Example::
+
+    engine = QueryEngine(db)
+    engine.probability(parse_ucq("R(x),S(x,y)"))
+    engine.probability(parse_ucq("S(x,y)"), exact=True)
+    batch = engine.evaluate(queries, exact=True)
+    engine.stats()                     # public counters, no private pokes
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .compile import compile_lineage_sdd, lineage_vtree
+from .database import ProbabilisticDatabase
+from .syntax import UCQ
+from ..core.vtree import Vtree
+from ..sdd.manager import SddManager
+from ..sdd.wmc import SddWmcEvaluator, exact_weights, float_weights
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Exact probabilistic query evaluation with session-wide sharing.
+
+    ``vtree`` may be supplied to pin the decomposition shape (e.g. a
+    balanced vtree from :func:`~repro.queries.compile.lineage_vtree`);
+    otherwise the engine derives a right-linear vtree over the hierarchy
+    order of the first query it sees.
+    """
+
+    def __init__(self, db: ProbabilisticDatabase, *, vtree: Vtree | None = None):
+        self.db = db
+        self._vtree = vtree
+        self._manager: SddManager | None = SddManager(vtree) if vtree is not None else None
+        self._roots: dict[UCQ, int] = {}
+        self._evaluators: dict[bool, SddWmcEvaluator] = {}
+
+    # ------------------------------------------------------------------
+    # session resources
+    # ------------------------------------------------------------------
+    @property
+    def vtree(self) -> Vtree | None:
+        """The session vtree (``None`` until the first query arrives)."""
+        return self._vtree
+
+    @property
+    def manager(self) -> SddManager | None:
+        """The shared manager (``None`` until the first query arrives)."""
+        return self._manager
+
+    def _ensure_manager(self, query: UCQ) -> SddManager:
+        if self._manager is None:
+            if self._vtree is None:
+                self._vtree = lineage_vtree(query, self.db)
+            self._manager = SddManager(self._vtree)
+        return self._manager
+
+    def _evaluator(self, exact: bool) -> SddWmcEvaluator:
+        assert self._manager is not None, "compile a query first"
+        ev = self._evaluators.get(exact)
+        if ev is None:
+            prob = self.db.probability_map()
+            weights = exact_weights(prob) if exact else float_weights(prob)
+            missing = self._manager.vtree.variables - set(weights)
+            if missing:
+                # Vtree variables without a tuple probability (possible with
+                # a hand-built vtree): weight pairs summing to 1 marginalize
+                # them out of every query.
+                half = Fraction(1, 2) if exact else 0.5
+                weights.update({v: (half, half) for v in missing})
+            ev = SddWmcEvaluator(self._manager, weights)
+            self._evaluators[exact] = ev
+        return ev
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def compile(self, query: UCQ) -> int:
+        """Compile ``query``'s lineage into the shared manager (cached);
+        returns the root node id."""
+        root = self._roots.get(query)
+        if root is None:
+            mgr = self._ensure_manager(query)
+            _, root = compile_lineage_sdd(query, self.db, manager=mgr)
+            self._roots[query] = root
+        return root
+
+    def probability(self, query: UCQ, *, exact: bool = False) -> float | Fraction:
+        """Exact probability of ``query`` under the tuple-independence
+        semantics; ``exact=True`` stays in :class:`~fractions.Fraction`."""
+        root = self.compile(query)
+        value = self._evaluator(exact).value(root)
+        # Constant roots short-circuit to int 0/1; normalize the ring.
+        return Fraction(value) if exact else float(value)
+
+    def lineage_size(self, query: UCQ) -> int:
+        """SDD size of the compiled lineage of ``query``."""
+        mgr = self._ensure_manager(query)
+        return mgr.size(self.compile(query))
+
+    def evaluate(self, queries: Iterable[UCQ], *, exact: bool = False):
+        """Evaluate a workload; returns a
+        :class:`~repro.queries.evaluate.BatchEvaluation` (the same result
+        type :func:`~repro.queries.evaluate.evaluate_many` returns)."""
+        from .evaluate import BatchEvaluation
+
+        qs: Sequence[UCQ] = list(queries)
+        if not qs:
+            raise ValueError("empty workload")
+        probabilities = [self.probability(q, exact=exact) for q in qs]
+        mgr = self._manager
+        assert mgr is not None
+        roots = [self._roots[q] for q in qs]
+        return BatchEvaluation(
+            queries=list(qs),
+            probabilities=probabilities,
+            roots=roots,
+            sizes=[mgr.size(r) for r in roots],
+            manager=mgr,
+            vtree=self._vtree,
+            stats=self.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Public counters for the session's shared state.
+
+        Includes the manager's table/cache sizes (prefixed as reported by
+        :meth:`SddManager.stats`) and the combined WMC memo size; use this
+        instead of reading private ``_and_cache`` / ``_memo`` attributes.
+        """
+        out: dict[str, int] = {
+            "queries_compiled": len(self._roots),
+            "tuples": self.db.size,
+        }
+        if self._manager is not None:
+            m = self._manager.stats()
+            out["manager_nodes"] = m["nodes"]
+            out["apply_cache_entries"] = m["apply_cache_entries"]
+            out["manager_decision_nodes"] = m["decision_nodes"]
+        out["wmc_memo_entries"] = sum(
+            ev.stats()["memo_entries"] for ev in self._evaluators.values()
+        )
+        return out

@@ -14,6 +14,10 @@ Exact evaluators, cross-checked in tests:
   database share a single vtree, one :class:`SddManager` (hash-cons tables
   and apply cache included), and one WMC memo, so common sub-lineages are
   compiled and counted once across the whole batch.
+
+The session-oriented front door is :class:`repro.queries.QueryEngine`;
+:func:`probability_via_sdd` and :func:`evaluate_many` are thin shims over a
+single-use engine and remain for compatibility.
 """
 
 from __future__ import annotations
@@ -22,14 +26,14 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
-from .compile import compile_lineage_obdd, compile_lineage_sdd, lineage_vtree
+from .compile import compile_lineage_obdd
 from .database import ProbabilisticDatabase
-from .lineage import lineage_circuit, lineage_function
+from .engine import QueryEngine
+from .lineage import lineage_function
 from .syntax import UCQ
 from ..core.vtree import Vtree
 from ..sdd.manager import SddManager
-from ..sdd.wmc import SddWmcEvaluator, exact_weights, float_weights
-from ..sdd.wmc import probability as sdd_probability
+from ..sdd.wmc import exact_weights
 
 __all__ = [
     "probability_brute_force",
@@ -63,12 +67,15 @@ def probability_via_sdd(
 ) -> float | Fraction:
     """Query probability through the apply-based SDD pipeline.
 
+    .. deprecated:: PR 2
+        Shim over a single-use :class:`~repro.queries.engine.QueryEngine`;
+        construct an engine directly to share work across queries.
+
     ``exact=True`` runs the WMC in rational arithmetic and returns the
     exact :class:`~fractions.Fraction` — the only trustworthy mode once
     instances outgrow float precision (hundreds of tuples).
     """
-    mgr, root = compile_lineage_sdd(query, db, vtree)
-    return sdd_probability(mgr, root, db.probability_map(), exact=exact)
+    return QueryEngine(db, vtree=vtree).probability(query, exact=exact)
 
 
 def probability_exact_fraction(
@@ -82,7 +89,11 @@ def probability_exact_fraction(
 
 @dataclass
 class BatchEvaluation:
-    """Everything :func:`evaluate_many` produces for one workload."""
+    """Everything one workload evaluation produces.
+
+    ``stats`` holds the public counters of the engine that ran the batch
+    (see :meth:`repro.queries.engine.QueryEngine.stats`).
+    """
 
     queries: list[UCQ]
     probabilities: list[float | Fraction]
@@ -109,43 +120,20 @@ def evaluate_many(
     """Compile and exactly evaluate a workload of queries against one
     database, sharing everything shareable.
 
+    .. deprecated:: PR 2
+        Shim over a single-use :class:`~repro.queries.engine.QueryEngine`
+        (``QueryEngine(db, vtree=vtree).evaluate(queries, exact=exact)``);
+        construct an engine directly to keep the sharing alive beyond one
+        batch.
+
     All lineages are functions over the same variable set (the tuples of
     ``db``), so one vtree fits all; one :class:`SddManager` then gives the
     batch a common hash-cons table and apply cache — a sub-lineage two
-    queries share is compiled once — and one :class:`SddWmcEvaluator`
-    gives them a common WMC memo keyed by node id, so shared nodes are
-    counted once too.
+    queries share is compiled once — and one WMC memo keyed by node id
+    counts shared nodes once too.
 
     Returns a :class:`BatchEvaluation`; ``probabilities[i]`` is the exact
     :class:`~fractions.Fraction` (``exact=True``) or ``float`` probability
     of ``queries[i]``.
     """
-    queries = list(queries)
-    if not queries:
-        raise ValueError("empty workload")
-    if vtree is None:
-        vtree = lineage_vtree(queries[0], db)
-    mgr = SddManager(vtree)
-    roots: list[int] = []
-    for q in queries:
-        _, root = compile_lineage_sdd(q, db, manager=mgr)
-        roots.append(root)
-    prob = db.probability_map()
-    weights = exact_weights(prob) if exact else float_weights(prob)
-    evaluator = SddWmcEvaluator(mgr, weights)
-    values = [evaluator.value(r) for r in roots]
-    # Constant roots short-circuit to int 0/1; normalize the ring.
-    values = [Fraction(v) if exact else float(v) for v in values]
-    return BatchEvaluation(
-        queries=queries,
-        probabilities=values,
-        roots=roots,
-        sizes=[mgr.size(r) for r in roots],
-        manager=mgr,
-        vtree=vtree,
-        stats={
-            "manager_nodes": len(mgr.node_kind),
-            "apply_cache_entries": len(mgr._and_cache) + len(mgr._or_cache),
-            "wmc_memo_entries": len(evaluator._memo),
-        },
-    )
+    return QueryEngine(db, vtree=vtree).evaluate(queries, exact=exact)

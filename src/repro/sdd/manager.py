@@ -22,10 +22,16 @@ from ..core.vtree import Vtree
 from ..circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
 from ..circuits.nnf import NNF, conj, disj, false_node, lit, true_node
 
-__all__ = ["SddManager", "sdd_from_circuit"]
+__all__ = ["SddManager", "sdd_from_circuit", "CompilationBudgetExceeded"]
 
 _FALSE = 0
 _TRUE = 1
+
+
+class CompilationBudgetExceeded(RuntimeError):
+    """Raised by :meth:`SddManager.compile_circuit` when a ``node_budget``
+    is exhausted mid-compilation (used by the ``best-of`` vtree strategy to
+    abandon candidates that blow up)."""
 
 
 class SddManager:
@@ -304,11 +310,20 @@ class SddManager:
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
-    def compile_circuit(self, circuit: Circuit) -> int:
+    def compile_circuit(self, circuit: Circuit, *, node_budget: int | None = None) -> int:
+        """Bottom-up apply compilation of ``circuit``.
+
+        ``node_budget`` caps the total number of manager nodes; exceeding it
+        raises :class:`CompilationBudgetExceeded` (checked between gates).
+        """
         if circuit.output is None:
             raise ValueError("circuit has no output")
         vals: dict[int, int] = {}
         for gid in circuit.topological_order():
+            if node_budget is not None and len(self.node_kind) > node_budget:
+                raise CompilationBudgetExceeded(
+                    f"node budget {node_budget} exceeded ({len(self.node_kind)} nodes)"
+                )
             gate = circuit.gates[gid]
             if gate.kind == VAR:
                 vals[gid] = self.literal(gate.payload, True)  # type: ignore[arg-type]
@@ -341,6 +356,24 @@ class SddManager:
     # ------------------------------------------------------------------
     # measures / queries
     # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Public counters for the manager's tables and caches.
+
+        This is the supported way to observe sharing (batch APIs and CLI
+        reports use it); the underlying cache attributes are private.
+        """
+        n_lit = len(self._lit_table)
+        return {
+            "vtree_nodes": len(self.v_nodes),
+            "nodes": len(self.node_kind),
+            "literal_nodes": n_lit,
+            "decision_nodes": len(self.node_kind) - n_lit - 2,  # minus constants
+            "and_cache_entries": len(self._and_cache),
+            "or_cache_entries": len(self._or_cache),
+            "neg_cache_entries": len(self._neg_cache),
+            "apply_cache_entries": len(self._and_cache) + len(self._or_cache),
+        }
+
     def reachable(self, u: int) -> set[int]:
         seen: set[int] = set()
         stack = [u]

@@ -148,6 +148,14 @@ class SddWmcEvaluator:
         self._sweep(root)
         return self._lift(root, self._root_vnode)
 
+    def stats(self) -> dict[str, int]:
+        """Public counters for the evaluator's memo tables (the supported
+        alternative to poking ``_memo`` directly)."""
+        return {
+            "memo_entries": len(self._memo),
+            "gap_cache_entries": len(self._gap_cache),
+        }
+
 
 # ----------------------------------------------------------------------
 # functional entry points

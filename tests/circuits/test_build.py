@@ -11,6 +11,7 @@ from repro.circuits.build import (
     chain_and_or,
     cnf_chain,
     disjointness,
+    grid,
     h0,
     h_family,
     h_function,
@@ -147,3 +148,19 @@ class TestStructuredFamilies:
     def test_cnf_chain_guard(self):
         with pytest.raises(ValueError):
             cnf_chain(1, 2)
+
+    def test_grid_semantics_small(self):
+        f = grid(2, 2).function()
+        assert f(g1_1=1, g1_2=1, g2_1=0, g2_2=0)   # horizontal edge
+        assert f(g1_1=1, g1_2=0, g2_1=1, g2_2=0)   # vertical edge
+        assert not f(g1_1=1, g1_2=0, g2_1=0, g2_2=1)  # diagonal is no edge
+
+    def test_grid_degenerates_to_chain(self):
+        # grid(1, n) is the same function as chain_and_or(n) up to variable
+        # renaming (g1_j -> xj preserves the sorted positional order).
+        assert (grid(1, 4).function().table == chain_and_or(4).function().table).all()
+
+    def test_grid_variable_count_and_guard(self):
+        assert len(grid(3, 4).variables) == 12
+        with pytest.raises(ValueError):
+            grid(1, 1)

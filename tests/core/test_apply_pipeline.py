@@ -102,7 +102,9 @@ class TestUnifiedInterface:
         circuit = chain_and_or(8)
         vs = sorted(map(str, circuit.variables))
         res = compile_circuit_apply(circuit, vtree=Vtree.right_linear(vs))
-        assert res.decomposition_width == -1
+        assert res.decomposition_width is None  # no decomposition involved
+        with pytest.raises(ValueError):
+            res.lemma1_bound()
         assert res.vtree.is_right_linear()
         assert res.model_count() == circuit.function().count_models()
 

@@ -1,0 +1,112 @@
+"""QueryEngine: session-wide sharing, cross-checked against brute force."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.database import ProbabilisticDatabase, complete_database
+from repro.queries.engine import QueryEngine
+from repro.queries.evaluate import evaluate_many, probability_brute_force
+from repro.queries.syntax import parse_ucq
+
+QUERIES = [
+    "R(x),S(x,y)",
+    "S(x,y)",
+    "R(x),S(x,x)",
+    "R(x),S(x,y) | S(y,y)",
+]
+
+
+def random_db(seed: int, domain: int = 2, density: float = 0.8) -> ProbabilisticDatabase:
+    rng = np.random.default_rng(seed)
+    return ProbabilisticDatabase.random({"R": 1, "S": 2}, domain, rng, tuple_density=density)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_engine_matches_brute_force_on_random_pdbs(self, seed):
+        """The acceptance-criterion cross-check: one engine session answers
+        a whole workload and every answer equals the possible-worlds sum."""
+        db = random_db(seed)
+        if db.size == 0:
+            return
+        engine = QueryEngine(db)
+        for qs in QUERIES:
+            q = parse_ucq(qs)
+            expected = probability_brute_force(q, db)
+            assert engine.probability(q) == pytest.approx(expected)
+            exact = engine.probability(q, exact=True)
+            assert isinstance(exact, Fraction)
+            assert float(exact) == pytest.approx(expected)
+
+
+class TestSessionSharing:
+    def test_one_manager_across_queries(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db)
+        assert engine.manager is None  # lazy until the first query
+        engine.probability(parse_ucq(QUERIES[0]))
+        mgr = engine.manager
+        assert mgr is not None
+        for qs in QUERIES[1:]:
+            engine.probability(parse_ucq(qs))
+        assert engine.manager is mgr  # never rebuilt
+
+    def test_repeat_query_is_cached(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db)
+        q = parse_ucq("R(x),S(x,y)")
+        engine.probability(q)
+        nodes_before = engine.stats()["manager_nodes"]
+        memo_before = engine.stats()["wmc_memo_entries"]
+        engine.probability(q)  # cache hit: no new nodes, no new memo rows
+        assert engine.stats()["manager_nodes"] == nodes_before
+        assert engine.stats()["wmc_memo_entries"] == memo_before
+
+    def test_stats_are_public_counters(self):
+        db = complete_database({"R": 1, "S": 2}, 2, p=0.5)
+        engine = QueryEngine(db)
+        engine.probability(parse_ucq("S(x,y)"), exact=True)
+        stats = engine.stats()
+        for key in ("queries_compiled", "manager_nodes", "apply_cache_entries",
+                    "wmc_memo_entries", "tuples"):
+            assert isinstance(stats[key], int), key
+        assert stats["queries_compiled"] == 1
+
+    def test_float_and_exact_evaluators_coexist(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.3)
+        engine = QueryEngine(db)
+        q = parse_ucq("R(x),S(x,y)")
+        p_float = engine.probability(q)
+        p_exact = engine.probability(q, exact=True)
+        assert float(p_exact) == pytest.approx(p_float)
+
+    def test_evaluate_matches_evaluate_many(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        queries = [parse_ucq(s) for s in QUERIES]
+        batch_engine = QueryEngine(db).evaluate(queries, exact=True)
+        batch_legacy = evaluate_many(queries, db, exact=True)
+        assert batch_engine.probabilities == batch_legacy.probabilities
+        assert batch_engine.sizes == batch_legacy.sizes
+        assert batch_engine.stats["manager_nodes"] > 0
+
+    def test_empty_workload_rejected(self):
+        db = complete_database({"R": 1}, 2, p=0.5)
+        with pytest.raises(ValueError, match="empty workload"):
+            QueryEngine(db).evaluate([])
+
+    def test_explicit_vtree_pins_shape(self):
+        from repro.queries.compile import lineage_vtree
+
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        q = parse_ucq("R(x),S(x,y)")
+        balanced = lineage_vtree(q, db, shape="balanced")
+        engine = QueryEngine(db, vtree=balanced)
+        assert engine.probability(q, exact=True) == QueryEngine(db).probability(q, exact=True)
+        assert engine.vtree is balanced
