@@ -1,0 +1,221 @@
+"""Long-running QueryEngine session: bounded memory under garbage collection.
+
+The ROADMAP's first open item: the :class:`~repro.sdd.manager.SddManager`
+hash-cons tables and apply/WMC caches only ever grow, so a long-running
+:class:`~repro.queries.QueryEngine` session leaks without bound.  This
+bench drives a *rolling* workload — hundreds of distinct queries (query
+shapes × domain constants) cycling through one engine session — twice:
+
+- **budgeted**: ``max_nodes`` set, so the engine evicts least-recently-used
+  compiled queries and collects the manager whenever the budget overflows;
+- **unbounded**: the same workload with no budget (the pre-GC behaviour),
+  as the probability ground truth and the growth baseline.
+
+Asserted invariants (the PR's acceptance criteria):
+
+1. every probability of the budgeted run equals the unbounded run's
+   exactly (Fraction arithmetic — GC must never change an answer);
+2. the budgeted session's live node count stays bounded: after every
+   query it is at most ``SLACK ×`` the largest live working set (pinned
+   roots' reachable closure + permanent literals/constants) seen during
+   the run, while the unbounded session ends strictly larger;
+3. after a final full collection the live count *equals* the reachable
+   size — the collector leaves no floating garbage behind.
+
+Run stand-alone: ``python benchmarks/bench_session.py [--smoke]``
+(``--smoke`` shrinks the domain for CI — still a 500-query rolling
+session — and leaves the committed JSON untouched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.queries.database import complete_database
+from repro.queries.engine import QueryEngine
+from repro.queries.syntax import parse_ucq
+
+try:  # pytest run
+    from .conftest import report
+except ImportError:  # stand-alone smoke run
+    from repro.util.report import report
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_session.json"
+
+# Post-query live nodes must stay within SLACK x the largest working set.
+SLACK = 2.0
+
+SHAPES = (
+    "R({c}),S({c},y)",
+    "S({c},y)",
+    "S(x,{c})",
+    "R({c}),S({c},{c}) | R({c}),S({c},y),S(y,{c})",
+)
+
+
+def query_pool(domain: int) -> list:
+    """Distinct queries: every shape instantiated at every domain constant."""
+    return [
+        parse_ucq(shape.format(c=c))
+        for c in range(1, domain + 1)
+        for shape in SHAPES
+    ]
+
+
+def rolling_workload(domain: int, n_queries: int) -> list:
+    """A cyclic (hence rolling-locality) stream over the distinct pool."""
+    pool = query_pool(domain)
+    return [pool[i % len(pool)] for i in range(n_queries)]
+
+
+def _working_set(engine: QueryEngine) -> int:
+    """Live working set: pinned roots' reachable closure plus the permanent
+    nodes (constants + literals), deduplicated."""
+    mgr = engine.manager
+    assert mgr is not None
+    reach: set[int] = {0, 1}
+    for root in mgr.pinned_roots():
+        reach |= mgr.reachable(root)
+    stats = mgr.stats()
+    literals_outside = stats["literal_nodes"] - sum(
+        1 for u in reach if u > 1 and mgr.node_kind[u] == "lit"
+    )
+    return len(reach) + literals_outside
+
+
+def run_session(workload, db, *, max_nodes):
+    engine = QueryEngine(db, max_nodes=max_nodes)
+    probabilities = []
+    max_live = 0
+    max_capacity = 0
+    max_working = 0
+    t0 = time.perf_counter()
+    for q in workload:
+        probabilities.append(engine.probability(q, exact=True))
+        stats = engine.stats()
+        max_live = max(max_live, stats["manager_nodes"])
+        max_capacity = max(max_capacity, stats["manager_node_capacity"])
+        if max_nodes is not None:
+            working = _working_set(engine)
+            max_working = max(max_working, working)
+            assert stats["manager_nodes"] <= SLACK * max(working, max_nodes), (
+                f"live nodes {stats['manager_nodes']} exceed {SLACK}x "
+                f"max(working set {working}, budget {max_nodes})"
+            )
+    elapsed = time.perf_counter() - t0
+    final = engine.stats()
+    return {
+        "engine": engine,
+        "probabilities": probabilities,
+        "seconds": round(elapsed, 3),
+        "max_live_nodes": max_live,
+        "max_node_capacity": max_capacity,
+        "max_working_set": max_working,
+        "final_stats": final,
+    }
+
+
+def run_benchmark(domain: int, n_queries: int, max_nodes: int) -> dict:
+    db = complete_database({"R": 1, "S": 2}, domain, p=0.5)
+    workload = rolling_workload(domain, n_queries)
+    distinct = len(query_pool(domain))
+
+    budgeted = run_session(workload, db, max_nodes=max_nodes)
+    unbounded = run_session(workload, db, max_nodes=None)
+
+    # 1. GC never changes an answer.
+    assert budgeted["probabilities"] == unbounded["probabilities"], (
+        "budgeted and GC-free sessions disagree on probabilities"
+    )
+
+    # 2. Bounded vs. unbounded growth (checked per-query inside
+    # run_session; here the end-to-end comparison).
+    assert budgeted["max_live_nodes"] <= SLACK * max(
+        budgeted["max_working_set"], max_nodes
+    )
+    assert unbounded["final_stats"]["manager_nodes"] > budgeted["max_live_nodes"], (
+        "the GC-free session should outgrow the budgeted one"
+    )
+
+    # 3. A final full collection leaves exactly the reachable nodes.
+    engine = budgeted["engine"]
+    engine.gc()
+    working = _working_set(engine)
+    live = engine.stats()["manager_nodes"]
+    assert live == working, f"floating garbage: {live} live vs {working} reachable"
+
+    b_stats = budgeted["final_stats"]
+    u_stats = unbounded["final_stats"]
+    rows = [
+        ["budgeted", max_nodes, budgeted["max_live_nodes"],
+         budgeted["max_node_capacity"], b_stats["queries_evicted"],
+         b_stats["gc_runs"], b_stats["collected_nodes"], budgeted["seconds"]],
+        ["unbounded", "-", u_stats["manager_nodes"],
+         u_stats["manager_node_capacity"], 0, 0, 0, unbounded["seconds"]],
+    ]
+    report(
+        f"session: {n_queries} queries over {distinct} distinct "
+        f"({db.size} tuples, domain {domain})",
+        ["mode", "budget", "max live", "capacity", "evicted", "gc runs",
+         "collected", "time (s)"],
+        rows,
+    )
+    return {
+        "domain": domain,
+        "tuples": db.size,
+        "n_queries": n_queries,
+        "distinct_queries": distinct,
+        "max_nodes": max_nodes,
+        "slack": SLACK,
+        "budgeted": {
+            "max_live_nodes": budgeted["max_live_nodes"],
+            "max_node_capacity": budgeted["max_node_capacity"],
+            "max_working_set": budgeted["max_working_set"],
+            "queries_evicted": b_stats["queries_evicted"],
+            "gc_runs": b_stats["gc_runs"],
+            "collected_nodes": b_stats["collected_nodes"],
+            "seconds": budgeted["seconds"],
+        },
+        "unbounded": {
+            "final_live_nodes": u_stats["manager_nodes"],
+            "final_node_capacity": u_stats["manager_node_capacity"],
+            "seconds": unbounded["seconds"],
+        },
+    }
+
+
+# pytest wrapper (returning None keeps PytestReturnNotNoneWarning away)
+def test_session_bounded_memory_smoke():
+    run_benchmark(domain=8, n_queries=500, max_nodes=800)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-friendly sizes (keeps every bounded-memory assertion)",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.smoke:
+        run_benchmark(domain=8, n_queries=500, max_nodes=800)
+        print("\n--smoke: assertions checked, JSON not rewritten")
+    else:
+        entry = run_benchmark(domain=12, n_queries=500, max_nodes=6000)
+        payload = {
+            "benchmark": "QueryEngine session GC (rolling workload)",
+            "session": entry,
+        }
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {OUTPUT}")
+    print(f"bench_session finished in {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5] [--backend obdd|sdd]
     python -m repro.cli batch "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
     python -m repro.cli engine "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
+                                                    [--max-nodes 50000]
     python -m repro.cli isa 2 4
 
 Each subcommand prints a small report; exit code 0 on success.
@@ -206,7 +207,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if not queries:
         print("no queries given", file=sys.stderr)
         return 1
-    engine = QueryEngine(db)
+    engine = QueryEngine(db, max_nodes=args.max_nodes)
     rows = []
     for q in queries:
         p = engine.probability(q, exact=args.exact)
@@ -282,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--prob", type=float, default=0.5)
     e.add_argument("--exact", action="store_true",
                    help="exact Fraction probabilities")
+    e.add_argument("--max-nodes", type=int, default=None,
+                   help="session node budget: evict LRU compiled queries and "
+                        "garbage-collect the manager past this many live nodes")
     e.set_defaults(fn=_cmd_engine)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")

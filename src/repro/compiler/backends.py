@@ -206,14 +206,26 @@ class CanonicalCompiled(_CompiledBase):
 
 class ApplyCompiled(_CompiledBase):
     """Result of bottom-up :class:`SddManager` compilation; also exposes
-    ``manager`` and ``root`` for callers that want the raw handles."""
+    ``manager`` and ``root`` for callers that want the raw handles.
+
+    The result owns its root: the backend pins it in the manager, so
+    callers that run :meth:`SddManager.gc` (directly or through a
+    watermark) can never collect a compilation result out from under a
+    live ``Compiled``.  Call :meth:`release` to hand the root back to the
+    collector when done."""
 
     backend = "apply"
 
     def __init__(self, circuit, vtree, decomposition_width, strategy, *, manager, root):
         super().__init__(circuit, vtree, decomposition_width, strategy)
         self.manager = manager
-        self.root = root
+        self.root = manager.pin(root)
+
+    def release(self) -> None:
+        """Unpin the root; the manager's next gc may collect it.  Using
+        this ``Compiled`` after a post-release collection is undefined
+        (the root id may be recycled — see :meth:`SddManager.pin`)."""
+        self.manager.release(self.root)
 
     @property
     def size(self) -> int:
@@ -309,8 +321,12 @@ class ApplyBackend:
 
     def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
         if trial is not None:
-            # The best-of strategy already compiled the winning candidate;
-            # reuse its manager instead of repeating the fold.
+            # Ownership handoff: the best-of race already compiled the
+            # winning candidate and its VtreeChoice carries the (manager,
+            # root) pair of the single surviving trial (losers were dropped
+            # eagerly by the strategy).  Reusing it here transfers
+            # ownership to the ApplyCompiled — which pins the root — so
+            # the race's work is never repeated and never duplicated.
             manager, root = trial
             if manager.vtree is vtree or manager.vtree == vtree:
                 return ApplyCompiled(

@@ -200,21 +200,30 @@ class BestOfStrategy:
         best_rank: tuple[int, int] | None = None
         budget = max(self.floor, self.initial_per_var * n_vars)
         for cand_name in self.candidates:
+            # Trial ownership: exactly one trial manager survives the race
+            # — the current best's, carried in ``best.trial``.  Losers (a
+            # candidate that ranks worse, or a dethroned previous best) are
+            # dropped before the next trial starts, so the race never holds
+            # more than two managers at once and hands exactly one to the
+            # apply backend (which pins its root and owns it from then on).
+            mgr = None
             try:
                 choice = get_strategy(cand_name)(circuit)
                 mgr = SddManager(choice.vtree)
                 root = mgr.compile_circuit(circuit, node_budget=budget)
             except CompilationBudgetExceeded:
+                mgr = None  # abandoned trial: free its tables eagerly
                 continue
-            rank = (mgr.size(root), len(mgr.node_kind))
+            rank = (mgr.size(root), mgr.live_node_count)
             if best_rank is None or rank < best_rank:
                 best_rank = rank
-                best = VtreeChoice(
+                best = VtreeChoice(  # dethrones (and frees) the old best
                     choice.vtree,
                     decomposition_width=choice.decomposition_width,
                     strategy=f"{self.name}:{cand_name}",
                     trial=(mgr, root),
                 )
+            mgr = None  # loser (or now owned by best.trial): drop our ref
             if best_rank[0] <= linear_size:
                 break
             budget = max(self.slack * best_rank[1], self.floor)

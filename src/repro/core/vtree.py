@@ -8,20 +8,29 @@ removes them, and :meth:`Vtree.prune_to` drops dummy leaves.
 
 OBDDs are canonical SDDs respecting *linear* vtrees — vtrees where every
 left child is a leaf (right-linear combs); see Section 3.2.2.
+
+Every traversal here is iterative (explicit stacks / postorder loops):
+right-linear vtrees over 10k-variable lineages are routine for the query
+workloads, and recursive walks used to hit Python's recursion limit at
+~1000 leaves — before compilation even started.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 __all__ = ["Vtree"]
+
+# Trees up to this many leaves validate child-disjointness eagerly at
+# construction; larger (lazy) trees validate at first materialization.
+_EAGER_CHECK_LEAVES = 256
 
 
 class Vtree:
     """An immutable vtree node (leaf or internal with two children)."""
 
-    __slots__ = ("var", "left", "right", "_vars", "_size")
+    __slots__ = ("var", "left", "right", "_vars", "_size", "_nvars", "_hash")
 
     def __init__(self, var: str | None, left: "Vtree | None", right: "Vtree | None"):
         if var is not None and (left is not None or right is not None):
@@ -32,15 +41,36 @@ class Vtree:
         self.left = left
         self.right = right
         if var is not None:
-            self._vars = frozenset({var})
+            self._vars: frozenset[str] | None = frozenset({var})
             self._size = 1
+            self._nvars = 1
+            self._hash = hash(("leaf", var))
         else:
             assert left is not None and right is not None
-            overlap = left._vars & right._vars
-            if overlap:
-                raise ValueError(f"children share variables: {sorted(overlap)}")
-            self._vars = left._vars | right._vars
+            self._vars = None
             self._size = 1 + left._size + right._size
+            self._nvars = left._nvars + right._nvars
+            self._hash = hash(("internal", left._hash, right._hash))
+            # Variable sets of internal nodes are *lazy* (see ``variables``):
+            # eagerly storing a frozenset per node costs Θ(n²) memory on the
+            # 10k-leaf combs the query workloads use.  Disjointness is still
+            # checked eagerly here for small trees (every hand-built /
+            # test-sized vtree keeps the construction-time ValueError) and
+            # whenever both children happen to have materialized sets; for
+            # big lazy trees it is enforced — via the leaf count — the
+            # moment a set is materialized, ``leaf_order`` runs, or an
+            # ``SddManager`` is built over the tree.
+            lv, rv = left._vars, right._vars
+            if lv is None or rv is None:
+                if self._nvars <= _EAGER_CHECK_LEAVES:
+                    lv = left.variables  # materializes + caches (and checks
+                    rv = right.variables  # the subtree's own disjointness)
+            if lv is not None and rv is not None:
+                if len(lv) < len(rv):
+                    lv, rv = rv, lv
+                overlap = [v for v in rv if v in lv]
+                if overlap:
+                    raise ValueError(f"children share variables: {sorted(overlap)}")
 
     # ------------------------------------------------------------------
     # constructors
@@ -105,20 +135,46 @@ class Vtree:
 
     @property
     def variables(self) -> frozenset[str]:
-        """The variables at the leaves of this subtree (paper's ``Y_v``)."""
-        return self._vars
+        """The variables at the leaves of this subtree (paper's ``Y_v``).
+
+        Materialized on first access (O(subtree) walk, reusing any cached
+        descendant sets) and cached on this node only.
+        """
+        got = self._vars
+        if got is None:
+            vs: set[str] = set()
+            stack: list[Vtree] = [self]
+            while stack:
+                node = stack.pop()
+                cached = node._vars
+                if cached is not None:
+                    vs |= cached
+                else:
+                    assert node.left is not None and node.right is not None
+                    stack.append(node.left)
+                    stack.append(node.right)
+            got = frozenset(vs)
+            if len(got) != self._nvars:
+                raise ValueError("children share variables: duplicate leaves")
+            self._vars = got
+        return got
 
     @property
     def size(self) -> int:
         return self._size
 
     def nodes(self) -> Iterator["Vtree"]:
-        """Postorder traversal (children before parents)."""
-        if not self.is_leaf:
-            assert self.left is not None and self.right is not None
-            yield from self.left.nodes()
-            yield from self.right.nodes()
-        yield self
+        """Postorder traversal (children before parents), stack-based."""
+        stack: list[tuple[Vtree, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded or node.is_leaf:
+                yield node
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append((node, True))
+                stack.append((node.right, False))
+                stack.append((node.left, False))
 
     def internal_nodes(self) -> Iterator["Vtree"]:
         return (v for v in self.nodes() if not v.is_leaf)
@@ -127,31 +183,44 @@ class Vtree:
         return (v for v in self.nodes() if v.is_leaf)
 
     def leaf_order(self) -> list[str]:
-        """Variables left-to-right."""
-        if self.is_leaf:
-            assert self.var is not None
-            return [self.var]
-        assert self.left is not None and self.right is not None
-        return self.left.leaf_order() + self.right.leaf_order()
+        """Variables left-to-right (postorder visits leaves in that order)."""
+        order = [v.var for v in self.nodes() if v.is_leaf]
+        if len(set(order)) != len(order):
+            raise ValueError("children share variables: duplicate leaves")
+        return order  # type: ignore[return-value]
 
     def depth(self) -> int:
-        if self.is_leaf:
-            return 0
-        assert self.left is not None and self.right is not None
-        return 1 + max(self.left.depth(), self.right.depth())
+        best = 0
+        stack: list[tuple[Vtree, int]] = [(self, 0)]
+        while stack:
+            node, d = stack.pop()
+            if node.is_leaf:
+                if d > best:
+                    best = d
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append((node.left, d + 1))
+                stack.append((node.right, d + 1))
+        return best
 
     def is_right_linear(self) -> bool:
         """Every left child a leaf (the paper's 'linear vtree')."""
-        if self.is_leaf:
-            return True
-        assert self.left is not None and self.right is not None
-        return self.left.is_leaf and self.right.is_right_linear()
+        node = self
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            if not node.left.is_leaf:
+                return False
+            node = node.right
+        return True
 
     def is_left_linear(self) -> bool:
-        if self.is_leaf:
-            return True
-        assert self.left is not None and self.right is not None
-        return self.right.is_leaf and self.left.is_left_linear()
+        node = self
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            if not node.right.is_leaf:
+                return False
+            node = node.left
+        return True
 
     def find_structuring_node(self, left_vars: Iterable[str], right_vars: Iterable[str]) -> "Vtree | None":
         """Find a node ``v`` with ``left_vars ⊆ Y_{v_l}`` and
@@ -181,16 +250,21 @@ class Vtree:
         return pruned
 
     def _prune(self, keep: frozenset[str]) -> "Vtree | None":
-        if self.is_leaf:
-            return self if self.var in keep else None
-        assert self.left is not None and self.right is not None
-        l = self.left._prune(keep)
-        r = self.right._prune(keep)
-        if l is None:
-            return r
-        if r is None:
-            return l
-        return Vtree.internal(l, r)
+        # Bottom-up over the postorder: children are resolved before parents.
+        result: dict[int, Vtree | None] = {}
+        for node in self.nodes():
+            if node.is_leaf:
+                result[id(node)] = node if node.var in keep else None
+            else:
+                l = result[id(node.left)]
+                r = result[id(node.right)]
+                if l is None:
+                    result[id(node)] = r
+                elif r is None:
+                    result[id(node)] = l
+                else:
+                    result[id(node)] = Vtree.internal(l, r)
+        return result[id(self)]
 
     def swap(self) -> "Vtree":
         """Swap children at the root (vtrees are *ordered* trees)."""
@@ -244,39 +318,69 @@ class Vtree:
     # ------------------------------------------------------------------
     def to_nested(self):
         """Nested-tuple form, e.g. ``(('x', 'y'), 'z')``."""
-        if self.is_leaf:
-            return self.var
-        assert self.left is not None and self.right is not None
-        return (self.left.to_nested(), self.right.to_nested())
+        result: dict[int, object] = {}
+        for node in self.nodes():
+            if node.is_leaf:
+                result[id(node)] = node.var
+            else:
+                result[id(node)] = (result[id(node.left)], result[id(node.right)])
+        return result[id(self)]
 
     @classmethod
     def from_nested(cls, spec) -> "Vtree":
-        if isinstance(spec, str):
-            return cls.leaf(spec)
-        l, r = spec
-        return cls.internal(cls.from_nested(l), cls.from_nested(r))
+        done: dict[int, Vtree] = {}
+        stack: list[tuple[object, bool]] = [(spec, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                l, r = node  # type: ignore[misc]
+                done[id(node)] = cls.internal(done[id(l)], done[id(r)])
+            elif isinstance(node, str):
+                done[id(node)] = cls.leaf(node)
+            else:
+                l, r = node  # type: ignore[misc]
+                stack.append((node, True))
+                stack.append((r, False))
+                stack.append((l, False))
+        return done[id(spec)]
 
     def render(self) -> str:
         """ASCII rendering (root at top), used to regenerate Figure 4."""
         lines: list[str] = []
-        self._render(lines, "", "")
+        stack: list[tuple[Vtree, str, str]] = [(self, "", "")]
+        while stack:
+            node, prefix, child_prefix = stack.pop()
+            lines.append(prefix + str(node.var if node.is_leaf else "*"))
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append((node.right, child_prefix + "`-- ", child_prefix + "    "))
+                stack.append((node.left, child_prefix + "|-- ", child_prefix + "|   "))
         return "\n".join(lines)
 
-    def _render(self, lines: list[str], prefix: str, child_prefix: str) -> None:
-        label = self.var if self.is_leaf else "*"
-        lines.append(prefix + str(label))
-        if not self.is_leaf:
-            assert self.left is not None and self.right is not None
-            self.left._render(lines, child_prefix + "|-- ", child_prefix + "|   ")
-            self.right._render(lines, child_prefix + "`-- ", child_prefix + "    ")
-
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._size > 64:
+            return f"Vtree(<{self._nvars} leaves>)"
         return f"Vtree({self.to_nested()!r})"
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Vtree):
             return NotImplemented
-        return self.to_nested() == other.to_nested()
+        if self is other:
+            return True
+        if self._hash != other._hash or self._size != other._size:
+            return False
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a is b:
+                continue
+            if a.var != b.var or a._size != b._size or a._hash != b._hash:
+                return False
+            if not a.is_leaf:
+                # b is internal too: equal vars (both None) and equal sizes.
+                stack.append((a.left, b.left))  # type: ignore[arg-type]
+                stack.append((a.right, b.right))  # type: ignore[arg-type]
+        return True
 
     def __hash__(self) -> int:
-        return hash(self.to_nested())
+        return self._hash

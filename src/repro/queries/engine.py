@@ -17,17 +17,26 @@ whole lifetime:
 - **a compiled-query cache** — asking for the same query twice is a
   dictionary hit.
 
+The engine is also the *policy home* for the manager's garbage collector:
+every compiled root is pinned, :meth:`forget` releases one, and a
+``max_nodes`` session budget evicts least-recently-used queries and
+collects whenever the manager outgrows it — so a session can serve an
+unbounded stream of queries in bounded memory.
+
 Example::
 
-    engine = QueryEngine(db)
+    engine = QueryEngine(db, max_nodes=50_000)
     engine.probability(parse_ucq("R(x),S(x,y)"))
     engine.probability(parse_ucq("S(x,y)"), exact=True)
     batch = engine.evaluate(queries, exact=True)
+    engine.forget(old_query)           # release one pinned lineage
+    engine.gc()                        # collect everything unpinned now
     engine.stats()                     # public counters, no private pokes
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -48,14 +57,31 @@ class QueryEngine:
     balanced vtree from :func:`~repro.queries.compile.lineage_vtree`);
     otherwise the engine derives a right-linear vtree over the hierarchy
     order of the first query it sees.
+
+    ``max_nodes`` bounds the session: after each compilation, if the
+    manager's live node count exceeds it, least-recently-used compiled
+    queries are forgotten (their roots released) and the manager collected
+    until the budget holds again — the query just asked for is never
+    evicted.  ``None`` (the default) keeps every query forever, the
+    pre-GC behaviour.
     """
 
-    def __init__(self, db: ProbabilisticDatabase, *, vtree: Vtree | None = None):
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        *,
+        vtree: Vtree | None = None,
+        max_nodes: int | None = None,
+    ):
+        if max_nodes is not None and max_nodes <= 0:
+            raise ValueError("max_nodes must be positive")
         self.db = db
+        self.max_nodes = max_nodes
         self._vtree = vtree
         self._manager: SddManager | None = SddManager(vtree) if vtree is not None else None
-        self._roots: dict[UCQ, int] = {}
+        self._roots: OrderedDict[UCQ, int] = OrderedDict()
         self._evaluators: dict[bool, SddWmcEvaluator] = {}
+        self._evicted = 0
 
     # ------------------------------------------------------------------
     # session resources
@@ -98,13 +124,17 @@ class QueryEngine:
     # queries
     # ------------------------------------------------------------------
     def compile(self, query: UCQ) -> int:
-        """Compile ``query``'s lineage into the shared manager (cached);
-        returns the root node id."""
+        """Compile ``query``'s lineage into the shared manager (cached and
+        pinned against collection); returns the root node id."""
         root = self._roots.get(query)
-        if root is None:
-            mgr = self._ensure_manager(query)
-            _, root = compile_lineage_sdd(query, self.db, manager=mgr)
-            self._roots[query] = root
+        if root is not None:
+            self._roots.move_to_end(query)
+            return root
+        mgr = self._ensure_manager(query)
+        _, root = compile_lineage_sdd(query, self.db, manager=mgr)
+        mgr.pin(root)
+        self._roots[query] = root
+        self._collect_over_budget(keep=query)
         return root
 
     def probability(self, query: UCQ, *, exact: bool = False) -> float | Fraction:
@@ -123,25 +153,88 @@ class QueryEngine:
     def evaluate(self, queries: Iterable[UCQ], *, exact: bool = False):
         """Evaluate a workload; returns a
         :class:`~repro.queries.evaluate.BatchEvaluation` (the same result
-        type :func:`~repro.queries.evaluate.evaluate_many` returns)."""
+        type :func:`~repro.queries.evaluate.evaluate_many` returns).
+
+        With a ``max_nodes`` budget, queries early in a large batch may be
+        evicted (and their node ids collected, possibly recycled) by the
+        time the batch ends.  ``sizes`` are measured at evaluation time;
+        ``roots`` holds only roots that are still compiled and pinned when
+        the batch returns — evicted queries report ``None`` there, never a
+        stale id.
+        """
         from .evaluate import BatchEvaluation
 
         qs: Sequence[UCQ] = list(queries)
         if not qs:
             raise ValueError("empty workload")
-        probabilities = [self.probability(q, exact=exact) for q in qs]
-        mgr = self._manager
+        probabilities = []
+        sizes = []
+        mgr: SddManager | None = None
+        for q in qs:
+            probabilities.append(self.probability(q, exact=exact))
+            mgr = self._manager
+            assert mgr is not None
+            sizes.append(mgr.size(self._roots[q]))
         assert mgr is not None
-        roots = [self._roots[q] for q in qs]
         return BatchEvaluation(
             queries=list(qs),
             probabilities=probabilities,
-            roots=roots,
-            sizes=[mgr.size(r) for r in roots],
+            roots=[self._roots.get(q) for q in qs],
+            sizes=sizes,
             manager=mgr,
             vtree=self._vtree,
             stats=self.stats(),
         )
+
+    # ------------------------------------------------------------------
+    # session lifecycle (GC policy)
+    # ------------------------------------------------------------------
+    def forget(self, query: UCQ) -> bool:
+        """Release ``query``'s pinned lineage root and drop it from the
+        compiled-query cache; the nodes become collectable by the next
+        :meth:`gc` (unless shared with a still-pinned query).  Returns
+        whether the query was cached."""
+        root = self._roots.pop(query, None)
+        if root is None:
+            return False
+        assert self._manager is not None
+        self._manager.release(root)
+        return True
+
+    def gc(self) -> dict[str, int]:
+        """Collect everything unreachable from the still-pinned roots.
+
+        Runs a *full* collection (no aging grace): the engine pins every
+        root it hands out, so nothing the session can still name is at
+        risk."""
+        if self._manager is None:
+            return {"collected": 0, "live": 0, "free": 0, "generation": 0}
+        return self._manager.gc(full=True)
+
+    def _collect_over_budget(self, keep: UCQ) -> None:
+        """Evict LRU queries + collect until the ``max_nodes`` budget holds
+        (or only ``keep`` remains cached)."""
+        mgr = self._manager
+        if mgr is None or self.max_nodes is None:
+            return
+        if mgr.live_node_count <= self.max_nodes:
+            return
+        # First try a plain collection: compilation garbage (intermediate
+        # gate results) often pays the whole bill without evicting anyone.
+        mgr.gc(full=True)
+        # Then evict LRU queries in geometrically growing batches (one
+        # mark-sweep per batch, O(log k) sweeps instead of one per
+        # eviction) until the budget holds or only ``keep`` remains.
+        victims = [q for q in self._roots if q != keep]
+        i = 0
+        batch = 1
+        while mgr.live_node_count > self.max_nodes and i < len(victims):
+            for q in victims[i : i + batch]:
+                self.forget(q)
+                self._evicted += 1
+            i += batch
+            batch *= 2
+            mgr.gc(full=True)
 
     # ------------------------------------------------------------------
     # introspection
@@ -149,19 +242,26 @@ class QueryEngine:
     def stats(self) -> dict[str, int]:
         """Public counters for the session's shared state.
 
-        Includes the manager's table/cache sizes (prefixed as reported by
-        :meth:`SddManager.stats`) and the combined WMC memo size; use this
-        instead of reading private ``_and_cache`` / ``_memo`` attributes.
+        Includes the manager's table/cache/GC counters (prefixed as
+        reported by :meth:`SddManager.stats`) and the combined WMC memo
+        size; use this instead of reading private ``_and_cache`` /
+        ``_memo`` attributes.
         """
         out: dict[str, int] = {
             "queries_compiled": len(self._roots),
+            "queries_evicted": self._evicted,
             "tuples": self.db.size,
         }
         if self._manager is not None:
             m = self._manager.stats()
             out["manager_nodes"] = m["nodes"]
-            out["apply_cache_entries"] = m["apply_cache_entries"]
+            out["manager_node_capacity"] = m["node_capacity"]
+            out["manager_free_nodes"] = m["free_nodes"]
             out["manager_decision_nodes"] = m["decision_nodes"]
+            out["apply_cache_entries"] = m["apply_cache_entries"]
+            out["pinned_roots"] = m["pinned_roots"]
+            out["gc_runs"] = m["gc_runs"]
+            out["collected_nodes"] = m["collected_nodes"]
         out["wmc_memo_entries"] = sum(
             ev.stats()["memo_entries"] for ev in self._evaluators.values()
         )

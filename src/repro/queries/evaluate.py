@@ -92,12 +92,15 @@ class BatchEvaluation:
     """Everything one workload evaluation produces.
 
     ``stats`` holds the public counters of the engine that ran the batch
-    (see :meth:`repro.queries.engine.QueryEngine.stats`).
+    (see :meth:`repro.queries.engine.QueryEngine.stats`).  Under a
+    ``max_nodes`` budget a query evicted before the batch returned has
+    ``None`` in ``roots`` (its probability and size were computed while it
+    was live; the root id itself may have been collected and recycled).
     """
 
     queries: list[UCQ]
     probabilities: list[float | Fraction]
-    roots: list[int]
+    roots: list[int | None]
     sizes: list[int]
     manager: SddManager
     vtree: Vtree
@@ -116,6 +119,7 @@ def evaluate_many(
     *,
     vtree: Vtree | None = None,
     exact: bool = False,
+    max_nodes: int | None = None,
 ) -> BatchEvaluation:
     """Compile and exactly evaluate a workload of queries against one
     database, sharing everything shareable.
@@ -135,5 +139,9 @@ def evaluate_many(
     Returns a :class:`BatchEvaluation`; ``probabilities[i]`` is the exact
     :class:`~fractions.Fraction` (``exact=True``) or ``float`` probability
     of ``queries[i]``.
+
+    ``max_nodes`` bounds the shared manager for very large workloads:
+    least-recently-used lineages are released and garbage-collected when
+    the budget overflows (see :class:`~repro.queries.engine.QueryEngine`).
     """
-    return QueryEngine(db, vtree=vtree).evaluate(queries, exact=exact)
+    return QueryEngine(db, vtree=vtree, max_nodes=max_nodes).evaluate(queries, exact=exact)

@@ -11,16 +11,36 @@ canonical nodes with memoization.
 Size conventions follow the SDD literature: ``size(α)`` is the total number
 of elements of the decision nodes reachable from ``α``; ``width`` per the
 paper counts elements per vtree node (AND gates structured there).
+
+Two operational properties matter for long-running sessions:
+
+- **Stack safety.**  ``apply`` descends one vtree level per step, so on the
+  deep right-linear vtrees that query lineages use a recursive
+  implementation overflows Python's stack around 1000 variables.  Every
+  operation here (``apply``, ``negate``, ``condition``, ``to_nnf``,
+  ``evaluate``) is iterative: ``apply`` runs as a trampoline over generator
+  frames, the single-pass traversals as creation-order sweeps.
+- **Garbage collection.**  Hash-cons tables and apply caches only ever
+  grow unless collected.  Roots are reference-count *pinned*
+  (:meth:`pin`/:meth:`release`); :meth:`gc` mark-sweeps everything
+  unreachable from the pinned roots, recycles the node ids through a free
+  list, and coherently evicts every cache keyed by node id — the apply and
+  negation caches here, and any registered
+  :class:`~repro.sdd.wmc.SddWmcEvaluator` memo (id reuse without eviction
+  would silently corrupt results).  Nodes born since the previous
+  collection are spared by default (*aging*), so callers holding fresh
+  intermediate results get one grace generation.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import weakref
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..core.boolfunc import BooleanFunction
 from ..core.vtree import Vtree
 from ..circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
-from ..circuits.nnf import NNF, conj, disj, false_node, lit, true_node
+from ..circuits.nnf import NNF, false_node, lit, true_node
 
 __all__ = ["SddManager", "sdd_from_circuit", "CompilationBudgetExceeded"]
 
@@ -35,9 +55,15 @@ class CompilationBudgetExceeded(RuntimeError):
 
 
 class SddManager:
-    """SDD manager for a fixed vtree."""
+    """SDD manager for a fixed vtree.
 
-    def __init__(self, vtree: Vtree):
+    ``auto_gc_nodes`` arms :meth:`maybe_gc`: when the live node count
+    exceeds the watermark, the next ``maybe_gc()`` call (a *safe point* —
+    callers invoke it only when every root they care about is pinned)
+    collects garbage.
+    """
+
+    def __init__(self, vtree: Vtree, *, auto_gc_nodes: int | None = None):
         self.vtree = vtree
         # --- vtree tables -------------------------------------------------
         self.v_nodes: list[Vtree] = list(vtree.nodes())  # postorder
@@ -55,6 +81,8 @@ class SddManager:
             if v.is_leaf:
                 self.v_interval[i] = (pos, pos + 1)
                 self.v_nvars[i] = 1
+                if v.var in self.leaf_of_var:
+                    raise ValueError(f"duplicate vtree leaf {v.var!r}")
                 self.leaf_of_var[v.var] = i  # type: ignore[index]
                 pos += 1
             else:
@@ -68,11 +96,16 @@ class SddManager:
             self.v_lo[i], self.v_hi[i] = self.v_interval[i]
         # --- sdd node tables ----------------------------------------------
         # id 0 = FALSE, id 1 = TRUE; literals and decisions from 2 on.
+        # Freed slots are recycled through _free_ids, so ids are NOT
+        # topological once gc has run — node_stamp (strictly increasing
+        # creation order) is, and the linear sweeps sort by it.
         self.node_kind: list[str] = ["false", "true"]
         self.node_vnode: list[int] = [-1, -1]
         self.node_var: list[str | None] = [None, None]
         self.node_sign: list[bool | None] = [None, None]
         self.node_elements: list[tuple[tuple[int, int], ...] | None] = [None, None]
+        self.node_stamp: list[int] = [0, 1]
+        self._next_stamp = 2
         self._lit_table: dict[tuple[str, bool], int] = {}
         self._dec_table: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
         # Apply caches are op-specialized and keyed by the packed pair
@@ -81,6 +114,15 @@ class SddManager:
         self._and_cache: dict[int, int] = {}
         self._or_cache: dict[int, int] = {}
         self._neg_cache: dict[int, int] = {}
+        # --- garbage collection -------------------------------------------
+        self.auto_gc_nodes = auto_gc_nodes
+        self._free_ids: list[int] = []
+        self._pins: dict[int, int] = {}
+        self._generation = 0
+        self.node_gen: list[int] = [0, 0]
+        self._gc_runs = 0
+        self._collected_total = 0
+        self._wmc_caches: weakref.WeakSet = weakref.WeakSet()
 
     # ------------------------------------------------------------------
     # vtree helpers
@@ -103,6 +145,41 @@ class SddManager:
     def true(self) -> int:
         return _TRUE
 
+    @property
+    def live_node_count(self) -> int:
+        """Nodes currently allocated (constants + literals + live decisions)."""
+        return len(self.node_kind) - len(self._free_ids)
+
+    def _alloc(
+        self,
+        kind: str,
+        vnode: int,
+        var: str | None,
+        sign: bool | None,
+        elements: tuple[tuple[int, int], ...] | None,
+    ) -> int:
+        free = self._free_ids
+        if free:
+            nid = free.pop()
+            self.node_kind[nid] = kind
+            self.node_vnode[nid] = vnode
+            self.node_var[nid] = var
+            self.node_sign[nid] = sign
+            self.node_elements[nid] = elements
+            self.node_stamp[nid] = self._next_stamp
+            self.node_gen[nid] = self._generation
+        else:
+            nid = len(self.node_kind)
+            self.node_kind.append(kind)
+            self.node_vnode.append(vnode)
+            self.node_var.append(var)
+            self.node_sign.append(sign)
+            self.node_elements.append(elements)
+            self.node_stamp.append(self._next_stamp)
+            self.node_gen.append(self._generation)
+        self._next_stamp += 1
+        return nid
+
     def literal(self, var: str, sign: bool = True) -> int:
         key = (var, bool(sign))
         got = self._lit_table.get(key)
@@ -110,25 +187,14 @@ class SddManager:
             return got
         if var not in self.leaf_of_var:
             raise ValueError(f"variable {var!r} not in the vtree")
-        nid = len(self.node_kind)
-        self.node_kind.append("lit")
-        self.node_vnode.append(self.leaf_of_var[var])
-        self.node_var.append(var)
-        self.node_sign.append(bool(sign))
-        self.node_elements.append(None)
+        nid = self._alloc("lit", self.leaf_of_var[var], var, bool(sign), None)
         self._lit_table[key] = nid
         return nid
 
-    def _decision(self, vnode: int, elements: Iterable[tuple[int, int]]) -> int:
-        """Compress + trim + intern a decision node at ``vnode``."""
-        # Compression: merge primes with equal subs (OR on the left subtree).
-        by_sub: dict[int, int] = {}
-        for p, s in elements:
-            if p == _FALSE:
-                continue
-            q = by_sub.get(s)
-            by_sub[s] = p if q is None else self._apply(q, p, False)
-        elems = tuple(sorted((p, s) for s, p in by_sub.items()))
+    def _intern_decision(
+        self, vnode: int, elems: tuple[tuple[int, int], ...]
+    ) -> int:
+        """Trim + intern an already-compressed element tuple at ``vnode``."""
         if not elems:
             return _FALSE
         # Trimming rules.
@@ -150,37 +216,75 @@ class SddManager:
         got = self._dec_table.get(key)
         if got is not None:
             return got
-        nid = len(self.node_kind)
-        self.node_kind.append("dec")
-        self.node_vnode.append(vnode)
-        self.node_var.append(None)
-        self.node_sign.append(None)
-        self.node_elements.append(elems)
+        nid = self._alloc("dec", vnode, None, None, elems)
         self._dec_table[key] = nid
         return nid
+
+    def _decision(self, vnode: int, elements: Iterable[tuple[int, int]]) -> int:
+        """Compress + trim + intern a decision node at ``vnode``."""
+        # Compression: merge primes with equal subs (OR on the left subtree).
+        by_sub: dict[int, int] = {}
+        for p, s in elements:
+            if p == _FALSE:
+                continue
+            q = by_sub.get(s)
+            by_sub[s] = p if q is None else self._apply(q, p, False)
+        return self._intern_decision(
+            vnode, tuple(sorted((p, s) for s, p in by_sub.items()))
+        )
 
     # ------------------------------------------------------------------
     # boolean operations
     # ------------------------------------------------------------------
     def negate(self, u: int) -> int:
-        got = self._neg_cache.get(u)
+        if u == _FALSE:
+            return _TRUE
+        if u == _TRUE:
+            return _FALSE
+        neg = self._neg_cache
+        got = neg.get(u)
         if got is not None:
             return got
-        if u == _FALSE:
-            res = _TRUE
-        elif u == _TRUE:
-            res = _FALSE
-        elif self.node_kind[u] == "lit":
+        if self.node_kind[u] == "lit":
             res = self.literal(self.node_var[u], not self.node_sign[u])  # type: ignore[arg-type]
-        else:
-            elems = self.node_elements[u]
-            assert elems is not None
-            res = self._decision(
-                self.node_vnode[u], [(p, self.negate(s)) for p, s in elems]
-            )
-        self._neg_cache[u] = res
-        self._neg_cache[res] = u
-        return res
+            neg[u] = res
+            neg[res] = u
+            return res
+        # Negation rewrites *subs* only (primes are shared untouched), so
+        # walk just the sub-closure of ``u``, pruned at already-negated
+        # nodes, then sweep it in creation order: children are always
+        # created before the decision nodes referencing them, so every
+        # sub's negation is ready when its parent is processed — no
+        # recursion over SDD depth.
+        node_kind, node_elements = self.node_kind, self.node_elements
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w <= _TRUE or w in seen or w in neg:
+                continue
+            seen.add(w)
+            if node_kind[w] == "dec":
+                elems = node_elements[w]
+                assert elems is not None
+                for _p, s in elems:
+                    stack.append(s)
+        todo = sorted(seen, key=self.node_stamp.__getitem__)
+        for w in todo:
+            if w in neg:  # interned as another node's negation mid-sweep
+                continue
+            if node_kind[w] == "lit":
+                res = self.literal(self.node_var[w], not self.node_sign[w])  # type: ignore[arg-type]
+            else:
+                elems = node_elements[w]
+                assert elems is not None
+                res = self._decision(
+                    self.node_vnode[w],
+                    [(p, s ^ 1 if s <= _TRUE else neg[s]) for p, s in elems],
+                )
+            neg[w] = res
+            neg[res] = w
+        return neg[u]
 
     def apply(self, a: int, b: int, op: str) -> int:
         if op == "and":
@@ -189,9 +293,8 @@ class SddManager:
             return self._apply(a, b, False)
         raise ValueError("op must be 'and' or 'or'")
 
-    def _apply(self, a: int, b: int, is_and: bool) -> int:
-        # Apply is commutative for both ops: order the pair so constants
-        # (the smallest ids) surface as ``a`` and the cache key is unique.
+    def _apply_shallow(self, a: int, b: int, is_and: bool) -> int | None:
+        """The non-allocating fast paths of apply; ``None`` on a true miss."""
         if a == b:
             return a
         if a > b:
@@ -205,13 +308,43 @@ class SddManager:
             # same variable, different sign (equal handled above)
             return _FALSE if is_and else _TRUE
         cache = self._and_cache if is_and else self._or_cache
-        key = (a << 32) | b
-        got = cache.get(key)
-        if got is not None:
-            return got
+        return cache.get((a << 32) | b)
+
+    def _apply(self, a: int, b: int, is_and: bool) -> int:
+        # Apply is commutative for both ops: order the pair so constants
+        # (the smallest ids) surface as ``a`` and the cache key is unique.
+        res = self._apply_shallow(a, b, is_and)
+        if res is not None:
+            return res
+        return self._drive(self._apply_gen(a, b, is_and))
+
+    def _drive(self, gen) -> int:
+        """Trampoline for the apply/decision generators.
+
+        Generators yield ``(a, b, is_and)`` requests (only after their own
+        shallow check missed); the driver runs each request as a child
+        frame on an explicit stack, so the Python call stack stays O(1) no
+        matter how deep the vtree is.
+        """
+        stack = [gen]
+        send: int | None = None
+        while stack:
+            try:
+                req = stack[-1].send(send)
+            except StopIteration as st:
+                stack.pop()
+                send = st.value
+            else:
+                stack.append(self._apply_gen(*req))
+                send = None
+        assert send is not None
+        return send
+
+    def _apply_gen(self, a: int, b: int, is_and: bool) -> Iterator[tuple[int, int, bool]]:
+        if a > b:
+            a, b = b, a
         v_lo, v_hi = self.v_lo, self.v_hi
-        node_vnode = self.node_vnode
-        va, vb = node_vnode[a], node_vnode[b]
+        va, vb = self.node_vnode[a], self.node_vnode[b]
         # lca walk: climb from va until the interval covers vb's.
         v = va
         lob, hib = v_lo[vb], v_hi[vb]
@@ -222,17 +355,45 @@ class SddManager:
             v = p
         ea = self._elements_at(a, v)
         eb = self._elements_at(b, v)
-        _ap = self._apply
+        shallow = self._apply_shallow
         out: list[tuple[int, int]] = []
         for pa, sa in ea:
             for pb, sb in eb:
-                p = _ap(pa, pb, True)
+                p = shallow(pa, pb, True)
+                if p is None:
+                    p = yield (pa, pb, True)
                 if p == _FALSE:
                     continue
-                out.append((p, _ap(sa, sb, is_and)))
-        res = self._decision(v, out)
-        cache[key] = res
+                s = shallow(sa, sb, is_and)
+                if s is None:
+                    s = yield (sa, sb, is_and)
+                out.append((p, s))
+        res = yield from self._decision_gen(v, out)
+        cache = self._and_cache if is_and else self._or_cache
+        cache[(a << 32) | b] = res
         return res
+
+    def _decision_gen(
+        self, vnode: int, elements: Iterable[tuple[int, int]]
+    ) -> Iterator[tuple[int, int, bool]]:
+        """Generator twin of :meth:`_decision` for use inside the trampoline
+        (compression ORs on primes become yielded requests, not recursion)."""
+        by_sub: dict[int, int] = {}
+        shallow = self._apply_shallow
+        for p, s in elements:
+            if p == _FALSE:
+                continue
+            q = by_sub.get(s)
+            if q is None:
+                by_sub[s] = p
+            else:
+                r = shallow(q, p, False)
+                if r is None:
+                    r = yield (q, p, False)
+                by_sub[s] = r
+        return self._intern_decision(
+            vnode, tuple(sorted((p, s) for s, p in by_sub.items()))
+        )
 
     def _elements_at(self, u: int, v: int) -> tuple[tuple[int, int], ...]:
         """View ``u`` as a decision element list normalized for internal
@@ -253,17 +414,40 @@ class SddManager:
             return ((_TRUE, u),)
         raise AssertionError("node does not fit under the requested vtree node")
 
+    def _reduce(
+        self, items: list[int], is_and: bool, *, node_budget: int | None = None
+    ) -> int:
+        """Balanced pairwise fold — on k operands whose supports form a
+        chain this costs O(total size · log k) instead of the O(total
+        size · k) a left-to-right fold pays (each sequential step
+        re-applies across the whole accumulated support).
+
+        ``node_budget`` keeps :meth:`compile_circuit`'s budget binding even
+        when chain absorption folds a whole circuit into one reduce call:
+        it is re-checked before every pairwise apply (matching the old
+        per-gate granularity)."""
+        if not items:
+            return _TRUE if is_and else _FALSE
+        ap = self._apply
+        while len(items) > 1:
+            nxt = []
+            for i in range(0, len(items) - 1, 2):
+                if node_budget is not None and self.live_node_count > node_budget:
+                    raise CompilationBudgetExceeded(
+                        f"node budget {node_budget} exceeded "
+                        f"({self.live_node_count} nodes)"
+                    )
+                nxt.append(ap(items[i], items[i + 1], is_and))
+            if len(items) % 2:
+                nxt.append(items[-1])
+            items = nxt
+        return items[0]
+
     def conjoin(self, *nodes: int) -> int:
-        acc = _TRUE
-        for u in nodes:
-            acc = self._apply(acc, u, True)
-        return acc
+        return self._reduce(list(nodes), True)
 
     def disjoin(self, *nodes: int) -> int:
-        acc = _FALSE
-        for u in nodes:
-            acc = self._apply(acc, u, False)
-        return acc
+        return self._reduce(list(nodes), False)
 
     def condition(self, u: int, assignment: Mapping[str, int]) -> int:
         """Condition on a partial assignment (literal substitution)."""
@@ -280,32 +464,49 @@ class SddManager:
         return self._apply(pos, neg, False)
 
     def _restrict(self, u: int, var: str, value: bool) -> int:
-        cache: dict[int, int] = {}
+        if u <= _TRUE:
+            return u
         leaf = self.leaf_of_var[var]
-
-        def rec(w: int) -> int:
-            if w <= 1:
-                return w
-            got = cache.get(w)
-            if got is not None:
-                return got
-            if self.node_kind[w] == "lit":
+        contains = self._contains
+        node_kind, node_elements = self.node_kind, self.node_elements
+        # Walk only the affected cone: descend exactly where the vtree
+        # node contains the restricted leaf — everything outside maps to
+        # itself and its descendants are never visited.
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w <= _TRUE or w in seen:
+                continue
+            seen.add(w)
+            if node_kind[w] == "dec" and contains(self.node_vnode[w], leaf):
+                elems = node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    stack.append(p)
+                    stack.append(s)
+        out: dict[int, int] = {}
+        for w in sorted(seen, key=self.node_stamp.__getitem__):
+            if node_kind[w] == "lit":
                 if self.node_var[w] == var:
-                    res = _TRUE if (self.node_sign[w] == value) else _FALSE
+                    out[w] = _TRUE if (self.node_sign[w] == value) else _FALSE
                 else:
-                    res = w
+                    out[w] = w
             else:
                 vn = self.node_vnode[w]
-                if not self._contains(vn, leaf):
-                    res = w
+                if not contains(vn, leaf):
+                    out[w] = w
                 else:
-                    elems = self.node_elements[w]
+                    elems = node_elements[w]
                     assert elems is not None
-                    res = self._decision(vn, [(rec(p), rec(s)) for p, s in elems])
-            cache[w] = res
-            return res
-
-        return rec(u)
+                    out[w] = self._decision(
+                        vn,
+                        [
+                            (p if p <= _TRUE else out[p], s if s <= _TRUE else out[s])
+                            for p, s in elems
+                        ],
+                    )
+        return out[u]
 
     # ------------------------------------------------------------------
     # compilation
@@ -313,28 +514,63 @@ class SddManager:
     def compile_circuit(self, circuit: Circuit, *, node_budget: int | None = None) -> int:
         """Bottom-up apply compilation of ``circuit``.
 
-        ``node_budget`` caps the total number of manager nodes; exceeding it
+        Chains of same-kind AND/OR gates whose intermediate results feed
+        only the next link are flattened and folded balanced: the
+        gate-by-gate fold on an n-gate OR chain re-applies across the
+        accumulated support every step (Θ(n²) manager nodes on
+        ``chain_and_or``); the balanced fold costs O(n log n).
+
+        ``node_budget`` caps the number of live manager nodes; exceeding it
         raises :class:`CompilationBudgetExceeded` (checked between gates).
         """
         if circuit.output is None:
             raise ValueError("circuit has no output")
+        gates = circuit.gates
+        order = circuit.topological_order()
+        # A gate is absorbed into its consumer when it is a same-kind
+        # AND/OR gate feeding exactly one gate — its operands are folded
+        # at the consumer and its own intermediate SDD is never built.
+        fanout = [0] * len(gates)
+        consumer_kind: list[str | None] = [None] * len(gates)
+        for gate in gates:
+            for i in gate.inputs:
+                fanout[i] += 1
+                consumer_kind[i] = gate.kind
+        fanout[circuit.output] += 1
+        absorbed = [
+            gate.kind in (AND, OR)
+            and fanout[gid] == 1
+            and consumer_kind[gid] == gate.kind
+            for gid, gate in enumerate(gates)
+        ]
+        absorbed[circuit.output] = False
         vals: dict[int, int] = {}
-        for gid in circuit.topological_order():
-            if node_budget is not None and len(self.node_kind) > node_budget:
+        for gid in order:
+            if absorbed[gid]:
+                continue
+            if node_budget is not None and self.live_node_count > node_budget:
                 raise CompilationBudgetExceeded(
-                    f"node budget {node_budget} exceeded ({len(self.node_kind)} nodes)"
+                    f"node budget {node_budget} exceeded ({self.live_node_count} nodes)"
                 )
-            gate = circuit.gates[gid]
+            gate = gates[gid]
             if gate.kind == VAR:
                 vals[gid] = self.literal(gate.payload, True)  # type: ignore[arg-type]
             elif gate.kind == CONST:
                 vals[gid] = _TRUE if gate.payload else _FALSE
             elif gate.kind == NOT:
                 vals[gid] = self.negate(vals[gate.inputs[0]])
-            elif gate.kind == AND:
-                vals[gid] = self.conjoin(*[vals[i] for i in gate.inputs])
             else:
-                vals[gid] = self.disjoin(*[vals[i] for i in gate.inputs])
+                ops: list[int] = []
+                stack = list(reversed(gate.inputs))
+                while stack:
+                    i = stack.pop()
+                    if absorbed[i]:
+                        stack.extend(reversed(gates[i].inputs))
+                    else:
+                        ops.append(vals[i])
+                vals[gid] = self._reduce(
+                    ops, gate.kind == AND, node_budget=node_budget
+                )
         return vals[circuit.output]
 
     def compile_nnf(self, root: NNF) -> int:
@@ -354,20 +590,180 @@ class SddManager:
         return memo[id(root)]
 
     # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def pin(self, root: int) -> int:
+        """Protect ``root`` (and everything reachable from it) from
+        :meth:`gc`.  Pins are counted: ``pin`` twice, ``release`` twice.
+        Returns ``root`` for call-chaining convenience.
+
+        Pin a root *before* any collection can run: node ids are bare
+        ints whose slots are recycled after collection, so holding an
+        unpinned id across a :meth:`gc` is undefined — this guard raises
+        only while the slot is still free; once a later allocation reuses
+        it, the id silently names a different node.  (The managed paths —
+        ``QueryEngine``, the apply backend — always pin at compile time.)
+        """
+        if root > _TRUE:
+            if self.node_kind[root] == "free":
+                raise ValueError(f"cannot pin collected node {root}")
+            self._pins[root] = self._pins.get(root, 0) + 1
+        return root
+
+    def release(self, root: int) -> None:
+        """Drop one pin from ``root``; at zero pins the root becomes
+        collectable by the next :meth:`gc`."""
+        if root <= _TRUE:
+            return
+        count = self._pins.get(root)
+        if count is None:
+            raise ValueError(f"node {root} is not pinned")
+        if count == 1:
+            del self._pins[root]
+        else:
+            self._pins[root] = count - 1
+
+    def pinned_roots(self) -> tuple[int, ...]:
+        return tuple(self._pins)
+
+    def register_wmc_cache(self, cache) -> None:
+        """Register an object with an ``evict(dead_ids)`` method (e.g. an
+        :class:`~repro.sdd.wmc.SddWmcEvaluator`) to be notified when node
+        ids die; held weakly."""
+        self._wmc_caches.add(cache)
+
+    def _live_set(self, extra_roots: Iterable[int] = ()) -> set[int]:
+        """Constants, literals, pinned roots (and ``extra_roots``), and
+        everything they reach."""
+        live = {_FALSE, _TRUE}
+        stack = [r for r in self._pins if r > _TRUE]
+        stack.extend(self._lit_table.values())
+        stack.extend(extra_roots)
+        node_kind, node_elements = self.node_kind, self.node_elements
+        while stack:
+            w = stack.pop()
+            if w in live:
+                continue
+            live.add(w)
+            if node_kind[w] == "dec":
+                elems = node_elements[w]
+                assert elems is not None
+                for p, s in elems:
+                    if p not in live:
+                        stack.append(p)
+                    if s not in live:
+                        stack.append(s)
+        return live
+
+    def gc(self, *, full: bool = False) -> dict[str, int]:
+        """Collect every decision node unreachable from the pinned roots.
+
+        Constants and literals are permanent.  With ``full=False`` nodes
+        born in the current generation are spared (*aging*), along with
+        everything they reach: a caller that has just compiled something
+        and not yet pinned it loses nothing — not even older shared
+        substructure — to a concurrent watermark collection.  ``full=True``
+        sweeps the unpinned regardless of age.
+
+        Freed ids go to a free list and are reused by later allocations;
+        every cache keyed by node id (apply/negation caches here, the memos
+        of registered WMC evaluators) is evicted in the same pass, so id
+        reuse can never resurrect a stale cache entry.  *Caller-held* ids
+        are not versioned, though: an unpinned id kept across a collection
+        is a dangling handle — see :meth:`pin`.
+
+        Returns the collection's counters.
+        """
+        node_kind = self.node_kind
+        gen = self._generation
+        node_gen = self.node_gen
+        # Aging is transitive: a spared young node keeps everything it
+        # reaches alive (young nodes act as additional GC roots), so no
+        # spared node is ever left with dangling element ids.
+        young = (
+            ()
+            if full
+            else [
+                w
+                for w in range(2, len(node_kind))
+                if node_gen[w] == gen and node_kind[w] == "dec"
+            ]
+        )
+        live = self._live_set(young)
+        dead = [
+            w
+            for w in range(2, len(node_kind))
+            if w not in live and node_kind[w] == "dec"
+        ]
+        dead_set = set(dead)
+        for w in dead:
+            key = (self.node_vnode[w], self.node_elements[w])
+            del self._dec_table[key]  # type: ignore[arg-type]
+            node_kind[w] = "free"
+            self.node_vnode[w] = -1
+            self.node_elements[w] = None
+        self._free_ids.extend(dead)
+        if dead_set:
+            self._evict_apply_caches(dead_set)
+            for cache in tuple(self._wmc_caches):
+                cache.evict(dead_set)
+        self._generation += 1
+        self._gc_runs += 1
+        self._collected_total += len(dead)
+        return {
+            "collected": len(dead),
+            "live": self.live_node_count,
+            "free": len(self._free_ids),
+            "generation": self._generation,
+        }
+
+    def maybe_gc(self) -> dict[str, int] | None:
+        """Run :meth:`gc` iff the live node count exceeds the
+        ``auto_gc_nodes`` watermark.  Call this only at safe points: any
+        root not pinned (or younger than one generation) may be swept."""
+        if self.auto_gc_nodes is not None and self.live_node_count > self.auto_gc_nodes:
+            return self.gc()
+        return None
+
+    def _evict_apply_caches(self, dead: set[int]) -> None:
+        mask = (1 << 32) - 1
+        for cache in (self._and_cache, self._or_cache):
+            stale = [
+                k
+                for k, v in cache.items()
+                if v in dead or (k >> 32) in dead or (k & mask) in dead
+            ]
+            for k in stale:
+                del cache[k]
+        neg = self._neg_cache
+        stale_neg = [k for k, v in neg.items() if k in dead or v in dead]
+        for k in stale_neg:
+            neg.pop(k, None)
+
+    # ------------------------------------------------------------------
     # measures / queries
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         """Public counters for the manager's tables and caches.
 
-        This is the supported way to observe sharing (batch APIs and CLI
-        reports use it); the underlying cache attributes are private.
+        This is the supported way to observe sharing and collection (batch
+        APIs and CLI reports use it); the underlying attributes are
+        private.  ``nodes`` counts *live* nodes; ``node_capacity`` is the
+        table length including freed slots awaiting reuse.
         """
         n_lit = len(self._lit_table)
+        live = self.live_node_count
         return {
             "vtree_nodes": len(self.v_nodes),
-            "nodes": len(self.node_kind),
+            "nodes": live,
+            "node_capacity": len(self.node_kind),
+            "free_nodes": len(self._free_ids),
             "literal_nodes": n_lit,
-            "decision_nodes": len(self.node_kind) - n_lit - 2,  # minus constants
+            "decision_nodes": live - n_lit - 2,  # minus constants
+            "pinned_roots": len(self._pins),
+            "gc_runs": self._gc_runs,
+            "collected_nodes": self._collected_total,
+            "generation": self._generation,
             "and_cache_entries": len(self._and_cache),
             "or_cache_entries": len(self._or_cache),
             "neg_cache_entries": len(self._neg_cache),
@@ -432,31 +828,43 @@ class SddManager:
         return float(probability(self, u, prob))
 
     def evaluate(self, u: int, assignment: Mapping[str, int]) -> bool:
-        memo: dict[int, bool] = {}
-
-        def rec(w: int) -> bool:
-            if w == _FALSE:
-                return False
-            if w == _TRUE:
-                return True
-            got = memo.get(w)
-            if got is not None:
-                return got
+        # Lazy short-circuit evaluation (only the taken branches need their
+        # variables assigned), iterative: a node stays on the stack until
+        # the one child value it is waiting on has been computed.
+        val: dict[int, bool] = {_FALSE: False, _TRUE: True}
+        stack = [u]
+        while stack:
+            w = stack[-1]
+            if w in val:
+                stack.pop()
+                continue
             if self.node_kind[w] == "lit":
                 b = bool(assignment[self.node_var[w]])  # type: ignore[index]
-                res = b if self.node_sign[w] else not b
+                val[w] = b if self.node_sign[w] else not b
+                stack.pop()
+                continue
+            elems = self.node_elements[w]
+            assert elems is not None
+            needed: int | None = None
+            res = False
+            for p, s in elems:
+                pv = val.get(p)
+                if pv is None:
+                    needed = p
+                    break
+                if pv:
+                    sv = val.get(s)
+                    if sv is None:
+                        needed = s
+                    else:
+                        res = sv
+                    break
+            if needed is not None:
+                stack.append(needed)
             else:
-                res = False
-                elems = self.node_elements[w]
-                assert elems is not None
-                for p, s in elems:
-                    if rec(p):
-                        res = rec(s)
-                        break
-            memo[w] = res
-            return res
-
-        return rec(u)
+                val[w] = res
+                stack.pop()
+        return val[u]
 
     def function(self, u: int, variables: Sequence[str] | None = None) -> BooleanFunction:
         vs = tuple(sorted(variables if variables is not None else self.vtree.variables))
@@ -464,30 +872,30 @@ class SddManager:
 
     def to_nnf(self, u: int) -> NNF:
         memo: dict[int, NNF] = {_FALSE: false_node(), _TRUE: true_node()}
-
-        def rec(w: int) -> NNF:
-            got = memo.get(w)
-            if got is not None:
-                return got
+        todo = [w for w in self.reachable(u) if w > _TRUE]
+        todo.sort(key=self.node_stamp.__getitem__)
+        for w in todo:
             if self.node_kind[w] == "lit":
-                res = lit(self.node_var[w], bool(self.node_sign[w]))  # type: ignore[arg-type]
+                memo[w] = lit(self.node_var[w], bool(self.node_sign[w]))  # type: ignore[arg-type]
             else:
                 parts = []
                 elems = self.node_elements[w]
                 assert elems is not None
                 for p, s in elems:
-                    parts.append(NNF("and", children=(rec(p), rec(s))))
-                res = parts[0] if len(parts) == 1 else NNF("or", children=tuple(parts))
-            memo[w] = res
-            return res
-
-        return rec(u)
+                    parts.append(NNF("and", children=(memo[p], memo[s])))
+                memo[w] = parts[0] if len(parts) == 1 else NNF("or", children=tuple(parts))
+        return memo[u]
 
     def validate(self, u: int) -> None:
         """Check the SDD invariants on the reachable nodes: primes exhaust
-        (SD1), are pairwise disjoint (SD2), and subs are distinct (SD3)."""
+        (SD1), are pairwise disjoint (SD2), and subs are distinct (SD3) —
+        and that no reachable node has been garbage-collected."""
         for w in self.reachable(u):
-            if w <= 1 or self.node_kind[w] != "dec":
+            if w <= 1:
+                continue
+            if self.node_kind[w] == "free":
+                raise AssertionError(f"reachable node {w} was collected")
+            if self.node_kind[w] != "dec":
                 continue
             elems = self.node_elements[w]
             assert elems is not None

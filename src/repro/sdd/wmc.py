@@ -92,6 +92,11 @@ class SddWmcEvaluator:
         self._root_vnode = len(mgr.v_nodes) - 1
         self._gap_cache: dict[tuple[int, int], object] = {}
         self._memo: dict[int, object] = {}
+        # The memo is keyed by node id; register for eviction so the
+        # manager's gc cannot recycle an id underneath a stale entry.
+        register = getattr(mgr, "register_wmc_cache", None)
+        if register is not None:
+            register(self)
 
     # ------------------------------------------------------------------
     def _gap(self, outer: int, inner: int):
@@ -130,7 +135,9 @@ class SddWmcEvaluator:
         todo = [
             u for u in mgr.reachable(root) if u > _TRUE and u not in memo
         ]
-        todo.sort()  # ids are topological: children are interned first
+        # Creation order is topological (children are interned first); ids
+        # are not once gc has recycled slots, so sort by stamp.
+        todo.sort(key=mgr.node_stamp.__getitem__)
         for u in todo:
             if mgr.node_kind[u] == "lit":
                 w0, w1 = self.weights[mgr.node_var[u]]
@@ -147,6 +154,14 @@ class SddWmcEvaluator:
         """WMC of ``root`` over *all* vtree variables."""
         self._sweep(root)
         return self._lift(root, self._root_vnode)
+
+    def evict(self, dead_ids) -> None:
+        """Drop memo entries for collected node ids (called by the
+        manager's :meth:`~repro.sdd.manager.SddManager.gc`; the gap cache
+        is keyed by vtree nodes, which never die)."""
+        memo = self._memo
+        for u in dead_ids:
+            memo.pop(u, None)
 
     def stats(self) -> dict[str, int]:
         """Public counters for the evaluator's memo tables (the supported

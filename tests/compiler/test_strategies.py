@@ -62,6 +62,20 @@ class TestNodeBudget:
         root = mgr.compile_circuit(c)
         assert mgr.size(root) > 0
 
+    def test_budget_binds_inside_flattened_chains(self):
+        """Chain absorption folds the whole OR chain into one reduce call;
+        the budget must still abort the fold near the cap, not after it
+        (regression: the per-gate check alone never fired)."""
+        from repro.compiler.strategies import natural_variable_order
+        from repro.core.vtree import Vtree
+
+        c = chain_and_or(120)
+        # Reversed order: adversarial for the right-linear fold (Θ(n²)).
+        mgr = SddManager(Vtree.right_linear(list(reversed(natural_variable_order(c)))))
+        with pytest.raises(CompilationBudgetExceeded):
+            mgr.compile_circuit(c, node_budget=500)
+        assert mgr.live_node_count < 1000  # aborted near the cap
+
 
 class TestBestOf:
     def test_keeps_smallest_and_reuses_trial(self):

@@ -110,3 +110,87 @@ class TestSessionSharing:
         engine = QueryEngine(db, vtree=balanced)
         assert engine.probability(q, exact=True) == QueryEngine(db).probability(q, exact=True)
         assert engine.vtree is balanced
+
+
+class TestSessionLifecycle:
+    """The GC policy home: pinning, forget(), the max_nodes budget."""
+
+    def test_roots_are_pinned(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db)
+        q = parse_ucq("R(x),S(x,y)")
+        root = engine.compile(q)
+        assert root in engine.manager.pinned_roots()
+
+    def test_forget_releases_and_collects(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db)
+        q = parse_ucq("R(x),S(x,y)")
+        p_before = engine.probability(q, exact=True)
+        nodes_with_query = engine.stats()["manager_nodes"]
+        assert engine.forget(q) is True
+        assert engine.forget(q) is False  # already forgotten
+        engine.gc()
+        assert engine.stats()["manager_nodes"] < nodes_with_query
+        assert engine.stats()["pinned_roots"] == 0
+        # Recompiling the released query reproduces the same probability.
+        assert engine.probability(q, exact=True) == p_before
+
+    def test_max_nodes_budget_evicts_lru(self):
+        db = complete_database({"R": 1, "S": 2}, 5, p=0.4)
+        queries = [parse_ucq(s) for s in QUERIES]
+        unbounded = QueryEngine(db)
+        expected = [unbounded.probability(q, exact=True) for q in queries]
+        # A budget below even the *collected* footprint of all four pinned
+        # lineages, so holding every query at once is impossible.
+        unbounded.gc()
+        budget = unbounded.stats()["manager_nodes"] * 2 // 3
+        engine = QueryEngine(db, max_nodes=budget)
+        for _ in range(3):  # cycle: later rounds recompile evicted queries
+            got = [engine.probability(q, exact=True) for q in queries]
+            assert got == expected
+        stats = engine.stats()
+        assert stats["queries_evicted"] > 0
+        assert stats["gc_runs"] > 0
+        assert stats["collected_nodes"] > 0
+
+    def test_current_query_never_evicted(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db, max_nodes=1)  # absurdly tight budget
+        for qs in QUERIES:
+            q = parse_ucq(qs)
+            engine.probability(q)
+            assert q in engine._roots  # the query just asked for survives
+
+    def test_batch_roots_never_stale_under_budget(self):
+        """An evicted query's root id may be collected and recycled; the
+        batch must report None for it, never a reused id."""
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        queries = [parse_ucq(s) for s in QUERIES]
+        batch = QueryEngine(db, max_nodes=1).evaluate(queries)
+        mgr = batch.manager
+        for q, root in zip(batch.queries, batch.roots):
+            if root is None:
+                continue
+            assert root in mgr.pinned_roots()
+            mgr.validate(root)
+        # The last query is always still cached.
+        assert batch.roots[-1] is not None
+        # Without a budget every root is present (the legacy contract).
+        full = QueryEngine(db).evaluate(queries)
+        assert all(r is not None for r in full.roots)
+
+    def test_invalid_budget_rejected(self):
+        db = complete_database({"R": 1}, 2, p=0.5)
+        with pytest.raises(ValueError, match="max_nodes"):
+            QueryEngine(db, max_nodes=0)
+
+    def test_gc_stats_exposed(self):
+        db = complete_database({"R": 1, "S": 2}, 2, p=0.5)
+        engine = QueryEngine(db)
+        engine.probability(parse_ucq("S(x,y)"))
+        stats = engine.stats()
+        for key in ("manager_node_capacity", "manager_free_nodes",
+                    "pinned_roots", "gc_runs", "collected_nodes",
+                    "queries_evicted"):
+            assert isinstance(stats[key], int), key
