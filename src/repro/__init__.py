@@ -9,6 +9,8 @@ Public API highlights
   strategies (``lemma1``/``natural``/``balanced``/``best-of``).
 - :class:`repro.QueryEngine` — **the** query-evaluation entry point: one
   database, one vtree/manager/WMC-memo, any number of queries.
+- :class:`repro.ParallelQueryEngine` — sharded batch evaluation: N worker
+  engines over one read-only base vtree, results bit-identical to serial.
 - :class:`repro.BooleanFunction` — exact Boolean functions.
 - :class:`repro.Vtree` — variable trees.
 - :func:`repro.factors` — the paper's factor decompositions (Definition 1).
@@ -57,6 +59,7 @@ from .compiler import Compiled, Compiler, compile_with
 from .obdd.obdd import ObddManager, obdd_from_function
 from .sdd.manager import SddManager, sdd_from_circuit
 from .queries.engine import QueryEngine
+from .queries.parallel import ParallelQueryEngine
 from .queries.syntax import UCQ, ConjunctiveQuery, parse_cq, parse_ucq
 from .queries.database import Database, ProbabilisticDatabase, complete_database
 
@@ -67,6 +70,7 @@ __all__ = [
     "Compiled",
     "compile_with",
     "QueryEngine",
+    "ParallelQueryEngine",
     "BooleanFunction",
     "Vtree",
     "FactorDecomposition",

@@ -53,12 +53,14 @@ class NNF:
         self.sign = sign
         self.children = children
         if kind == "lit":
-            self._vars = frozenset({var})
+            self._vars: frozenset[str] | None = frozenset({var})
+        elif children:
+            # Variable sets of internal gates are *lazy* (see ``variables``):
+            # eagerly unioning per node costs Θ(n²) time and memory on the
+            # 10k-variable chain NNFs that ``SddManager.to_nnf`` exports.
+            self._vars = None
         else:
-            vs: frozenset[str] = frozenset()
-            for c in children:
-                vs |= c._vars
-            self._vars = vs
+            self._vars = frozenset()
         self._key: object = None
 
     # ------------------------------------------------------------------
@@ -66,8 +68,30 @@ class NNF:
     # ------------------------------------------------------------------
     @property
     def variables(self) -> frozenset[str]:
-        """``var(C_g)`` — variables below this node."""
-        return self._vars
+        """``var(C_g)`` — variables below this node.
+
+        Materialized on first access (one O(subtree) walk reusing any
+        cached descendant sets, DAG-aware) and cached on this node only —
+        the :class:`~repro.core.vtree.Vtree` laziness idiom.
+        """
+        got = self._vars
+        if got is None:
+            vs: set[str] = set()
+            seen: set[int] = set()
+            stack: list[NNF] = [self]
+            while stack:
+                node = stack.pop()
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                cached = node._vars
+                if cached is not None:
+                    vs |= cached
+                else:
+                    stack.extend(node.children)
+            got = frozenset(vs)
+            self._vars = got
+        return got
 
     def nodes(self) -> list["NNF"]:
         """All distinct nodes (by identity), children before parents."""
@@ -125,8 +149,8 @@ class NNF:
     # ------------------------------------------------------------------
     def function(self, variables: Sequence[str] | None = None) -> BooleanFunction:
         """Exact function over ``variables`` (default: the node's variables)."""
-        vs = tuple(sorted(set(variables) if variables is not None else self._vars))
-        if not self._vars <= set(vs):
+        vs = tuple(sorted(set(variables) if variables is not None else self.variables))
+        if not self.variables <= set(vs):
             raise ValueError("requested variable set misses NNF variables")
         n = len(vs)
         idx = np.arange(1 << n)
@@ -169,7 +193,7 @@ class NNF:
         return memo[id(self)]
 
     def equivalent(self, other: "NNF") -> bool:
-        vs = sorted(self._vars | other._vars)
+        vs = sorted(self.variables | other.variables)
         return self.function(vs) == other.function(vs)
 
     # ------------------------------------------------------------------
@@ -179,7 +203,7 @@ class NNF:
         """Every AND gate's children have pairwise disjoint variable sets."""
         for node in self.and_gates():
             for a, b in itertools.combinations(node.children, 2):
-                if a._vars & b._vars:
+                if a.variables & b.variables:
                     return False
         return True
 
@@ -189,7 +213,7 @@ class NNF:
         for node in self.or_gates():
             if len(node.children) < 2:
                 continue
-            vs = sorted(node._vars)
+            vs = sorted(node.variables)
             tables = [c.function(vs).table for c in node.children]
             for a, b in itertools.combinations(tables, 2):
                 if bool((a & b).any()):
@@ -199,13 +223,13 @@ class NNF:
     def is_structured_by(self, vtree: Vtree) -> bool:
         """Every AND gate has fanin 2 and is structured by some vtree node
         (``var(left) ⊆ Y_{v_l}`` and ``var(right) ⊆ Y_{v_r}``)."""
-        if not self._vars <= vtree.variables:
+        if not self.variables <= vtree.variables:
             return False
         for node in self.and_gates():
             if len(node.children) != 2:
                 return False
             l, r = node.children
-            if vtree.find_structuring_node(l._vars, r._vars) is None:
+            if vtree.find_structuring_node(l.variables, r.variables) is None:
                 return False
         return True
 
@@ -214,13 +238,13 @@ class NNF:
         vtrees over the variables (tiny variable sets only)."""
         cands = candidate_vtrees
         if cands is None:
-            cands = Vtree.enumerate_all(sorted(self._vars))
+            cands = Vtree.enumerate_all(sorted(self.variables))
         return any(self.is_structured_by(t) for t in cands)
 
     def is_smooth(self) -> bool:
         """Every OR gate's children mention the same variables."""
         for node in self.or_gates():
-            if len({c._vars for c in node.children}) > 1:
+            if len({c.variables for c in node.children}) > 1:
                 return False
         return True
 
@@ -232,7 +256,7 @@ class NNF:
             if len(node.children) != 2:
                 raise ValueError("structured circuits need fanin-2 AND gates")
             l, r = node.children
-            v = vtree.find_structuring_node(l._vars, r._vars)
+            v = vtree.find_structuring_node(l.variables, r.variables)
             if v is None:
                 raise ValueError("AND gate not structured by the vtree")
             out[id(node)] = v
@@ -247,8 +271,8 @@ class NNF:
         Linear-time on d-DNNFs: OR children are scaled by ``2**missing`` to
         account for non-smoothness, AND children multiply.
         """
-        scope_set = frozenset(scope) if scope is not None else self._vars
-        if not self._vars <= scope_set:
+        scope_set = frozenset(scope) if scope is not None else self.variables
+        if not self.variables <= scope_set:
             raise ValueError("scope misses NNF variables")
         memo: dict[int, int] = {}
         for node in self.nodes():
@@ -265,9 +289,9 @@ class NNF:
             else:
                 c = 0
                 for ch in node.children:
-                    c += memo[id(ch)] << (len(node._vars) - len(ch._vars))
+                    c += memo[id(ch)] << (len(node.variables) - len(ch.variables))
             memo[id(node)] = c
-        return memo[id(self)] << (len(scope_set) - len(self._vars))
+        return memo[id(self)] << (len(scope_set) - len(self.variables))
 
     def weighted_model_count(
         self, weights: Mapping[str, tuple[float, float]], scope: Iterable[str] | None = None
@@ -278,8 +302,8 @@ class NNF:
         lineage under a tuple-independent database; weights may be floats or
         :class:`fractions.Fraction` for exact arithmetic.
         """
-        scope_set = frozenset(scope) if scope is not None else self._vars
-        if not self._vars <= scope_set:
+        scope_set = frozenset(scope) if scope is not None else self.variables
+        if not self.variables <= scope_set:
             raise ValueError("scope misses NNF variables")
 
         def missing_factor(vars_out: frozenset[str]):
@@ -305,9 +329,9 @@ class NNF:
             else:
                 w = 0
                 for ch in node.children:
-                    w = w + memo[id(ch)] * missing_factor(node._vars - ch._vars)  # type: ignore[operator]
+                    w = w + memo[id(ch)] * missing_factor(node.variables - ch.variables)  # type: ignore[operator]
             memo[id(node)] = w
-        return memo[id(self)] * missing_factor(frozenset(scope_set) - self._vars)
+        return memo[id(self)] * missing_factor(frozenset(scope_set) - self.variables)
 
     def probability(self, prob: Mapping[str, float], scope: Iterable[str] | None = None) -> float:
         """Probability of the computed function under independent variables
@@ -363,7 +387,7 @@ class NNF:
         memo: dict[int, NNF] = {}
 
         def pad(node: NNF, target: frozenset[str]) -> NNF:
-            missing = target - node._vars
+            missing = target - node.variables
             if not missing:
                 return node
             fills = [disj([lit(v, True), lit(v, False)]) for v in sorted(missing)]
@@ -374,7 +398,7 @@ class NNF:
                 res = conj([memo[id(c)] for c in node.children])
             elif node.kind == "or":
                 kids = [memo[id(c)] for c in node.children]
-                target = frozenset().union(*[k._vars for k in kids]) if kids else frozenset()
+                target = frozenset().union(*[k.variables for k in kids]) if kids else frozenset()
                 res = disj([pad(k, target) for k in kids])
             else:
                 res = node

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli batch "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
     python -m repro.cli engine "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
                                                     [--max-nodes 50000]
+                                                    [--workers 4] [--parallel-mode auto]
     python -m repro.cli isa 2 4
 
 Each subcommand prints a small report; exit code 0 on success.
@@ -40,6 +41,7 @@ from .obdd.obdd import obdd_from_function
 from .queries.analysis import find_inversion
 from .queries.compile import compile_lineage_obdd, compile_lineage_sdd
 from .queries.engine import QueryEngine
+from .queries.parallel import ParallelQueryEngine
 from .queries.evaluate import evaluate_many, probability_via_obdd
 from .queries.database import complete_database
 from .queries.syntax import parse_ucq
@@ -202,11 +204,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_engine(args: argparse.Namespace) -> int:
     """Evaluate a ';'-separated workload through one
-    :class:`~repro.queries.engine.QueryEngine` session and print its stats."""
+    :class:`~repro.queries.engine.QueryEngine` session (or, with
+    ``--workers N``, a sharded
+    :class:`~repro.queries.parallel.ParallelQueryEngine`) and print its
+    stats."""
     queries, db = _parse_workload(args)
     if not queries:
         print("no queries given", file=sys.stderr)
         return 1
+    if args.workers < 1:
+        print("--workers must be positive", file=sys.stderr)
+        return 1
+    if args.workers > 1:
+        par = ParallelQueryEngine(
+            db, workers=args.workers, max_nodes=args.max_nodes,
+            mode=args.parallel_mode,
+        )
+        batch = par.evaluate(queries, exact=args.exact)
+        rows = [
+            [str(q), batch.sizes[i],
+             str(batch.probabilities[i]) if args.exact else f"{batch.probabilities[i]:.6f}",
+             batch.shards[i]]
+            for i, q in enumerate(queries)
+        ]
+        report(
+            f"engine: {len(queries)} queries, {db.size} tuples, "
+            f"{args.workers} workers ({batch.mode})",
+            ["query", "SDD size", "P(q)", "shard"],
+            rows,
+        )
+        stats = batch.stats
+        print("merged stats: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+        return 0
     engine = QueryEngine(db, max_nodes=args.max_nodes)
     rows = []
     for q in queries:
@@ -285,7 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exact Fraction probabilities")
     e.add_argument("--max-nodes", type=int, default=None,
                    help="session node budget: evict LRU compiled queries and "
-                        "garbage-collect the manager past this many live nodes")
+                        "garbage-collect the manager past this many live nodes "
+                        "(per worker when --workers > 1)")
+    e.add_argument("--workers", type=int, default=1,
+                   help="shard the workload across N worker engines sharing "
+                        "one base vtree (deterministic: results bit-identical "
+                        "to --workers 1)")
+    e.add_argument("--parallel-mode", choices=["auto", "threads", "spawn"],
+                   default="auto",
+                   help="worker execution mode (auto: threads for small "
+                        "batches / single-CPU hosts, spawn otherwise)")
     e.set_defaults(fn=_cmd_engine)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")

@@ -344,6 +344,38 @@ class Vtree:
                 stack.append((l, False))
         return done[id(spec)]
 
+    def to_postfix(self) -> list[str | None]:
+        """Flat postfix encoding: a leaf emits its variable, an internal
+        node emits ``None`` after its children (pop two, push one).
+
+        Unlike :meth:`to_nested` / ``pickle``, both directions are loops
+        over a flat list — no nesting, so a 10k-deep right-linear comb
+        round-trips without touching the recursion limit (``pickle`` of the
+        node structure itself recurses and dies at ~1000 levels; this is
+        the wire format the parallel query workers use).
+        """
+        out: list[str | None] = []
+        for node in self.nodes():
+            out.append(node.var)
+        return out
+
+    @classmethod
+    def from_postfix(cls, ops: Sequence[str | None]) -> "Vtree":
+        """Rebuild a vtree from :meth:`to_postfix` output."""
+        stack: list[Vtree] = []
+        for op in ops:
+            if op is None:
+                if len(stack) < 2:
+                    raise ValueError("malformed postfix vtree encoding")
+                r = stack.pop()
+                l = stack.pop()
+                stack.append(cls.internal(l, r))
+            else:
+                stack.append(cls.leaf(op))
+        if len(stack) != 1:
+            raise ValueError("malformed postfix vtree encoding")
+        return stack[0]
+
     def render(self) -> str:
         """ASCII rendering (root at top), used to regenerate Figure 4."""
         lines: list[str] = []

@@ -211,6 +211,34 @@ def prop2_tree_decomposition(compiled: CompiledNNF | CompiledSDD) -> Prop2Result
     if missing:
         root_bag_id = index[id(vtree)]
         bags[root_bag_id] = bags[root_bag_id] | frozenset(missing)
+    # Connectivity closure (T3): a gate with an ∅-variable child (a
+    # replicated constant) is structured at the *first* postorder vtree
+    # node one of whose sides covers the non-trivial child — possibly far
+    # from the bags where the same gate appears as a parent or child of
+    # other gates, leaving its occurrences in non-adjacent bags.  Add each
+    # vertex to every bag on the tree paths between its occurrences (the
+    # Steiner closure of the occurrence set); only the degenerate gates
+    # travel, so bags grow by O(1) per such gate.
+    root_bag_id = index[id(vtree)]
+    parent_bag = dict(nx.bfs_predecessors(tree, root_bag_id))
+    depth_bag = {
+        n: d for d, layer in enumerate(nx.bfs_layers(tree, root_bag_id)) for n in layer
+    }
+    occurrences: dict[int, set[int]] = {}
+    for b, bag in bags.items():
+        for x in bag:
+            occurrences.setdefault(x, set()).add(b)
+    for x, occ in occurrences.items():
+        frontier = set(occ)
+        members = set(occ)
+        while len(frontier) > 1:
+            u = max(frontier, key=depth_bag.__getitem__)
+            frontier.remove(u)
+            p = parent_bag[u]
+            if p not in members:
+                bags[p] = bags[p] | frozenset({x})
+                members.add(p)
+            frontier.add(p)
     return Prop2Result(decomposition=TreeDecomposition(tree, bags), graph=graph, root=root)
 
 

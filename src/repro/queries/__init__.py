@@ -12,4 +12,5 @@ from .evaluate import (
     probability_via_sdd,
 )
 from .lineage import lineage_circuit, lineage_function
+from .parallel import ParallelBatchEvaluation, ParallelQueryEngine, shard_of
 from .syntax import UCQ, ConjunctiveQuery, parse_cq, parse_ucq

@@ -137,6 +137,12 @@ class QueryEngine:
         self._collect_over_budget(keep=query)
         return root
 
+    def cached_root(self, query: UCQ) -> int | None:
+        """The pinned root id of ``query`` if it is currently compiled,
+        ``None`` if it was never asked for or has been evicted/forgotten.
+        Never compiles — the read-only counterpart of :meth:`compile`."""
+        return self._roots.get(query)
+
     def probability(self, query: UCQ, *, exact: bool = False) -> float | Fraction:
         """Exact probability of ``query`` under the tuple-independence
         semantics; ``exact=True`` stays in :class:`~fractions.Fraction`."""
@@ -150,7 +156,15 @@ class QueryEngine:
         mgr = self._ensure_manager(query)
         return mgr.size(self.compile(query))
 
-    def evaluate(self, queries: Iterable[UCQ], *, exact: bool = False):
+    def evaluate(
+        self,
+        queries: Iterable[UCQ],
+        *,
+        exact: bool = False,
+        workers: int | None = None,
+        parallel_mode: str = "auto",
+        shard_seed: int = 0,
+    ):
         """Evaluate a workload; returns a
         :class:`~repro.queries.evaluate.BatchEvaluation` (the same result
         type :func:`~repro.queries.evaluate.evaluate_many` returns).
@@ -161,12 +175,35 @@ class QueryEngine:
         ``roots`` holds only roots that are still compiled and pinned when
         the batch returns — evicted queries report ``None`` there, never a
         stale id.
+
+        ``workers`` > 1 shards the batch across that many worker engines
+        (each inheriting this session's vtree and per-worker ``max_nodes``
+        budget) via :class:`~repro.queries.parallel.ParallelQueryEngine`
+        and returns its
+        :class:`~repro.queries.parallel.ParallelBatchEvaluation` —
+        probabilities and sizes bit-identical to the serial path, but
+        compiled in throwaway worker sessions (this engine's own caches
+        are neither used nor populated).  ``workers=None`` or ``1`` stays
+        on the serial path.
         """
         from .evaluate import BatchEvaluation
 
         qs: Sequence[UCQ] = list(queries)
         if not qs:
             raise ValueError("empty workload")
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        if workers is not None and workers > 1:
+            from .parallel import ParallelQueryEngine
+
+            return ParallelQueryEngine(
+                self.db,
+                workers=workers,
+                vtree=self._vtree,
+                max_nodes=self.max_nodes,
+                mode=parallel_mode,
+                shard_seed=shard_seed,
+            ).evaluate(qs, exact=exact)
         probabilities = []
         sizes = []
         mgr: SddManager | None = None

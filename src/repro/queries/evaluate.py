@@ -120,7 +120,10 @@ def evaluate_many(
     vtree: Vtree | None = None,
     exact: bool = False,
     max_nodes: int | None = None,
-) -> BatchEvaluation:
+    workers: int | None = None,
+    parallel_mode: str = "auto",
+    shard_seed: int = 0,
+):
     """Compile and exactly evaluate a workload of queries against one
     database, sharing everything shareable.
 
@@ -143,5 +146,18 @@ def evaluate_many(
     ``max_nodes`` bounds the shared manager for very large workloads:
     least-recently-used lineages are released and garbage-collected when
     the budget overflows (see :class:`~repro.queries.engine.QueryEngine`).
+
+    ``workers`` > 1 shards the workload across that many worker engines
+    sharing one base vtree (each with its own per-worker ``max_nodes``
+    budget) and returns a
+    :class:`~repro.queries.parallel.ParallelBatchEvaluation`; results are
+    bit-identical to the serial path for every ``workers``/``shard_seed``
+    setting.  ``workers=None`` or ``1`` is exactly the serial path.
     """
-    return QueryEngine(db, vtree=vtree, max_nodes=max_nodes).evaluate(queries, exact=exact)
+    return QueryEngine(db, vtree=vtree, max_nodes=max_nodes).evaluate(
+        queries,
+        exact=exact,
+        workers=workers,
+        parallel_mode=parallel_mode,
+        shard_seed=shard_seed,
+    )

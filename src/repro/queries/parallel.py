@@ -1,0 +1,338 @@
+"""Parallel sharded query evaluation: one base vtree, N worker engines.
+
+The paper's query-compilation pipeline fixes *one* vtree per lineage
+workload (the hierarchy order over every tuple variable of the database),
+which makes per-query compilation embarrassingly parallel: every query's
+SDD is canonical with respect to that shared vtree, so the work units are
+independent and their answers are order- and placement-invariant.
+
+:class:`ParallelQueryEngine` exploits this by sharding a batch of queries
+across ``workers`` :class:`~repro.queries.engine.QueryEngine` instances,
+each owning its own :class:`~repro.sdd.manager.SddManager` and WMC memos
+while sharing one **read-only base vtree** computed once from the database
+(and the first query's hierarchy order — exactly the vtree a serial engine
+would derive).
+
+Determinism guarantee
+---------------------
+
+Results are **bit-identical to the serial path** for every ``workers``
+setting, every shard seed, and both execution modes:
+
+- shard assignment is a *stable* BLAKE2 hash of the query text plus the
+  shard seed (:func:`shard_of`) — never arrival order, thread timing, or
+  ``PYTHONHASHSEED``;
+- all workers compile against the same base vtree, and SDDs are canonical
+  per vtree, so each query's compiled form — hence its exact ``Fraction``
+  and even its float WMC value — does not depend on which worker ran it
+  or what was compiled before it;
+- a ``max_nodes`` budget applies *shard-locally* (each worker engine gets
+  the full budget for its shard), and PR 3's GC never changes an answer —
+  eviction only affects whether ``roots[i]`` reports the still-pinned id
+  or the ``None`` marker.
+
+Execution modes
+---------------
+
+``mode="threads"`` runs each shard's engine on a worker thread (no
+pickling, engines persist across batches for session reuse);
+``mode="spawn"`` runs each shard in a spawn-started process (work units
+are pickled: queries, database, and the base vtree as a flat
+:meth:`~repro.core.vtree.Vtree.to_postfix` encoding, so 10k-deep
+right-linear vtrees cross the process boundary without recursion).
+``mode="auto"`` picks threads for small batches or single-CPU hosts
+(process start-up would dominate) and spawn otherwise.
+
+``workers=1`` short-circuits to the serial
+:meth:`QueryEngine.evaluate` path and returns its
+:class:`~repro.queries.evaluate.BatchEvaluation` byte-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .compile import lineage_vtree
+from .database import ProbabilisticDatabase
+from .engine import QueryEngine
+from .syntax import UCQ
+from ..core.vtree import Vtree
+
+__all__ = ["ParallelQueryEngine", "ParallelBatchEvaluation", "shard_of"]
+
+# ``mode="auto"``: below this many queries per worker a process pool's
+# start-up cost (interpreter + imports per child) dominates the work.
+_SPAWN_MIN_PER_WORKER = 64
+
+
+def shard_of(query: UCQ, workers: int, seed: int = 0) -> int:
+    """Deterministic shard index of ``query`` among ``workers`` shards.
+
+    A stable keyed BLAKE2 hash of the canonical query text: independent of
+    ``PYTHONHASHSEED``, arrival order, process, and platform — the same
+    query lands on the same worker in every run, so repeat queries hit
+    that worker's compiled-query cache.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    digest = hashlib.blake2b(
+        str(query).encode(),
+        digest_size=8,
+        key=seed.to_bytes(8, "big", signed=True),
+    ).digest()
+    return int.from_bytes(digest, "big") % workers
+
+
+def _evaluate_shard(payload):
+    """One worker's whole shard, start to finish (top-level so a spawned
+    process can import it; everything in ``payload`` is picklable).
+
+    ``items`` is ``[(batch_index, query), ...]`` in original batch order —
+    so a ``max_nodes`` budget sees the same LRU sequence a serial engine
+    would see restricted to this shard.  Returns per-query results plus
+    the worker engine's public stats; ``root`` is the pinned root id or
+    ``None`` if the query was evicted by the time the shard finished
+    (mirroring the serial batch contract).
+    """
+    db, vtree_ops, max_nodes, items, exact = payload
+    vtree = Vtree.from_postfix(vtree_ops)
+    engine = QueryEngine(db, vtree=vtree, max_nodes=max_nodes)
+    return _run_items(engine, items, exact)
+
+
+def _run_items(engine: QueryEngine, items, exact: bool):
+    results = []
+    for idx, q in items:
+        p = engine.probability(q, exact=exact)
+        mgr = engine.manager
+        root = engine.cached_root(q)  # just asked for: never evicted yet
+        assert mgr is not None and root is not None
+        results.append((idx, p, mgr.size(root)))
+    roots = [(idx, engine.cached_root(q)) for idx, q in items]
+    return results, roots, engine.stats()
+
+
+@dataclass
+class ParallelBatchEvaluation:
+    """Everything one sharded workload evaluation produces.
+
+    Per-query lists are in original batch order.  ``roots[i]`` is the root
+    id in worker ``shards[i]``'s manager, or ``None`` if that worker's
+    ``max_nodes`` budget evicted the query before its shard finished —
+    never a stale id.  In ``spawn`` mode the managers lived in worker
+    processes, so root ids are reported for inspection but are not
+    dereferenceable here; in ``threads`` mode ``engines[shards[i]]`` is
+    the live session that owns ``roots[i]``.  ``worker_stats`` is keyed
+    by shard index (``worker_stats[shards[i]]`` is query ``i``'s worker;
+    empty shards never spin up and have no entry).
+    """
+
+    queries: list[UCQ]
+    probabilities: list[float | Fraction]
+    roots: list[int | None]
+    sizes: list[int]
+    shards: list[int]
+    workers: int
+    mode: str
+    vtree: Vtree
+    worker_stats: dict[int, dict[str, int]]  # shard index -> engine stats
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, i: int):
+        return self.probabilities[i]
+
+
+class ParallelQueryEngine:
+    """Shard query batches across ``workers`` engines over one base vtree.
+
+    ``vtree`` pins the shared decomposition; otherwise it is derived once
+    from the first query of the first batch (hierarchy order covering
+    every tuple variable of ``db`` — the same vtree a serial
+    :class:`QueryEngine` would build) and reused for the engine's
+    lifetime.  ``max_nodes`` is a *per-worker* session budget: each worker
+    engine evicts and collects shard-locally, so a workload whose working
+    set thrashes one serial engine's budget can fit ``workers`` smaller
+    shard working sets (see ``benchmarks/bench_parallel.py``).
+
+    ``mode`` is ``"auto"`` (default), ``"threads"``, or ``"spawn"``; see
+    the module docstring for the choice rule and the determinism
+    guarantee.  Not safe for *concurrent* ``evaluate`` calls on the same
+    instance.
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        *,
+        workers: int = 2,
+        vtree: Vtree | None = None,
+        max_nodes: int | None = None,
+        mode: str = "auto",
+        shard_seed: int = 0,
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if mode not in ("auto", "threads", "spawn"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if max_nodes is not None and max_nodes <= 0:
+            raise ValueError("max_nodes must be positive")
+        self.db = db
+        self.workers = workers
+        self.max_nodes = max_nodes
+        self.mode = mode
+        self.shard_seed = shard_seed
+        self._vtree = vtree
+        # threads mode keeps one engine per shard alive across batches —
+        # the session-sharing contract of the serial engine, per shard.
+        self._engines: dict[int, QueryEngine] = {}
+
+    @property
+    def vtree(self) -> Vtree | None:
+        """The shared base vtree (``None`` until the first batch)."""
+        return self._vtree
+
+    def shard_of(self, query: UCQ) -> int:
+        """The worker index this engine deterministically assigns ``query``."""
+        return shard_of(query, self.workers, self.shard_seed)
+
+    def _ensure_vtree(self, first_query: UCQ) -> Vtree:
+        if self._vtree is None:
+            self._vtree = lineage_vtree(first_query, self.db)
+        return self._vtree
+
+    def _resolve_mode(self, n_queries: int) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if (os.cpu_count() or 1) <= 1:
+            return "threads"  # no parallelism to win; skip process start-up
+        if n_queries < self.workers * _SPAWN_MIN_PER_WORKER:
+            return "threads"  # small batch: spawn cost dominates
+        return "spawn"
+
+    def evaluate(self, queries: Iterable[UCQ], *, exact: bool = False):
+        """Evaluate a workload sharded across the workers.
+
+        Returns a :class:`ParallelBatchEvaluation` — except with
+        ``workers=1``, which runs the serial
+        :meth:`QueryEngine.evaluate` path unchanged and returns its
+        :class:`~repro.queries.evaluate.BatchEvaluation` (byte-identical
+        to not using the parallel engine at all).
+        """
+        qs: Sequence[UCQ] = list(queries)
+        if not qs:
+            raise ValueError("empty workload")
+        if self.workers == 1:
+            engine = self._engines.get(0)
+            if engine is None:
+                engine = QueryEngine(self.db, vtree=self._vtree, max_nodes=self.max_nodes)
+                self._engines[0] = engine
+            batch = engine.evaluate(qs, exact=exact)
+            self._vtree = engine.vtree
+            return batch
+
+        vtree = self._ensure_vtree(qs[0])
+        shards: list[int] = [self.shard_of(q) for q in qs]
+        items_per_worker: dict[int, list[tuple[int, UCQ]]] = {}
+        for i, (q, w) in enumerate(zip(qs, shards)):
+            items_per_worker.setdefault(w, []).append((i, q))
+        mode = self._resolve_mode(len(qs))
+        occupied = sorted(items_per_worker)
+
+        if mode == "threads":
+            outputs = self._run_threads(occupied, items_per_worker, exact, vtree)
+        else:
+            outputs = self._run_spawn(occupied, items_per_worker, exact, vtree)
+
+        probabilities: list = [None] * len(qs)
+        sizes: list = [0] * len(qs)
+        roots: list = [None] * len(qs)
+        worker_stats: dict[int, dict[str, int]] = {}
+        for w, (results, shard_roots, stats) in zip(occupied, outputs):
+            for idx, p, size in results:
+                probabilities[idx] = p
+                sizes[idx] = size
+            for idx, root in shard_roots:
+                roots[idx] = root
+            worker_stats[w] = stats
+        return ParallelBatchEvaluation(
+            queries=list(qs),
+            probabilities=probabilities,
+            roots=roots,
+            sizes=sizes,
+            shards=shards,
+            workers=self.workers,
+            mode=mode,
+            vtree=vtree,
+            worker_stats=worker_stats,
+            stats=self._merge_stats(list(worker_stats.values())),
+        )
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+    def _run_threads(self, occupied, items_per_worker, exact, vtree):
+        from concurrent.futures import ThreadPoolExecutor
+
+        for w in occupied:
+            if w not in self._engines:
+                self._engines[w] = QueryEngine(
+                    self.db, vtree=vtree, max_nodes=self.max_nodes
+                )
+        if len(occupied) == 1:
+            w = occupied[0]
+            return [_run_items(self._engines[w], items_per_worker[w], exact)]
+        with ThreadPoolExecutor(max_workers=len(occupied)) as pool:
+            futures = [
+                pool.submit(_run_items, self._engines[w], items_per_worker[w], exact)
+                for w in occupied
+            ]
+            return [f.result() for f in futures]
+
+    def _run_spawn(self, occupied, items_per_worker, exact, vtree):
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        vtree_ops = vtree.to_postfix()
+        payloads = [
+            (self.db, vtree_ops, self.max_nodes, items_per_worker[w], exact)
+            for w in occupied
+        ]
+        if len(payloads) == 1:
+            # Everything hashed to one shard: a process pool would pay
+            # interpreter start-up and payload pickling for a strictly
+            # serial run — evaluate the lone shard in this process
+            # (same throwaway-engine semantics as a spawn worker).
+            return [_evaluate_shard(payloads[0])]
+        with ProcessPoolExecutor(
+            max_workers=len(occupied), mp_context=get_context("spawn")
+        ) as pool:
+            return list(pool.map(_evaluate_shard, payloads))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def engines(self) -> dict[int, QueryEngine]:
+        """The live per-shard engines (threads/serial modes only; spawn
+        workers live and die with their batch)."""
+        return dict(self._engines)
+
+    def _merge_stats(self, worker_stats: Sequence[dict[str, int]]) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stats in worker_stats:
+            for k, v in stats.items():
+                merged[k] = merged.get(k, 0) + v
+        merged["tuples"] = self.db.size  # session-wide, not per-worker
+        merged["workers"] = self.workers
+        return merged
+
+    def stats(self) -> dict[str, int]:
+        """Aggregated public counters over the live per-shard engines
+        (threads/serial modes; empty until the first batch)."""
+        return self._merge_stats([e.stats() for e in self._engines.values()])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -177,3 +179,58 @@ class TestTransformations:
         n = disj([conj([lit("x", True), lit("y", False)]), lit("z", True)])
         assert n.evaluate({"x": 1, "y": 0, "z": 0})
         assert not n.evaluate({"x": 0, "y": 0, "z": 0})
+
+
+class TestLazyVariableSets:
+    """Internal-gate variable sets are lazy (the ROADMAP Θ(n²) item): an
+    NNF export of a 10k-var chain SDD must not pay a per-node frozenset
+    union at construction time."""
+
+    def test_construction_does_not_materialize(self):
+        n = conj([lit("x", True), lit("y", True)])
+        assert n._vars is None  # lazy until asked
+        assert n.variables == frozenset({"x", "y"})
+        assert n._vars == frozenset({"x", "y"})  # cached after first access
+
+    def test_leaves_stay_eager(self):
+        assert lit("x", True)._vars == frozenset({"x"})
+        assert true_node()._vars == frozenset()
+        assert false_node()._vars == frozenset()
+
+    def test_variables_on_shared_dag(self):
+        shared = conj([lit("a", True), lit("b", True)])
+        root = disj([shared, conj([shared, lit("c", False)])])
+        assert root.variables == frozenset({"a", "b", "c"})
+
+    def test_deep_chain_constructs_in_linear_time(self):
+        """5000 chained binary gates build in well under a second (the
+        eager union was Θ(n²) set elements) and the root set still
+        materializes correctly on demand."""
+        t0 = time.perf_counter()
+        node = lit("v0", True)
+        for i in range(1, 5001):
+            node = conj([node, lit(f"v{i}", True)])
+        built = time.perf_counter() - t0
+        assert built < 1.0, f"chain construction took {built:.2f}s"
+        assert node._vars is None
+        assert len(node.variables) == 5001
+
+    def test_to_nnf_of_chain_5000_under_bound(self):
+        """The regression the laziness exists for: exporting the compiled
+        chain_and_or(5000) SDD to NNF is an O(size) sweep again (eagerly
+        unioning per node took tens of seconds and Θ(n²) memory)."""
+        from repro.circuits.build import chain_and_or
+        from repro.core.vtree import Vtree
+        from repro.sdd.manager import SddManager
+
+        n = 5000
+        mgr = SddManager(Vtree.right_linear([f"x{i}" for i in range(1, n + 1)]))
+        root = mgr.compile_circuit(chain_and_or(n))
+        t0 = time.perf_counter()
+        nnf = mgr.to_nnf(root)
+        elapsed = time.perf_counter() - t0
+        # ~0.1 s on a container-throttled CPU; 10s leaves CI headroom while
+        # still failing hard if the Θ(n²) eager union ever comes back.
+        assert elapsed < 10.0, f"to_nnf took {elapsed:.2f}s"
+        assert nnf._vars is None  # export did not force materialization
+        assert len(nnf.variables) == n

@@ -108,6 +108,35 @@ class TestTransformations:
         assert a == b and hash(a) == hash(b)
         assert a != Vtree.left_linear(["x", "y", "z"])
 
+    def test_postfix_roundtrip(self):
+        for v in (
+            Vtree.leaf("a"),
+            Vtree.balanced(["a", "b", "c", "d", "e"]),
+            Vtree.right_linear(["a", "b", "c"]),
+            Vtree.from_nested((("a", "b"), ("c", ("d", "e")))),
+        ):
+            assert Vtree.from_postfix(v.to_postfix()) == v
+
+    def test_postfix_roundtrip_deep_comb(self):
+        """The wire format of the parallel query workers: a 10k-deep
+        right-linear comb must round-trip iteratively (nesting-based
+        encodings — ``to_nested``, ``pickle`` — recurse and die here)."""
+        order = [f"x{i}" for i in range(10_000)]
+        v = Vtree.right_linear(order)
+        ops = v.to_postfix()
+        assert len(ops) == 2 * len(order) - 1
+        back = Vtree.from_postfix(ops)
+        assert back == v
+        assert back.leaf_order() == order
+
+    def test_postfix_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Vtree.from_postfix([])
+        with pytest.raises(ValueError):
+            Vtree.from_postfix(["a", None])  # internal node needs two children
+        with pytest.raises(ValueError):
+            Vtree.from_postfix(["a", "b"])  # two roots left on the stack
+
 
 class TestEnumeration:
     def test_count_two_vars(self):

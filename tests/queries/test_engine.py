@@ -194,3 +194,63 @@ class TestSessionLifecycle:
                     "pinned_roots", "gc_runs", "collected_nodes",
                     "queries_evicted"):
             assert isinstance(stats[key], int), key
+
+
+class TestCollectOverBudgetEdgeCases:
+    """Corners of the ``max_nodes`` eviction sweep that only show up when
+    the budget is hopeless: a lone pinned root over budget, forgetting a
+    query the sweep already evicted, and a budget below even one root."""
+
+    def test_current_query_is_only_pinned_root(self):
+        """Budget overflow with no victims: the sweep must terminate and
+        spare the query just asked for (never evicted, by contract)."""
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db, max_nodes=1)
+        q = parse_ucq("R(x),S(x,y)")
+        expected = QueryEngine(db).probability(q, exact=True)
+        assert engine.probability(q, exact=True) == expected
+        assert engine.cached_root(q) is not None
+        assert engine.stats()["queries_evicted"] == 0
+        assert engine.stats()["manager_nodes"] > 1  # genuinely over budget
+        assert engine.stats()["gc_runs"] > 0  # the sweep did run
+
+    def test_forget_of_already_evicted_query(self):
+        """A budget-evicted query's root was already released; ``forget``
+        must report False, not double-release or resurrect a stale id."""
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db, max_nodes=1)
+        q1, q2 = parse_ucq("R(x),S(x,y)"), parse_ucq("S(x,y)")
+        engine.probability(q1)
+        engine.probability(q2)  # budget 1: the sweep evicts q1
+        assert engine.cached_root(q1) is None
+        assert engine.stats()["queries_evicted"] == 1
+        assert engine.forget(q1) is False
+        assert engine.forget(q2) is True
+        assert engine.forget(q2) is False
+        assert engine.manager.pinned_roots() == ()
+
+    def test_budget_below_single_root_answers_a_stream(self):
+        """With ``max_nodes`` smaller than any single compiled root, every
+        arrival evicts every other query — the session degrades to
+        cache-nothing but stays exact, with exactly one survivor."""
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        reference = QueryEngine(db)
+        engine = QueryEngine(db, max_nodes=1)
+        for qs in QUERIES * 2:
+            q = parse_ucq(qs)
+            assert engine.probability(q, exact=True) == reference.probability(
+                q, exact=True
+            )
+            assert engine.cached_root(q) is not None
+            assert len(engine.manager.pinned_roots()) == 1  # only the survivor
+        assert engine.stats()["queries_evicted"] == len(QUERIES) * 2 - 1
+
+    def test_eviction_then_reask_recompiles_identically(self):
+        db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+        engine = QueryEngine(db, max_nodes=1)
+        q1, q2 = parse_ucq("R(x),S(x,y)"), parse_ucq("S(x,y)")
+        first = engine.probability(q1, exact=True)
+        engine.probability(q2, exact=True)  # evicts q1
+        assert engine.cached_root(q1) is None
+        assert engine.probability(q1, exact=True) == first  # recompiled
+        assert engine.cached_root(q1) is not None
