@@ -3,13 +3,15 @@
 Usage::
 
     python -m repro.cli compile "(a & b) | c" [--backend canonical|apply|obdd]
-                                              [--strategy lemma1|natural|balanced|best-of|...]
+                                              [--strategy lemma1|natural|balanced|best-of|dynamic|...]
+                                              [--minimize]
                                               [--vtree balanced|right|left|search]
     python -m repro.cli ctw "x & ~y" [--max-gates 4]
     python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5] [--backend obdd|sdd]
     python -m repro.cli batch "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
     python -m repro.cli engine "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
                                                     [--max-nodes 50000]
+                                                    [--auto-minimize 30000]
                                                     [--workers 4] [--parallel-mode auto]
     python -m repro.cli isa 2 4
 
@@ -57,11 +59,19 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f = circuit.function()
         print(f"constant formula: {'true' if f.is_tautology() else 'false'}")
         return 0
-    if args.strategy is not None:
-        compiled = Compiler(backend=args.backend, strategy=args.strategy).compile(circuit)
-        via = compiled.strategy or args.strategy
+    if args.minimize and args.backend != "apply":
+        print("--minimize requires --backend apply (in-place vtree "
+              "minimization is manager-backed)", file=sys.stderr)
+        return 1
+    if args.strategy is not None or args.minimize:
+        strategy = args.strategy if args.strategy is not None else "best-of"
+        compiled = Compiler(
+            backend=args.backend, strategy=strategy, minimize=args.minimize
+        ).compile(circuit)
+        via = compiled.strategy or strategy
         report(
-            f"compile ({args.backend} backend, {args.strategy} strategy): {args.formula}",
+            f"compile ({args.backend} backend, {strategy} strategy"
+            f"{', minimized' if args.minimize else ''}): {args.formula}",
             ["form", "size", "width"],
             [[f"{args.backend} (via {via})", compiled.size, compiled.width]],
         )
@@ -216,6 +226,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         print("--workers must be positive", file=sys.stderr)
         return 1
     if args.workers > 1:
+        if args.auto_minimize is not None:
+            print("--auto-minimize applies to the serial session "
+                  "(--workers 1)", file=sys.stderr)
+            return 1
         par = ParallelQueryEngine(
             db, workers=args.workers, max_nodes=args.max_nodes,
             mode=args.parallel_mode,
@@ -236,7 +250,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         stats = batch.stats
         print("merged stats: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
         return 0
-    engine = QueryEngine(db, max_nodes=args.max_nodes)
+    engine = QueryEngine(
+        db, max_nodes=args.max_nodes, auto_minimize_nodes=args.auto_minimize
+    )
     rows = []
     for q in queries:
         p = engine.probability(q, exact=args.exact)
@@ -280,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--strategy", choices=available_strategies(), default=None,
                    help="vtree strategy; routes through the Compiler facade "
                         "(any backend x any strategy)")
+    c.add_argument("--minimize", action="store_true",
+                   help="after compiling, minimize the vtree in place with "
+                        "live SDD rotations/swaps (apply backend; defaults "
+                        "the strategy to best-of when none is given)")
     c.set_defaults(fn=_cmd_compile)
 
     t = sub.add_parser("ctw", help="exhaustive circuit treewidth (Result 2)")
@@ -316,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="session node budget: evict LRU compiled queries and "
                         "garbage-collect the manager past this many live nodes "
                         "(per worker when --workers > 1)")
+    e.add_argument("--auto-minimize", type=int, default=None,
+                   help="dynamic vtree minimization watermark: when the "
+                        "session manager outgrows this many live nodes, sift "
+                        "the vtree in place (serial sessions)")
     e.add_argument("--workers", type=int, default=1,
                    help="shard the workload across N worker engines sharing "
                         "one base vtree (deterministic: results bit-identical "

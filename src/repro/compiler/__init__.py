@@ -8,8 +8,9 @@ with pluggable realizations.  This package is its single front door:
   ``canonical`` / ``apply`` / ``obdd``, each returning a uniform
   :class:`~repro.compiler.backends.Compiled`;
 - the **vtree-strategy registry** (:mod:`~repro.compiler.strategies`):
-  ``lemma1`` (± ``-exact`` / ``-heuristic``), ``natural``, ``balanced`` and
-  the racing ``best-of``.
+  ``lemma1`` (± ``-exact`` / ``-heuristic``), ``natural``, ``balanced``,
+  the racing ``best-of``, and ``dynamic`` (seed with ``best-of``, then
+  minimize the live SDD in place with vtree rotations/swaps).
 
 The legacy entry points (:func:`repro.core.pipeline.compile_circuit`,
 :func:`repro.core.pipeline.compile_circuit_apply`) are deprecated shims over
@@ -30,6 +31,7 @@ from .facade import Compiler, compile_with
 from .strategies import (
     BalancedStrategy,
     BestOfStrategy,
+    DynamicStrategy,
     Lemma1Strategy,
     NaturalStrategy,
     VtreeChoice,
@@ -57,6 +59,7 @@ __all__ = [
     "NaturalStrategy",
     "BalancedStrategy",
     "BestOfStrategy",
+    "DynamicStrategy",
     "register_strategy",
     "get_strategy",
     "available_strategies",

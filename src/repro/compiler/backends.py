@@ -227,6 +227,26 @@ class ApplyCompiled(_CompiledBase):
         (the root id may be recycled — see :meth:`SddManager.pin`)."""
         self.manager.release(self.root)
 
+    def minimize(
+        self,
+        *,
+        budget: int | None = None,
+        max_growth: float = 1.5,
+        rounds: int = 2,
+    ) -> dict[int, int]:
+        """Run in-place dynamic vtree minimization
+        (:meth:`SddManager.minimize`) on the compiled SDD and re-anchor
+        this result — ``root`` and ``vtree`` track the transformation, so
+        every uniform accessor keeps answering about the same function on
+        the (now smaller) SDD.  Returns the move mapping for callers
+        holding additional node ids of their own."""
+        mapping = self.manager.minimize(
+            budget=budget, max_growth=max_growth, rounds=rounds
+        )
+        self.root = mapping.get(self.root, self.root)
+        self.vtree = self.manager.vtree
+        return mapping
+
     @property
     def size(self) -> int:
         return self.manager.size(self.root)

@@ -19,6 +19,8 @@ without touching the facade.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from ..circuits.circuit import Circuit
 from ..core.vtree import Vtree
 from .backends import Compiled, CompilationBackend, get_backend
@@ -32,7 +34,18 @@ class Compiler:
 
     ``backend`` and ``strategy`` may be registry names (``"canonical"``,
     ``"apply"``, ``"obdd"`` / ``"lemma1"``, ``"natural"``, ``"balanced"``,
-    ``"best-of"``, ...) or objects implementing the respective protocols.
+    ``"best-of"``, ``"dynamic"``, ...) or objects implementing the
+    respective protocols.
+
+    ``minimize`` runs in-place dynamic vtree minimization on every
+    compilation result after the backend finishes: ``True`` with the
+    defaults, or a mapping of keyword options forwarded to the result's
+    ``minimize()`` (``budget``/``max_growth``/``rounds``).  Only backends
+    whose results support in-place minimization (``apply``) accept it —
+    anything else raises at construction-time use.  Prefer the
+    ``"dynamic"`` *strategy* when the minimized vtree should come out of
+    the strategy registry; ``minimize=`` is the post-compile hook for an
+    explicitly chosen vtree or strategy.
 
     Note: the ``best-of`` strategy trial-compiles with the apply backend's
     manager and only ``backend="apply"`` can reuse its winning trial; other
@@ -44,9 +57,17 @@ class Compiler:
         self,
         backend: str | CompilationBackend = "apply",
         strategy: str | VtreeStrategy = "lemma1",
+        *,
+        minimize: bool | Mapping[str, object] = False,
     ):
         self.backend = get_backend(backend) if isinstance(backend, str) else backend
         self.strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
+        if minimize is False or minimize is None:
+            self.minimize_options: dict[str, object] | None = None
+        elif minimize is True:
+            self.minimize_options = {}
+        else:
+            self.minimize_options = dict(minimize)
 
     def compile(self, circuit: Circuit, *, vtree: Vtree | None = None) -> Compiled:
         """Compile ``circuit``; an explicit ``vtree`` bypasses the strategy.
@@ -60,13 +81,23 @@ class Compiler:
             choice = VtreeChoice(vtree, strategy="")
         else:
             choice = self.strategy(circuit)
-        return self.backend.compile(
+        compiled = self.backend.compile(
             circuit,
             choice.vtree,
             decomposition_width=choice.decomposition_width,
             strategy=choice.strategy,
             trial=choice.trial,
         )
+        if self.minimize_options is not None:
+            minimize = getattr(compiled, "minimize", None)
+            if minimize is None:
+                raise ValueError(
+                    f"backend {self.backend.name!r} does not support in-place "
+                    "vtree minimization (its results are not manager-backed); "
+                    "use backend='apply'"
+                )
+            minimize(**self.minimize_options)
+        return compiled
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         sname = getattr(self.strategy, "name", type(self.strategy).__name__)
@@ -79,6 +110,7 @@ def compile_with(
     backend: str | CompilationBackend = "apply",
     strategy: str | VtreeStrategy = "lemma1",
     vtree: Vtree | None = None,
+    minimize: bool | Mapping[str, object] = False,
 ) -> Compiled:
     """One-shot convenience: ``Compiler(backend, strategy).compile(circuit)``."""
-    return Compiler(backend, strategy).compile(circuit, vtree=vtree)
+    return Compiler(backend, strategy, minimize=minimize).compile(circuit, vtree=vtree)

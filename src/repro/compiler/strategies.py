@@ -21,6 +21,11 @@ Registered strategies:
   size ends the race early, and a candidate that blows up (e.g. a scrambled
   Lemma-1 leaf order on ``chain(100)``) is abandoned at its budget — see
   :class:`BestOfStrategy` for the exact rules.
+- ``dynamic`` — seeds with another strategy (``best-of`` by default), then
+  runs in-place dynamic vtree minimization
+  (:meth:`~repro.sdd.manager.SddManager.minimize`) on the live SDD: the
+  returned vtree is the *minimized* one and the minimized trial travels to
+  the apply backend, so the search cost is local moves, never a recompile.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ __all__ = [
     "NaturalStrategy",
     "BalancedStrategy",
     "BestOfStrategy",
+    "DynamicStrategy",
     "natural_variable_order",
     "register_strategy",
     "get_strategy",
@@ -242,6 +248,57 @@ class BestOfStrategy:
         return best
 
 
+class DynamicStrategy:
+    """Seed a compilation with another strategy, then minimize in place.
+
+    The seed (``best-of`` by default) picks and trial-compiles a starting
+    vtree; :meth:`~repro.sdd.manager.SddManager.minimize` then sifts the
+    live SDD with in-manager rotations/swaps — no per-candidate
+    recompilation.  The :class:`VtreeChoice` carries the *minimized* vtree
+    and the minimized ``(manager, root)`` trial, so the apply backend pays
+    nothing extra; other backends still benefit from the better vtree but
+    discard the trial (same caveat as ``best-of``).
+    """
+
+    def __init__(
+        self,
+        seed: str = "best-of",
+        *,
+        rounds: int = 2,
+        budget: int | None = None,
+        max_growth: float = 1.5,
+    ):
+        self.seed = seed
+        self.rounds = rounds
+        self.budget = budget
+        self.max_growth = max_growth
+        self.name = "dynamic"
+
+    def __call__(self, circuit: Circuit) -> VtreeChoice:
+        _require_variables(circuit)
+        choice = get_strategy(self.seed)(circuit)
+        if choice.trial is not None:
+            mgr, root = choice.trial
+        else:
+            mgr = SddManager(choice.vtree)
+            root = mgr.compile_circuit(circuit)
+        # Pin across the search (its collections sweep the unpinned), then
+        # hand the root back unpinned — exactly the state a best-of trial
+        # is in when the apply backend takes ownership and pins it.
+        mgr.pin(root)
+        mapping = mgr.minimize(
+            budget=self.budget, max_growth=self.max_growth, rounds=self.rounds
+        )
+        root = mapping.get(root, root)
+        mgr.release(root)
+        return VtreeChoice(
+            mgr.vtree,
+            decomposition_width=choice.decomposition_width,
+            strategy=f"{self.name}:{choice.strategy or self.seed}",
+            trial=(mgr, root),
+        )
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -273,3 +330,4 @@ register_strategy("lemma1-heuristic", lambda: Lemma1Strategy(exact=False))
 register_strategy("natural", NaturalStrategy)
 register_strategy("balanced", BalancedStrategy)
 register_strategy("best-of", BestOfStrategy)
+register_strategy("dynamic", DynamicStrategy)

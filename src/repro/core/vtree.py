@@ -84,6 +84,26 @@ class Vtree:
         return cls(None, left, right)
 
     @classmethod
+    def internal_trusted(cls, left: "Vtree", right: "Vtree") -> "Vtree":
+        """Internal node *without* the child-disjointness re-check.
+
+        For callers restructuring an already-validated tree — the
+        :class:`~repro.sdd.manager.SddManager`'s in-place rotations rebuild
+        the ancestor path of every move, and leaf sets are invariant under
+        reassociation, so re-materializing variable sets per move (the
+        eager check on small trees) would turn an O(affected-nodes) local
+        move into an O(variables) one."""
+        node = cls.__new__(cls)
+        node.var = None
+        node.left = left
+        node.right = right
+        node._vars = None
+        node._size = 1 + left._size + right._size
+        node._nvars = left._nvars + right._nvars
+        node._hash = hash(("internal", left._hash, right._hash))
+        return node
+
+    @classmethod
     def right_linear(cls, order: Sequence[str]) -> "Vtree":
         """The *linear* vtree of the paper: every left child is a leaf.
 

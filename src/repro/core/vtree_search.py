@@ -51,16 +51,25 @@ def rotate_left(v: Vtree) -> Vtree | None:
 
 
 def _replace(root: Vtree, target: Vtree, replacement: Vtree) -> Vtree:
-    if root is target:
-        return replacement
-    if root.is_leaf:
-        return root
-    assert root.left is not None and root.right is not None
-    new_left = _replace(root.left, target, replacement)
-    new_right = _replace(root.right, target, replacement)
-    if new_left is root.left and new_right is root.right:
-        return root
-    return Vtree.internal(new_left, new_right)
+    """Rebuild ``root`` with ``target`` (an identity-matched node) swapped
+    for ``replacement``.  Iterative postorder: neighbor enumeration runs
+    on the deep right-linear vtrees of query lineages, where a recursive
+    rebuild would overflow the stack long before the search matters."""
+    result: dict[int, Vtree] = {}
+    for node in root.nodes():
+        if node is target:
+            result[id(node)] = replacement
+        elif node.is_leaf:
+            result[id(node)] = node
+        else:
+            assert node.left is not None and node.right is not None
+            new_left = result[id(node.left)]
+            new_right = result[id(node.right)]
+            if new_left is node.left and new_right is node.right:
+                result[id(node)] = node
+            else:
+                result[id(node)] = Vtree.internal(new_left, new_right)
+    return result[id(root)]
 
 
 def neighbors(root: Vtree) -> Iterator[Vtree]:

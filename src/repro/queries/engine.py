@@ -19,16 +19,26 @@ whole lifetime:
 
 The engine is also the *policy home* for the manager's garbage collector:
 every compiled root is pinned, :meth:`forget` releases one, and a
-``max_nodes`` session budget evicts least-recently-used queries and
-collects whenever the manager outgrows it — so a session can serve an
-unbounded stream of queries in bounded memory.
+``max_nodes`` session budget evicts compiled queries and collects whenever
+the manager outgrows it — so a session can serve an unbounded stream of
+queries in bounded memory.  Victims are picked size-aware by default
+(exclusive node footprint × staleness, so one huge cold lineage goes
+before five small warm ones); ``eviction_policy="lru"`` restores the pure
+recency order.
+
+It is the policy home for dynamic vtree minimization too:
+:meth:`minimize` runs the manager's in-place rotation/swap search and
+re-anchors every cached query root across the transformation, and
+``auto_minimize_nodes`` arms the same search as a watermark after
+compilations.
 
 Example::
 
-    engine = QueryEngine(db, max_nodes=50_000)
+    engine = QueryEngine(db, max_nodes=50_000, auto_minimize_nodes=30_000)
     engine.probability(parse_ucq("R(x),S(x,y)"))
     engine.probability(parse_ucq("S(x,y)"), exact=True)
     batch = engine.evaluate(queries, exact=True)
+    engine.minimize()                  # sift the vtree under the session
     engine.forget(old_query)           # release one pinned lineage
     engine.gc()                        # collect everything unpinned now
     engine.stats()                     # public counters, no private pokes
@@ -59,12 +69,23 @@ class QueryEngine:
     order of the first query it sees.
 
     ``max_nodes`` bounds the session: after each compilation, if the
-    manager's live node count exceeds it, least-recently-used compiled
-    queries are forgotten (their roots released) and the manager collected
-    until the budget holds again — the query just asked for is never
-    evicted.  ``None`` (the default) keeps every query forever, the
-    pre-GC behaviour.
+    manager's live node count exceeds it, compiled queries are forgotten
+    (their roots released) and the manager collected until the budget
+    holds again — the query just asked for is never evicted.  ``None``
+    (the default) keeps every query forever, the pre-GC behaviour.
+    ``eviction_policy`` picks the victims: ``"size-lru"`` (default) scores
+    each cached query by its exclusive node footprint × staleness and
+    evicts the most-expensive-least-recent first; ``"lru"`` is pure
+    recency order.
+
+    ``auto_minimize_nodes`` arms dynamic vtree minimization as a session
+    watermark: when a compilation leaves the manager above it, the engine
+    runs one :meth:`minimize` round (with 2× hysteresis).  Set it below
+    ``max_nodes`` so the vtree gets repaired before eviction starts
+    paying for it.
     """
+
+    _EVICTION_POLICIES = ("size-lru", "lru")
 
     def __init__(
         self,
@@ -72,11 +93,24 @@ class QueryEngine:
         *,
         vtree: Vtree | None = None,
         max_nodes: int | None = None,
+        auto_minimize_nodes: int | None = None,
+        eviction_policy: str = "size-lru",
     ):
         if max_nodes is not None and max_nodes <= 0:
             raise ValueError("max_nodes must be positive")
+        if auto_minimize_nodes is not None and auto_minimize_nodes <= 0:
+            raise ValueError("auto_minimize_nodes must be positive")
+        if eviction_policy not in self._EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction_policy {eviction_policy!r}; "
+                f"choose from {self._EVICTION_POLICIES}"
+            )
         self.db = db
         self.max_nodes = max_nodes
+        self.auto_minimize_nodes = auto_minimize_nodes
+        self.eviction_policy = eviction_policy
+        self._next_minimize_at = auto_minimize_nodes
+        self._minimize_runs = 0
         self._vtree = vtree
         self._manager: SddManager | None = SddManager(vtree) if vtree is not None else None
         self._roots: OrderedDict[UCQ, int] = OrderedDict()
@@ -135,7 +169,16 @@ class QueryEngine:
         mgr.pin(root)
         self._roots[query] = root
         self._collect_over_budget(keep=query)
-        return root
+        if (
+            self._next_minimize_at is not None
+            and mgr.live_node_count > self._next_minimize_at
+        ):
+            self.minimize(rounds=1)
+            assert self.auto_minimize_nodes is not None
+            self._next_minimize_at = max(
+                self.auto_minimize_nodes, 2 * mgr.live_node_count
+            )
+        return self._roots[query]
 
     def cached_root(self, query: UCQ) -> int | None:
         """The pinned root id of ``query`` if it is currently compiled,
@@ -248,21 +291,90 @@ class QueryEngine:
             return {"collected": 0, "live": 0, "free": 0, "generation": 0}
         return self._manager.gc(full=True)
 
+    def minimize(
+        self,
+        *,
+        budget: int | None = None,
+        max_growth: float = 1.5,
+        rounds: int = 2,
+    ) -> dict[int, int]:
+        """In-place dynamic vtree minimization for the whole session.
+
+        Runs :meth:`SddManager.minimize` (sifting rotations/swaps on the
+        live SDD — the objective is the union footprint of every cached
+        query, all of which the engine pins) and re-anchors the cached
+        roots across the transformation, so later :meth:`probability` /
+        :meth:`forget` / eviction calls keep working on the same queries.
+        Returns the move mapping (old→new node ids)."""
+        mgr = self._manager
+        if mgr is None:
+            return {}
+        mapping = mgr.minimize(budget=budget, max_growth=max_growth, rounds=rounds)
+        if mapping:
+            for q, r in self._roots.items():
+                self._roots[q] = mapping.get(r, r)
+        self._vtree = mgr.vtree
+        self._minimize_runs += 1
+        return mapping
+
+    def _eviction_order(self, keep: UCQ) -> list[UCQ]:
+        """Victim order for the budget sweep.
+
+        ``size-lru`` scores every cached query by ``(exclusive footprint
+        + 1) × staleness rank``: *exclusive* counts the decision nodes
+        reachable from that query's root and from no other cached root
+        (shared sub-lineages are free to keep, so they shouldn't condemn
+        their owners), staleness makes the oldest of equal-footprint
+        queries go first.  ``lru`` is insertion order (oldest first)."""
+        victims = [q for q in self._roots if q != keep]
+        if self.eviction_policy == "lru" or len(victims) <= 1:
+            return victims
+        mgr = self._manager
+        assert mgr is not None
+        owners: dict[int, int] = {}
+        reaches: list[set[int]] = []
+        for q in victims:
+            reach = mgr.reachable(self._roots[q])
+            reaches.append(reach)
+            for u in reach:
+                owners[u] = owners.get(u, 0) + 1
+        keep_root = self._roots.get(keep)
+        if keep_root is not None:
+            for u in mgr.reachable(keep_root):
+                owners[u] = owners.get(u, 0) + 1
+        n = len(victims)
+        scored = []
+        for age, (q, reach) in enumerate(zip(victims, reaches)):
+            exclusive = sum(
+                1
+                for u in reach
+                if owners[u] == 1 and u > 1 and mgr.node_kind[u] == "dec"
+            )
+            staleness = n - age  # oldest (first inserted) weighs most
+            scored.append((-(exclusive + 1) * staleness, age, q))
+        scored.sort()
+        return [q for _, _, q in scored]
+
     def _collect_over_budget(self, keep: UCQ) -> None:
-        """Evict LRU queries + collect until the ``max_nodes`` budget holds
-        (or only ``keep`` remains cached)."""
+        """Evict queries + collect until the ``max_nodes`` budget holds
+        (or only ``keep`` remains cached); victim order set by
+        ``eviction_policy`` (see :meth:`_eviction_order`)."""
         mgr = self._manager
         if mgr is None or self.max_nodes is None:
             return
         if mgr.live_node_count <= self.max_nodes:
             return
         # First try a plain collection: compilation garbage (intermediate
-        # gate results) often pays the whole bill without evicting anyone.
+        # gate results) often pays the whole bill without evicting anyone
+        # — and the size-aware victim scoring (a reachability sweep over
+        # every cached root) is only worth computing when it didn't.
         mgr.gc(full=True)
-        # Then evict LRU queries in geometrically growing batches (one
-        # mark-sweep per batch, O(log k) sweeps instead of one per
-        # eviction) until the budget holds or only ``keep`` remains.
-        victims = [q for q in self._roots if q != keep]
+        if mgr.live_node_count <= self.max_nodes:
+            return
+        # Then evict in geometrically growing batches (one mark-sweep per
+        # batch, O(log k) sweeps instead of one per eviction) until the
+        # budget holds or only ``keep`` remains.
+        victims = self._eviction_order(keep)
         i = 0
         batch = 1
         while mgr.live_node_count > self.max_nodes and i < len(victims):
@@ -276,17 +388,20 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | str]:
         """Public counters for the session's shared state.
 
         Includes the manager's table/cache/GC counters (prefixed as
-        reported by :meth:`SddManager.stats`) and the combined WMC memo
-        size; use this instead of reading private ``_and_cache`` /
-        ``_memo`` attributes.
+        reported by :meth:`SddManager.stats`), the combined WMC memo
+        size, the active ``eviction_policy`` (the one non-numeric entry)
+        and the minimization counters; use this instead of reading
+        private ``_and_cache`` / ``_memo`` attributes.
         """
-        out: dict[str, int] = {
+        out: dict[str, int | str] = {
             "queries_compiled": len(self._roots),
             "queries_evicted": self._evicted,
+            "eviction_policy": self.eviction_policy,
+            "minimize_runs": self._minimize_runs,
             "tuples": self.db.size,
         }
         if self._manager is not None:
@@ -299,6 +414,7 @@ class QueryEngine:
             out["pinned_roots"] = m["pinned_roots"]
             out["gc_runs"] = m["gc_runs"]
             out["collected_nodes"] = m["collected_nodes"]
+            out["vtree_moves"] = m["vtree_moves"]
         out["wmc_memo_entries"] = sum(
             ev.stats()["memo_entries"] for ev in self._evaluators.values()
         )

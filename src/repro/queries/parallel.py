@@ -139,8 +139,8 @@ class ParallelBatchEvaluation:
     workers: int
     mode: str
     vtree: Vtree
-    worker_stats: dict[int, dict[str, int]]  # shard index -> engine stats
-    stats: dict[str, int] = field(default_factory=dict)
+    worker_stats: dict[int, dict[str, int | str]]  # shard index -> engine stats
+    stats: dict[str, int | str] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -253,7 +253,7 @@ class ParallelQueryEngine:
         probabilities: list = [None] * len(qs)
         sizes: list = [0] * len(qs)
         roots: list = [None] * len(qs)
-        worker_stats: dict[int, dict[str, int]] = {}
+        worker_stats: dict[int, dict[str, int | str]] = {}
         for w, (results, shard_roots, stats) in zip(occupied, outputs):
             for idx, p, size in results:
                 probabilities[idx] = p
@@ -323,11 +323,18 @@ class ParallelQueryEngine:
         workers live and die with their batch)."""
         return dict(self._engines)
 
-    def _merge_stats(self, worker_stats: Sequence[dict[str, int]]) -> dict[str, int]:
-        merged: dict[str, int] = {}
+    def _merge_stats(
+        self, worker_stats: Sequence[dict[str, int | str]]
+    ) -> dict[str, int | str]:
+        merged: dict[str, int | str] = {}
         for stats in worker_stats:
             for k, v in stats.items():
-                merged[k] = merged.get(k, 0) + v
+                if isinstance(v, str):
+                    # Non-numeric stats (e.g. eviction_policy) don't sum;
+                    # workers are configured identically, pass one through.
+                    merged[k] = v
+                else:
+                    merged[k] = merged.get(k, 0) + v
         merged["tuples"] = self.db.size  # session-wide, not per-worker
         merged["workers"] = self.workers
         return merged

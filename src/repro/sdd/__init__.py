@@ -1,6 +1,6 @@
 """Apply-based SDD manager and circuit-level compilation helpers."""
 
-from .compile import compile_with_vtree, minimize_vtree_for_circuit
+from .compile import compile_with_vtree, minimize_vtree_for_circuit, minimize_vtree_fresh
 from .manager import SddManager, sdd_from_circuit
 from .wmc import (
     SddWmcEvaluator,

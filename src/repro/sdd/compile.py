@@ -2,15 +2,18 @@
 
 The truth-table-based :func:`repro.core.vtree_search.minimize_vtree` needs
 the full semantics of ``F``; lineages and other wide circuits don't have
-that luxury.  This module searches vtrees *at the manager level*: each
-candidate vtree gets a fresh :class:`SddManager`, the circuit is compiled
-by `apply`, and the measured size drives a hill climb over the same local
-operations (rotations/swaps).
+that luxury.  This module searches vtrees *at the manager level* — and
+since the manager now supports in-place rotations and swaps
+(:meth:`~repro.sdd.manager.SddManager.minimize`), the search compiles the
+circuit **once** and transforms the live SDD incrementally instead of
+recompiling it from scratch for every candidate neighbor.
+
+:func:`minimize_vtree_fresh` preserves the old fresh-manager-per-neighbor
+hill climb as the benchmark baseline (``benchmarks/bench_minimize.py``
+measures the speedup of the in-manager search against it).
 """
 
 from __future__ import annotations
-
-from typing import Callable, Sequence
 
 import numpy as np
 
@@ -19,7 +22,12 @@ from ..circuits.circuit import Circuit
 from ..core.vtree import Vtree
 from ..core.vtree_search import neighbors
 
-__all__ = ["compile_with_vtree", "minimize_vtree_for_circuit", "candidate_compilations"]
+__all__ = [
+    "compile_with_vtree",
+    "minimize_vtree_for_circuit",
+    "minimize_vtree_fresh",
+    "candidate_compilations",
+]
 
 
 def compile_with_vtree(circuit: Circuit, vtree: Vtree) -> tuple[SddManager, int, int]:
@@ -50,19 +58,65 @@ def minimize_vtree_for_circuit(
     max_neighbors: int | None = None,
     rng: np.random.Generator | None = None,
 ) -> tuple[int, Vtree]:
-    """Hill-climb the vtree for an apply-compiled circuit.
+    """Dynamic vtree search for an apply-compiled circuit — in-manager.
 
-    ``max_neighbors`` caps how many neighbors are evaluated per round (a
-    random sample when set) — compilation per candidate is the costly step
-    for large circuits.
+    One compilation, then up to ``max_rounds`` sifting rounds of live
+    rotations/swaps inside the manager; each round's cost is local moves
+    over the existing SDD, not ``|neighbors|`` full recompilations.
+
+    ``max_neighbors`` caps how many vtree nodes are sifted per round (a
+    random subsample when set).  One ``rng`` threads through *all* rounds
+    — successive rounds draw successive samples, never the same one.
+    Returns ``(best size, best vtree)`` like the fresh-manager search it
+    replaces (:func:`minimize_vtree_fresh`).
+    """
+    vs = sorted(map(str, circuit.variables))
+    t = start if start is not None else Vtree.balanced(vs)
+    mgr = SddManager(t)
+    root = mgr.pin(mgr.compile_circuit(circuit))
+    gen = rng if rng is not None else np.random.default_rng(0)
+    internal = [i for i in range(len(mgr.v_nodes)) if mgr.v_left[i] is not None]
+    best = mgr.size(root)
+    for _ in range(max_rounds):
+        order = None
+        if max_neighbors is not None and len(internal) > max_neighbors:
+            idx = gen.choice(len(internal), size=max_neighbors, replace=False)
+            order = [internal[int(i)] for i in idx]
+        mapping = mgr.minimize(rounds=1, node_order=order)
+        root = mapping.get(root, root)
+        size = mgr.size(root)
+        if size >= best:
+            break
+        best = size
+    return best, mgr.vtree
+
+
+def minimize_vtree_fresh(
+    circuit: Circuit,
+    start: Vtree | None = None,
+    max_rounds: int = 6,
+    max_neighbors: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, Vtree]:
+    """The recompile-per-neighbor hill climb (pre-dynamic-minimization).
+
+    Every candidate neighbor costs a full compilation in a fresh
+    :class:`SddManager` — O(|neighbors| × compile) per round.  Kept as the
+    baseline that ``benchmarks/bench_minimize.py`` measures the in-manager
+    search against; new code should use :func:`minimize_vtree_for_circuit`.
+
+    ``max_neighbors`` samples the neighborhood from ``rng``.  The
+    generator is created once and threads through every round (recreating
+    it per round — the old bug — made every round sample the *same*
+    neighbor indices).
     """
     vs = sorted(circuit.variables)
     t = start if start is not None else Vtree.balanced(vs)
     _, _, best_size = compile_with_vtree(circuit, t)
+    gen = rng if rng is not None else np.random.default_rng(0)
     for _ in range(max_rounds):
         candidates = list(neighbors(t))
         if max_neighbors is not None and len(candidates) > max_neighbors:
-            gen = rng if rng is not None else np.random.default_rng(0)
             idx = gen.choice(len(candidates), size=max_neighbors, replace=False)
             candidates = [candidates[int(i)] for i in idx]
         best_neighbor: tuple[int, Vtree] | None = None

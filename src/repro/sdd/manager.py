@@ -30,6 +30,14 @@ Two operational properties matter for long-running sessions:
   would silently corrupt results).  Nodes born since the previous
   collection are spared by default (*aging*), so callers holding fresh
   intermediate results get one grace generation.
+- **Dynamic vtree minimization.**  :meth:`rotate_left`, :meth:`rotate_right`
+  and :meth:`swap` transform the vtree *in place*: only the SDD nodes
+  normalized at the affected vtree nodes are re-partitioned (through the
+  unique table, so canonicity is preserved), pins travel with the returned
+  old→new id mapping, and every id-keyed cache is evicted coherently.
+  :meth:`minimize` is the sifting-style search driver over those moves —
+  the Choi–Darwiche flexibility the paper credits for SDDs' practical edge
+  over OBDDs, without ever recompiling the circuit.
 """
 
 from __future__ import annotations
@@ -55,15 +63,27 @@ class CompilationBudgetExceeded(RuntimeError):
 
 
 class SddManager:
-    """SDD manager for a fixed vtree.
+    """SDD manager over a vtree that :meth:`minimize` may rewrite in place.
 
     ``auto_gc_nodes`` arms :meth:`maybe_gc`: when the live node count
     exceeds the watermark, the next ``maybe_gc()`` call (a *safe point* —
     callers invoke it only when every root they care about is pinned)
     collects garbage.
+
+    ``auto_minimize_nodes`` arms mid-compilation dynamic vtree
+    minimization: when :meth:`compile_circuit` crosses the watermark it
+    pins its live intermediates, runs one :meth:`minimize` round, and
+    re-anchors them — with a 2× hysteresis so one compilation cannot
+    thrash the search.
     """
 
-    def __init__(self, vtree: Vtree, *, auto_gc_nodes: int | None = None):
+    def __init__(
+        self,
+        vtree: Vtree,
+        *,
+        auto_gc_nodes: int | None = None,
+        auto_minimize_nodes: int | None = None,
+    ):
         self.vtree = vtree
         # --- vtree tables -------------------------------------------------
         self.v_nodes: list[Vtree] = list(vtree.nodes())  # postorder
@@ -94,6 +114,14 @@ class SddManager:
                 self.v_interval[i] = (self.v_interval[li][0], self.v_interval[ri][1])
                 self.v_nvars[i] = self.v_nvars[li] + self.v_nvars[ri]
             self.v_lo[i], self.v_hi[i] = self.v_interval[i]
+        self.v_root: int = len(self.v_nodes) - 1  # stable across rotations
+        # Decision nodes normalized at each vtree node: the locality index
+        # the in-place vtree moves depend on (a rotation touches exactly
+        # these buckets), also kept coherent by gc.
+        self._vnode_members: list[set[int]] = [set() for _ in self.v_nodes]
+        # Live SDD size (total elements over live decisions), maintained
+        # incrementally so the minimization search never has to re-walk.
+        self._total_elements = 0
         # --- sdd node tables ----------------------------------------------
         # id 0 = FALSE, id 1 = TRUE; literals and decisions from 2 on.
         # Freed slots are recycled through _free_ids, so ids are NOT
@@ -116,6 +144,10 @@ class SddManager:
         self._neg_cache: dict[int, int] = {}
         # --- garbage collection -------------------------------------------
         self.auto_gc_nodes = auto_gc_nodes
+        self.auto_minimize_nodes = auto_minimize_nodes
+        self._next_minimize_at = auto_minimize_nodes
+        self._minimize_runs = 0
+        self._moves_applied = 0
         self._free_ids: list[int] = []
         self._pins: dict[int, int] = {}
         self._generation = 0
@@ -150,6 +182,13 @@ class SddManager:
         """Nodes currently allocated (constants + literals + live decisions)."""
         return len(self.node_kind) - len(self._free_ids)
 
+    @property
+    def live_size(self) -> int:
+        """Manager-wide SDD size: total element count over *all* live
+        decision nodes (per-root size is :meth:`size`).  Maintained
+        incrementally; the minimization search reads it after each move."""
+        return self._total_elements
+
     def _alloc(
         self,
         kind: str,
@@ -178,6 +217,10 @@ class SddManager:
             self.node_stamp.append(self._next_stamp)
             self.node_gen.append(self._generation)
         self._next_stamp += 1
+        if kind == "dec":
+            assert elements is not None
+            self._vnode_members[vnode].add(nid)
+            self._total_elements += len(elements)
         return nid
 
     def literal(self, var: str, sign: bool = True) -> int:
@@ -415,7 +458,12 @@ class SddManager:
         raise AssertionError("node does not fit under the requested vtree node")
 
     def _reduce(
-        self, items: list[int], is_and: bool, *, node_budget: int | None = None
+        self,
+        items: list[int],
+        is_and: bool,
+        *,
+        node_budget: int | None = None,
+        safepoint=None,
     ) -> int:
         """Balanced pairwise fold — on k operands whose supports form a
         chain this costs O(total size · log k) instead of the O(total
@@ -425,7 +473,10 @@ class SddManager:
         ``node_budget`` keeps :meth:`compile_circuit`'s budget binding even
         when chain absorption folds a whole circuit into one reduce call:
         it is re-checked before every pairwise apply (matching the old
-        per-gate granularity)."""
+        per-gate granularity).  ``safepoint`` is the ``auto_minimize``
+        hook at the same granularity: when the watermark trips it receives
+        every in-flight operand, may collect and rewrite the vtree, and
+        returns the operands re-anchored."""
         if not items:
             return _TRUE if is_and else _FALSE
         ap = self._apply
@@ -437,6 +488,14 @@ class SddManager:
                         f"node budget {node_budget} exceeded "
                         f"({self.live_node_count} nodes)"
                     )
+                if (
+                    safepoint is not None
+                    and self._next_minimize_at is not None
+                    and self.live_node_count > self._next_minimize_at
+                ):
+                    pending = safepoint(nxt + items[i:])
+                    nxt = pending[: len(nxt)]
+                    items[i:] = pending[len(nxt):]
                 nxt.append(ap(items[i], items[i + 1], is_and))
             if len(items) % 2:
                 nxt.append(items[-1])
@@ -522,6 +581,13 @@ class SddManager:
 
         ``node_budget`` caps the number of live manager nodes; exceeding it
         raises :class:`CompilationBudgetExceeded` (checked between gates).
+
+        With ``auto_minimize_nodes`` set, crossing the watermark between
+        gates triggers one in-place :meth:`minimize` round: the live
+        intermediate gate results are pinned, the vtree search runs, and
+        the intermediates are re-anchored through the move mapping — so a
+        compilation that starts blowing up under a bad vtree can repair
+        the vtree mid-flight instead of paying the blow-up to the end.
         """
         if circuit.output is None:
             raise ValueError("circuit has no output")
@@ -545,6 +611,10 @@ class SddManager:
         ]
         absorbed[circuit.output] = False
         vals: dict[int, int] = {}
+        safepoint = None
+        if self._next_minimize_at is not None:
+            def safepoint(extra: list[int]) -> list[int]:
+                return self._compile_safepoint(vals, extra)
         for gid in order:
             if absorbed[gid]:
                 continue
@@ -552,6 +622,12 @@ class SddManager:
                 raise CompilationBudgetExceeded(
                     f"node budget {node_budget} exceeded ({self.live_node_count} nodes)"
                 )
+            if (
+                safepoint is not None
+                and self._next_minimize_at is not None
+                and self.live_node_count > self._next_minimize_at
+            ):
+                safepoint([])
             gate = gates[gid]
             if gate.kind == VAR:
                 vals[gid] = self.literal(gate.payload, True)  # type: ignore[arg-type]
@@ -569,7 +645,8 @@ class SddManager:
                     else:
                         ops.append(vals[i])
                 vals[gid] = self._reduce(
-                    ops, gate.kind == AND, node_budget=node_budget
+                    ops, gate.kind == AND,
+                    node_budget=node_budget, safepoint=safepoint,
                 )
         return vals[circuit.output]
 
@@ -690,15 +767,18 @@ class SddManager:
             ]
         )
         live = self._live_set(young)
-        dead = [
-            w
-            for w in range(2, len(node_kind))
-            if w not in live and node_kind[w] == "dec"
-        ]
+        # Iterate the unique table, not the id range: every live decision
+        # is interned, so this is O(live) — the minimization driver
+        # collects after every move and must not pay O(capacity) each time.
+        dead = [w for w in self._dec_table.values() if w not in live]
         dead_set = set(dead)
         for w in dead:
-            key = (self.node_vnode[w], self.node_elements[w])
-            del self._dec_table[key]  # type: ignore[arg-type]
+            elems = self.node_elements[w]
+            assert elems is not None
+            key = (self.node_vnode[w], elems)
+            del self._dec_table[key]
+            self._vnode_members[self.node_vnode[w]].discard(w)
+            self._total_elements -= len(elems)
             node_kind[w] = "free"
             self.node_vnode[w] = -1
             self.node_elements[w] = None
@@ -741,6 +821,635 @@ class SddManager:
             neg.pop(k, None)
 
     # ------------------------------------------------------------------
+    # dynamic vtree minimization: in-place rotations and child swap
+    # ------------------------------------------------------------------
+    #
+    # The three local moves rewrite the *live* vtree tables and
+    # re-normalize only the SDD nodes whose vtree node changed partition:
+    #
+    # - ``rotate_right(v)``: ``(a b) c -> a (b c)`` — nodes at ``v`` and at
+    #   its old left child re-partition;
+    # - ``rotate_left(v)``:  ``a (b c) -> (a b) c`` — nodes at ``v`` and at
+    #   its old right child re-partition;
+    # - ``swap(v)``: children exchanged — nodes at ``v`` re-partition.
+    #
+    # Everything normalized *outside* those vtree nodes keeps its id,
+    # structure, and cached values: subtrees ``a``/``b``/``c`` are moved
+    # wholesale, so their canonical nodes stay canonical, and vtree-node
+    # *indices* are reused across the move (the rotated child keeps its
+    # index with a new variable interval) so ``node_vnode`` never needs a
+    # global rewrite.  Each move returns the old→new id mapping of the
+    # re-normalized nodes; pins travel with the mapping, parents
+    # referencing a remapped node are rewritten through the unique table,
+    # and the apply/negation caches plus registered WMC memos are evicted
+    # for the retired ids — the same coherence contract as :meth:`gc`.
+    #
+    # Re-normalization is *structure-directed*, never a generic apply over
+    # the fragment: one bucket re-interns verbatim at its new vtree node
+    # (a rotation leaves its element tuples well-formed under the new
+    # partition), and the other is rebuilt from its elements' own
+    # decompositions, so the only ``apply`` calls issued are confined to
+    # the child scopes — this is what makes a move orders of magnitude
+    # cheaper than recompiling, even near the root.
+
+    def rotate_right(self, v: int) -> dict[int, int] | None:
+        """In-place right rotation at vtree node index ``v``:
+        ``(a b) c -> a (b c)``.  Returns the old→new id mapping of the
+        re-normalized SDD nodes (``{}`` when none moved), or ``None`` when
+        the move does not apply (``v`` or its left child is a leaf)."""
+        y = self.v_left[v]
+        if y is None or self.v_left[y] is None:
+            return None
+        a, b = self.v_left[y], self.v_right[y]
+        c = self.v_right[v]
+        assert a is not None and b is not None and c is not None
+        bucket_x = self._affected((v,))
+        bucket_y = self._affected((y,))
+        self.v_left[v], self.v_right[v] = a, y
+        self.v_left[y], self.v_right[y] = b, c
+        self.v_parent[a] = v
+        self.v_parent[b] = y
+        self.v_parent[c] = y
+        lo, hi = self.v_lo[b], self.v_hi[c]
+        self.v_interval[y] = (lo, hi)
+        self.v_lo[y], self.v_hi[y] = lo, hi
+        self.v_nvars[y] = self.v_nvars[b] + self.v_nvars[c]
+        self._rebuild_vtree_objects(y)
+        self._refresh_wmc_vtrees()
+        self._moves_applied += 1
+        mapping: dict[int, int] = {}
+        # Old y-nodes (primes over a, subs over b) re-intern verbatim at
+        # x' = (a, (b c)): their primes still partition the left scope and
+        # their subs fit the wider right scope.
+        for u in bucket_y:
+            elems = self.node_elements[u]
+            assert elems is not None
+            mapping[u] = self._intern_decision(v, elems)
+        # Old x-nodes (primes over a∪b, subs over c): refine the a-space
+        # by the primes' own (a, b)-decompositions, and build each refined
+        # region's sub directly as a (b, c)-decision — within a region,
+        # the b-parts inherit the primes' disjointness and exhaustiveness.
+        for u in bucket_x:
+            elems = self.node_elements[u]
+            assert elems is not None
+            regions: list[tuple[int, list[tuple[int, int]]]] = [(_TRUE, [])]
+            for p, s in elems:
+                pairs = self._split_pairs(p, a, b, y)
+                out = []
+                for q, lst in regions:
+                    for aj, bj in pairs:
+                        if aj == _FALSE:
+                            continue
+                        q2 = self._apply(q, aj, True)
+                        if q2 == _FALSE:
+                            continue
+                        out.append((q2, lst + [(bj, s)]))
+                regions = out
+            new_elems = []
+            for q, lst in regions:
+                sub = self._decision(y, [(bj, s) for bj, s in lst])
+                new_elems.append((q, sub))
+            mapping[u] = self._decision(v, new_elems)
+        return self._finalize_move(v, mapping)
+
+    def rotate_left(self, v: int) -> dict[int, int] | None:
+        """In-place left rotation at vtree node index ``v``:
+        ``a (b c) -> (a b) c`` (the inverse of :meth:`rotate_right`)."""
+        y = self.v_right[v]
+        if y is None or self.v_left[y] is None:
+            return None
+        a = self.v_left[v]
+        b, c = self.v_left[y], self.v_right[y]
+        assert a is not None and b is not None and c is not None
+        bucket_x = self._affected((v,))
+        bucket_y = self._affected((y,))
+        self.v_left[v], self.v_right[v] = y, c
+        self.v_left[y], self.v_right[y] = a, b
+        self.v_parent[a] = y
+        self.v_parent[b] = y
+        self.v_parent[c] = v
+        lo, hi = self.v_lo[a], self.v_hi[b]
+        self.v_interval[y] = (lo, hi)
+        self.v_lo[y], self.v_hi[y] = lo, hi
+        self.v_nvars[y] = self.v_nvars[a] + self.v_nvars[b]
+        self._rebuild_vtree_objects(y)
+        self._refresh_wmc_vtrees()
+        self._moves_applied += 1
+        mapping: dict[int, int] = {}
+        # Old y-nodes (primes over b, subs over c) re-intern verbatim at
+        # x' = ((a b), c): b-primes partition the wider left scope too.
+        for u in bucket_y:
+            elems = self.node_elements[u]
+            assert elems is not None
+            mapping[u] = self._intern_decision(v, elems)
+        # Old x-nodes (primes over a, subs over b∪c): decompose each sub
+        # into (b, c) pairs; the new primes are the disjoint-scope
+        # conjunctions p ∧ b_j, built directly as (a, b)-decisions.
+        for u in bucket_x:
+            elems = self.node_elements[u]
+            assert elems is not None
+            new_elems = []
+            for p, s in elems:
+                for bj, cj in self._split_pairs(s, b, c, y):
+                    if bj == _FALSE:
+                        continue
+                    prime = self._conjoin_disjoint(y, p, bj)
+                    if prime == _FALSE:
+                        continue
+                    new_elems.append((prime, cj))
+            mapping[u] = self._decision(v, new_elems)
+        return self._finalize_move(v, mapping)
+
+    def swap(self, v: int) -> dict[int, int] | None:
+        """In-place child swap at vtree node index ``v`` (its own inverse).
+
+        Unlike the rotations this changes the left-to-right leaf order, so
+        the variable *intervals* of both child subtrees shift (whole
+        blocks, no SDD nodes inside them are touched); only the nodes
+        normalized at ``v`` itself re-partition."""
+        l = self.v_left[v]
+        if l is None:
+            return None
+        r = self.v_right[v]
+        assert r is not None
+        affected = self._affected((v,))
+        self.v_left[v], self.v_right[v] = r, l
+        # l occupied [L0, L1), r occupied [L1, R1); afterwards r sits at
+        # [L0, L0 + |r|) and l at [L0 + |r|, R1).
+        l1 = self.v_hi[l]
+        delta_l = self.v_hi[r] - l1
+        delta_r = self.v_lo[l] - l1
+        for sub, delta in ((l, delta_l), (r, delta_r)):
+            if delta == 0:
+                continue
+            stack = [sub]
+            while stack:
+                i = stack.pop()
+                self.v_interval[i] = (self.v_lo[i] + delta, self.v_hi[i] + delta)
+                self.v_lo[i], self.v_hi[i] = self.v_interval[i]
+                li, ri = self.v_left[i], self.v_right[i]
+                if li is not None:
+                    assert ri is not None
+                    stack.append(li)
+                    stack.append(ri)
+        self._rebuild_vtree_objects(v)
+        # No WMC refresh: every vtree node keeps its variable *set* (only
+        # the order changed), so subtree products and gap paths hold.
+        self._moves_applied += 1
+        mapping: dict[int, int] = {}
+        # Partition inversion by expansion: refine the new prime space (the
+        # old subs' scope) with each element's sub and its negation,
+        # accumulating the old primes on the other side.  All applies stay
+        # within the two child scopes.
+        for u in affected:
+            elems = self.node_elements[u]
+            assert elems is not None
+            regions: list[tuple[int, int]] = [(_TRUE, _FALSE)]
+            for p, s in elems:
+                ns = self.negate(s)
+                out = []
+                for q, t in regions:
+                    q1 = self._apply(q, s, True)
+                    if q1 != _FALSE:
+                        out.append((q1, self._apply(t, p, False)))
+                    q2 = self._apply(q, ns, True)
+                    if q2 != _FALSE:
+                        out.append((q2, t))
+                regions = out
+            mapping[u] = self._decision(v, regions)
+        return self._finalize_move(v, mapping)
+
+    def _affected(self, vnodes: tuple[int, ...]) -> list[int]:
+        """The decision nodes normalized at ``vnodes``, oldest first
+        (stamp order is topological, so re-normalizing in this order sees
+        every referenced node already mapped)."""
+        out: list[int] = []
+        for i in vnodes:
+            out.extend(self._vnode_members[i])
+        out.sort(key=self.node_stamp.__getitem__)
+        return out
+
+    def _rebuild_vtree_objects(self, start: int) -> None:
+        """Recreate the immutable :class:`Vtree` objects for ``start`` and
+        its ancestors after an index-table rewiring (children changed), so
+        ``v_nodes``/``v_index``/``self.vtree`` stay consistent with the
+        tables.  Uses the trusted constructor: disjointness is invariant
+        under reassociation of an already-validated tree."""
+        i: int | None = start
+        while i is not None:
+            old = self.v_nodes[i]
+            li, ri = self.v_left[i], self.v_right[i]
+            assert li is not None and ri is not None
+            new = Vtree.internal_trusted(self.v_nodes[li], self.v_nodes[ri])
+            del self.v_index[id(old)]
+            self.v_nodes[i] = new
+            self.v_index[id(new)] = i
+            i = self.v_parent[i]
+        self.vtree = self.v_nodes[self.v_root]
+
+    def _refresh_wmc_vtrees(self) -> None:
+        for cache in tuple(self._wmc_caches):
+            refresh = getattr(cache, "refresh_vtree", None)
+            if refresh is not None:
+                refresh()
+
+    def _split_pairs(
+        self, u: int, li: int, ri: int, at_idx: int
+    ) -> tuple[tuple[int, int], ...]:
+        """Decompose ``u`` (scope within the subtrees of ``li``/``ri``)
+        into ``(left_part, right_part)`` pairs whose left parts partition
+        the ``li`` scope.  ``at_idx`` is the internal vtree index the pair
+        ``(li, ri)`` hung under *before* the rewiring; nodes normalized
+        there decompose by their own (still-present) element tuples, so no
+        apply is ever needed."""
+        if u <= _TRUE:
+            return ((_TRUE, u),)
+        vu = self.node_vnode[u]
+        if vu == at_idx and self.node_kind[u] == "dec":
+            elems = self.node_elements[u]
+            assert elems is not None
+            return elems
+        lo, hi = self.v_lo[vu], self.v_hi[vu]
+        if self.v_lo[li] <= lo and hi <= self.v_hi[li]:
+            return ((u, _TRUE), (self.negate(u), _FALSE))
+        if self.v_lo[ri] <= lo and hi <= self.v_hi[ri]:
+            return ((_TRUE, u),)
+        raise AssertionError("node does not fit the split being rotated")
+
+    def _conjoin_disjoint(self, vnode: int, p: int, bj: int) -> int:
+        """``p ∧ bj`` for nodes with scopes under ``vnode``'s (new) left
+        and right child respectively — built as a decision directly, no
+        apply descent."""
+        if p == _TRUE:
+            return bj
+        if bj == _TRUE:
+            return p
+        if p == _FALSE or bj == _FALSE:
+            return _FALSE
+        return self._intern_decision(
+            vnode, tuple(sorted([(p, bj), (self.negate(p), _FALSE)]))
+        )
+
+    def _finalize_move(self, v: int, mapping: dict[int, int]) -> dict[int, int]:
+        """Retire the re-normalized nodes coherently: re-anchor referers,
+        transfer pins, free the stale ids, and evict every cache that
+        could resurrect them."""
+        # Defensive transitive closure: a mapping target that is itself a
+        # re-normalized (stale) id would dangle once retired.  Canonicity
+        # makes real chains impossible — two distinct live nodes never
+        # denote the same function under one vtree — but resolving them is
+        # cheap and turns a latent corruption into dead code.
+        for u in mapping:
+            m = mapping[u]
+            seen = {u}
+            while m in mapping and mapping[m] != m and m not in seen:
+                seen.add(m)
+                m = mapping[m]
+            mapping[u] = m
+        remapped = {u: m for u, m in mapping.items() if m != u}
+        if not remapped:
+            return remapped
+        self._rewrite_referers(v, remapped)
+        for old, new in remapped.items():
+            count = self._pins.pop(old, 0)
+            if count and new > _TRUE:
+                self._pins[new] = self._pins.get(new, 0) + count
+        dead = set(remapped)
+        for u in remapped:
+            elems = self.node_elements[u]
+            assert elems is not None
+            vn = self.node_vnode[u]
+            key = (vn, elems)
+            if self._dec_table.get(key) == u:
+                del self._dec_table[key]
+            self._vnode_members[vn].discard(u)
+            self._total_elements -= len(elems)
+            self.node_kind[u] = "free"
+            self.node_vnode[u] = -1
+            self.node_elements[u] = None
+        self._free_ids.extend(remapped)
+        # Op-cache entries created *during* the move only involve nodes
+        # that survive it (the transforms' applies never span a
+        # re-partitioned scope), but pre-move entries may name the ids
+        # just freed; dropping the caches wholesale is O(1), scanning them
+        # per move would be O(cache) — quadratic over a sift.  The WMC
+        # memos persist across moves and drop exactly the retired ids.
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._neg_cache.clear()
+        for cache in tuple(self._wmc_caches):
+            cache.evict(dead)
+        return remapped
+
+    def _rewrite_referers(self, v: int, remapped: dict[int, int]) -> None:
+        """Point every decision element at a remapped node to its new id.
+
+        A referencing node's vtree node strictly contains the fragment, so
+        only the buckets along ``v``'s ancestor path are scanned — this is
+        what keeps a move local.  Rewriting is structural: the referer
+        keeps its id, function and vtree node; its element tuple (and
+        hence its unique-table key) changes — and because the new element
+        ids can be *younger* than the referer, every touched node is
+        re-stamped (cascading up the path) to keep creation-stamp order
+        topological, the invariant all the linear sweeps sort by."""
+        # Seed with the replacement ids: anything now referencing them
+        # must become younger than they are.
+        restamped = set(remapped.values())
+        w = self.v_parent[v]
+        while w is not None:
+            for pi in self._vnode_members[w]:
+                elems = self.node_elements[pi]
+                assert elems is not None
+                rewrite = any(p in remapped or s in remapped for p, s in elems)
+                if not rewrite and not any(
+                    p in restamped or s in restamped for p, s in elems
+                ):
+                    continue
+                if rewrite:
+                    new_elems = tuple(sorted(
+                        (remapped.get(p, p), remapped.get(s, s)) for p, s in elems
+                    ))
+                    del self._dec_table[(w, elems)]
+                    assert (w, new_elems) not in self._dec_table, (
+                        "unique-table collision while re-anchoring a referer"
+                    )
+                    self._dec_table[(w, new_elems)] = pi
+                    self.node_elements[pi] = new_elems
+                self.node_stamp[pi] = self._next_stamp
+                self._next_stamp += 1
+                restamped.add(pi)
+            w = self.v_parent[w]
+
+    # ------------------------------------------------------------------
+    # minimization search driver
+    # ------------------------------------------------------------------
+    def vtree_postorder(self) -> list[int]:
+        """Current vtree node indices, children before parents.  Index
+        order itself stops being topological once in-place rotations have
+        run — sweeps over vtree indices must use this instead."""
+        out: list[int] = []
+        stack: list[tuple[int, bool]] = [(self.v_root, False)]
+        while stack:
+            i, expanded = stack.pop()
+            if expanded or self.v_left[i] is None:
+                out.append(i)
+            else:
+                right = self.v_right[i]
+                left = self.v_left[i]
+                assert left is not None and right is not None
+                stack.append((i, True))
+                stack.append((right, False))
+                stack.append((left, False))
+        return out
+
+    # Consecutive non-improving rotation steps tolerated before a sift
+    # walk gives up on its current direction.
+    _SIFT_STALL = 4
+    # Nodes whose element bucket exceeds this fraction of the live SDD
+    # (with an absolute floor for small managers) are not sifted.
+    _SIFT_FAT_FRAC = 0.25
+    _SIFT_FAT_FLOOR = 48
+
+    def _move(self, name: str, v: int) -> dict[int, int] | None:
+        if name == "rotate-left":
+            return self.rotate_left(v)
+        if name == "rotate-right":
+            return self.rotate_right(v)
+        if name == "swap":
+            return self.swap(v)
+        raise ValueError(f"unknown vtree move {name!r}")
+
+
+    def minimize(
+        self,
+        *,
+        budget: int | None = None,
+        max_growth: float = 1.5,
+        rounds: int = 2,
+        node_order: Sequence[int] | None = None,
+        target_size: int | None = None,
+    ) -> dict[int, int]:
+        """Sifting-style dynamic vtree search over the live SDD.
+
+        Walks the internal vtree nodes (thinnest element buckets first —
+        cheap moves carry most of the improvement; buckets holding a
+        large share of the SDD are skipped outright, a move there costs
+        about a recompile) and
+        *sifts* each one: rotates as far right as the tree allows, then as
+        far left, measuring the pinned SDD size after every move, and
+        settles on the best position seen; a child swap is then kept iff
+        it improves further.  Moves whose size exceeds ``max_growth ×``
+        the node's starting size cut the walk short and are rolled back —
+        exploration may pass through worse shapes, but never runs away.
+
+        The optimization objective is the footprint of the *pinned*
+        roots: the driver runs a full collection after every move (O(live)
+        — the incremental size counter then *is* the pinned footprint), so
+        anything unpinned is garbage to it.  Pin what you care about
+        first; the managed paths (``QueryEngine``, the apply backend,
+        ``compile_circuit``'s watermark) always do.
+
+        ``budget`` caps the number of exploration moves (rollback moves
+        needed to restore the best shape are always allowed, so the search
+        never strands the tree in a worse position).  ``rounds`` bounds
+        the number of full passes; the search stops early at a fixpoint.
+        ``node_order`` restricts a pass to the given vtree node indices
+        (the circuit-level search uses this to subsample).  ``target_size``
+        makes the search *anytime*: it returns as soon as the pinned size
+        reaches the target (used to measure time-to-quality against the
+        recompile-per-neighbor baseline).
+
+        Returns the composed old→new id mapping over every move applied —
+        callers holding node ids (including ids pinned on their behalf)
+        must re-anchor through it, e.g. ``root = m.get(root, root)``.
+        """
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        if max_growth < 1.0:
+            raise ValueError("max_growth must be >= 1.0")
+        composed: dict[int, int] = {}
+        moves = 0
+
+        def apply_move(name: str, v: int) -> bool:
+            nonlocal moves
+            before = self.live_node_count
+            m = self._move(name, v)
+            if m is None:
+                return False
+            moves += 1
+            for k in composed:
+                composed[k] = m.get(composed[k], composed[k])
+            for k, val in m.items():
+                if k not in composed:
+                    composed[k] = val
+            # Collect immediately: leftover re-normalization garbage would
+            # otherwise swell the vnode buckets and every later move would
+            # re-normalize it again (quadratic over a sift walk).  With the
+            # op caches reset by the move itself this is O(live); a move
+            # that allocated and retired nothing made no garbage either.
+            if m or self.live_node_count != before:
+                self.gc(full=True)
+            return True
+
+        def can_explore() -> bool:
+            return budget is None or moves < budget
+
+        self.gc(full=True)
+        size = self._total_elements
+        if target_size is not None and size <= target_size:
+            return composed
+        for _ in range(rounds):
+            round_start = size
+            if node_order is not None:
+                order = [i for i in node_order if self.v_left[i] is not None]
+            else:
+                order = [
+                    i for i in range(len(self.v_nodes))
+                    if self.v_left[i] is not None
+                ]
+            # Thinnest element buckets first: their moves are cheapest
+            # (re-normalization cost is the bucket size) and empirically
+            # carry most of the improvement — high-width shapes keep their
+            # fat near the root, where a move approaches a recompile and
+            # rarely pays.  Cheap wins land first, making the search a
+            # good anytime algorithm.
+            order.sort(
+                key=lambda i: sum(
+                    len(self.node_elements[u] or ())
+                    for u in self._vnode_members[i]
+                )
+            )
+            for v in order:
+                if not can_explore():
+                    break
+                bucket = sum(
+                    len(self.node_elements[u] or ())
+                    for u in self._vnode_members[v]
+                )
+                # A bucket holding a large share of the whole SDD makes
+                # every move there cost about a recompile (the exact
+                # thing in-manager search exists to avoid) and such moves
+                # essentially never pay; leave those nodes alone.
+                if bucket > max(self._SIFT_FAT_FLOOR, self._SIFT_FAT_FRAC * size):
+                    continue
+                size = self._sift_node(
+                    v, size, can_explore, apply_move, max_growth, target_size
+                )
+                if target_size is not None and size <= target_size:
+                    self._minimize_runs += 1
+                    return composed
+            self._minimize_runs += 1
+            if size >= round_start or not can_explore():
+                break
+        return composed
+
+    def _sift_node(self, v, size, can_explore, apply_move, max_growth, target=None):
+        """Sift one vtree node through its rotation positions (then try a
+        swap) and settle on the smallest shape seen.  Returns the pinned
+        size at the settled shape.  With an anytime ``target``, stops *in
+        place* the moment any explored shape reaches it."""
+        base = size
+        best_pos, best_size = 0, size
+        for name, step in (("rotate-right", 1), ("rotate-left", -1)):
+            pos = 0
+            stalled = 0
+            while can_explore() and apply_move(name, v):
+                pos += step
+                size = self._total_elements
+                if target is not None and size <= target:
+                    return size
+                if size < best_size:
+                    best_size, best_pos = size, pos
+                    stalled = 0
+                else:
+                    stalled += 1
+                # Two stop rules, both standard sifting practice: hard
+                # growth cap, and bail after a non-improving streak (the
+                # tail of a long walk almost never recovers within the
+                # growth bound, but costs a re-normalization per step).
+                if size > max_growth * base or stalled >= self._SIFT_STALL:
+                    break
+            back = "rotate-left" if step == 1 else "rotate-right"
+            while pos != 0:
+                applied = apply_move(back, v)
+                assert applied, "rotation rollback must always apply"
+                pos -= step
+        if best_pos:
+            name = "rotate-right" if best_pos > 0 else "rotate-left"
+            for _ in range(abs(best_pos)):
+                applied = apply_move(name, v)
+                assert applied, "replaying the best rotation walk must apply"
+        size = self._total_elements
+        if can_explore() and apply_move("swap", v):
+            swapped = self._total_elements
+            if swapped < size or (target is not None and swapped <= target):
+                size = swapped
+            else:
+                applied = apply_move("swap", v)
+                assert applied, "swap is its own inverse"
+                size = self._total_elements
+        return size
+
+    def _compile_safepoint(self, vals: dict[int, int], extra: list[int]) -> list[int]:
+        """One minimization round at the ``auto_minimize_nodes`` watermark:
+        pin every live intermediate (the gate results in ``vals`` and the
+        in-flight reduce operands in ``extra``) so the driver's collections
+        cannot sweep them, search, and re-anchor everything through the
+        move mapping (``vals`` in place, ``extra`` returned).  The
+        watermark then backs off to twice the post-search size so one
+        compilation cannot thrash the search."""
+        for u in vals.values():
+            self.pin(u)
+        for u in extra:
+            self.pin(u)
+        mapping = self.minimize(rounds=1)
+        new_extra = [mapping.get(u, u) for u in extra]
+        for gid, u in list(vals.items()):
+            vals[gid] = mapping.get(u, u)
+        for u in vals.values():
+            self.release(u)
+        for u in new_extra:
+            self.release(u)
+        assert self.auto_minimize_nodes is not None
+        self._next_minimize_at = max(
+            self.auto_minimize_nodes, 2 * self.live_node_count
+        )
+        return new_extra
+
+    def check_unique_table(self) -> None:
+        """Verify unique-table canonicity after moves/rollbacks: every live
+        decision is interned under exactly its ``(vnode, elements)`` key,
+        no duplicates, and the incremental size/membership counters agree
+        with the tables.  Test/debug aid; O(live nodes)."""
+        decisions = [
+            u for u in range(2, len(self.node_kind)) if self.node_kind[u] == "dec"
+        ]
+        if len(self._dec_table) != len(decisions):
+            raise AssertionError(
+                f"unique table has {len(self._dec_table)} entries for "
+                f"{len(decisions)} live decisions"
+            )
+        total = 0
+        for u in decisions:
+            elems = self.node_elements[u]
+            assert elems is not None
+            if self._dec_table.get((self.node_vnode[u], elems)) != u:
+                raise AssertionError(f"decision {u} not interned under its key")
+            if u not in self._vnode_members[self.node_vnode[u]]:
+                raise AssertionError(f"decision {u} missing from its vnode bucket")
+            total += len(elems)
+        if total != self._total_elements:
+            raise AssertionError(
+                f"incremental size {self._total_elements} != measured {total}"
+            )
+        member_count = sum(len(s) for s in self._vnode_members)
+        if member_count != len(decisions):
+            raise AssertionError(
+                f"vnode buckets hold {member_count} ids for "
+                f"{len(decisions)} live decisions"
+            )
+
+    # ------------------------------------------------------------------
     # measures / queries
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
@@ -764,6 +1473,9 @@ class SddManager:
             "gc_runs": self._gc_runs,
             "collected_nodes": self._collected_total,
             "generation": self._generation,
+            "live_size": self._total_elements,
+            "minimize_runs": self._minimize_runs,
+            "vtree_moves": self._moves_applied,
             "and_cache_entries": len(self._and_cache),
             "or_cache_entries": len(self._or_cache),
             "neg_cache_entries": len(self._neg_cache),

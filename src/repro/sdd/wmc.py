@@ -79,24 +79,41 @@ class SddWmcEvaluator:
         if missing:
             raise ValueError(f"weights missing for variables: {sorted(missing)[:5]}")
         self.weights = {v: weights[v] for v in mgr.vtree.variables}
-        # Product of (w_neg + w_pos) over the variables under each vtree
-        # node, bottom-up (v_nodes is postorder: children precede parents).
+        self._rebuild_vtree_tables()
+        self._memo: dict[int, object] = {}
+        # The memo is keyed by node id; register for eviction (and for
+        # vtree refresh after in-place rotations) so the manager can keep
+        # this cache coherent across gc and minimization.
+        register = getattr(mgr, "register_wmc_cache", None)
+        if register is not None:
+            register(self)
+
+    def _rebuild_vtree_tables(self) -> None:
+        """Product of (w_neg + w_pos) over the variables under each vtree
+        node, children before parents.  Uses the manager's current
+        postorder — index order itself stops being topological once
+        in-place vtree rotations have run."""
+        mgr = self.mgr
+        postorder = getattr(mgr, "vtree_postorder", None)
+        order = postorder() if postorder is not None else range(len(mgr.v_nodes))
         prod: list = [1] * len(mgr.v_nodes)
-        for i, v in enumerate(mgr.v_nodes):
+        for i in order:
+            v = mgr.v_nodes[i]
             if v.is_leaf:
                 w0, w1 = self.weights[v.var]
                 prod[i] = w0 + w1
             else:
                 prod[i] = prod[mgr.v_left[i]] * prod[mgr.v_right[i]]
         self._subtree_prod = prod
-        self._root_vnode = len(mgr.v_nodes) - 1
+        self._root_vnode = getattr(mgr, "v_root", len(mgr.v_nodes) - 1)
         self._gap_cache: dict[tuple[int, int], object] = {}
-        self._memo: dict[int, object] = {}
-        # The memo is keyed by node id; register for eviction so the
-        # manager's gc cannot recycle an id underneath a stale entry.
-        register = getattr(mgr, "register_wmc_cache", None)
-        if register is not None:
-            register(self)
+
+    def refresh_vtree(self) -> None:
+        """Called by the manager after an in-place rotation changed a vtree
+        node's variable scope.  Memoized node values survive — a live
+        node's own vtree scope never changes across a move — but the
+        per-vnode subtree products and gap paths must be rebuilt."""
+        self._rebuild_vtree_tables()
 
     # ------------------------------------------------------------------
     def _gap(self, outer: int, inner: int):

@@ -1,0 +1,120 @@
+"""QueryEngine dynamic-minimization and size-aware eviction policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.database import complete_database
+from repro.queries.engine import QueryEngine
+from repro.queries.syntax import parse_ucq
+
+QUERIES = [
+    "R(x),S(x,y)",
+    "S(x,y)",
+    "S(x,1)",
+    "R(x),S(x,x) | S(x,y),R(y)",
+]
+
+
+def make_engine(**kw):
+    db = complete_database({"R": 1, "S": 2}, 3, p=0.4)
+    return QueryEngine(db, **kw), [parse_ucq(s) for s in QUERIES]
+
+
+class TestEngineMinimize:
+    def test_minimize_preserves_probabilities_and_reanchors_roots(self):
+        engine, queries = make_engine()
+        before = {q: engine.probability(q, exact=True) for q in queries}
+        mapping = engine.minimize()
+        assert engine.stats()["minimize_runs"] == 1
+        for q in queries:
+            root = engine.cached_root(q)
+            assert root is not None
+            mgr = engine.manager
+            assert mgr is not None and mgr.node_kind[root] != "free"
+            # cache hit (no recompilation), bit-identical exact value
+            assert engine.probability(q, exact=True) == before[q]
+        assert isinstance(mapping, dict)
+        # the session vtree tracks the manager's rewritten one
+        assert engine.vtree is engine.manager.vtree
+
+    def test_minimize_then_forget_and_recompile(self):
+        engine, queries = make_engine()
+        p0 = engine.probability(queries[0], exact=True)
+        engine.minimize()
+        assert engine.forget(queries[0]) is True
+        assert engine.cached_root(queries[0]) is None
+        engine.gc()
+        assert engine.probability(queries[0], exact=True) == p0
+
+    def test_minimize_before_any_query_is_a_noop(self):
+        engine, _ = make_engine()
+        assert engine.minimize() == {}
+
+    def test_auto_minimize_watermark(self):
+        engine, queries = make_engine(auto_minimize_nodes=1)
+        plain, _ = make_engine()
+        for q in queries:
+            assert engine.probability(q, exact=True) == plain.probability(
+                q, exact=True
+            )
+        assert engine.stats()["minimize_runs"] >= 1
+
+    def test_auto_minimize_rejects_nonpositive(self):
+        db = complete_database({"R": 1}, 2, p=0.5)
+        with pytest.raises(ValueError, match="auto_minimize_nodes"):
+            QueryEngine(db, auto_minimize_nodes=0)
+
+    def test_evaluate_batch_after_minimize_matches_serial(self):
+        engine, queries = make_engine()
+        expected = [engine.probability(q, exact=True) for q in queries]
+        engine.minimize()
+        batch = engine.evaluate(queries, exact=True)
+        assert batch.probabilities == expected
+
+
+class TestEvictionPolicy:
+    def test_policy_validated_and_exposed(self):
+        db = complete_database({"R": 1}, 2, p=0.5)
+        assert QueryEngine(db).stats()["eviction_policy"] == "size-lru"
+        assert QueryEngine(db, eviction_policy="lru").stats()["eviction_policy"] == "lru"
+        with pytest.raises(ValueError, match="eviction_policy"):
+            QueryEngine(db, eviction_policy="random")
+
+    def test_size_aware_order_prefers_big_cold_victims(self):
+        """The size-lru policy must evict one huge cold lineage before the
+        small queries that merely happen to be older."""
+        engine, _ = make_engine()
+        small_old = parse_ucq("R(1)")  # single-tuple lineage: no decisions
+        big = parse_ucq("S(x,y)")      # full 9-tuple disjunction
+        fresh = parse_ucq("R(2)")
+        engine.probability(small_old)
+        engine.probability(big)
+        engine.probability(fresh)
+        order = engine._eviction_order(keep=fresh)
+        assert order[0] == big
+        # pure LRU picks the oldest regardless of footprint
+        engine.eviction_policy = "lru"
+        assert engine._eviction_order(keep=fresh)[0] == small_old
+
+    def test_budget_sweep_answers_identical_across_policies(self):
+        results = {}
+        for policy in ("size-lru", "lru"):
+            engine, queries = make_engine(max_nodes=60, eviction_policy=policy)
+            probs = []
+            for _ in range(2):
+                probs.extend(engine.probability(q, exact=True) for q in queries)
+            results[policy] = probs
+            assert engine.stats()["queries_evicted"] > 0
+        assert results["size-lru"] == results["lru"]
+
+    def test_size_aware_eviction_keeps_shared_structure_cheap(self):
+        """Nodes shared with other cached queries (or with the protected
+        query) are not charged to any victim's exclusive footprint."""
+        engine, queries = make_engine()
+        for q in queries:
+            engine.probability(q)
+        keep = queries[-1]
+        order = engine._eviction_order(keep=keep)
+        assert keep not in order
+        assert set(order) == set(queries[:-1])
