@@ -2,12 +2,12 @@
 
 Usage::
 
-    python -m repro.cli compile "(a & b) | c" [--backend canonical|apply|obdd]
+    python -m repro.cli compile "(a & b) | c" [--backend canonical|apply|obdd|ddnnf|race]
                                               [--strategy lemma1|natural|balanced|best-of|dynamic|...]
                                               [--minimize]
                                               [--vtree balanced|right|left|search]
     python -m repro.cli ctw "x & ~y" [--max-gates 4]
-    python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5] [--backend obdd|sdd]
+    python -m repro.cli query "R(x),S(x,y)" --domain 3 [--prob 0.5] [--backend obdd|sdd|ddnnf]
     python -m repro.cli batch "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
     python -m repro.cli engine "R(x),S(x,y); S(x,y)" --domain 3 [--prob 0.5] [--exact]
                                                     [--max-nodes 50000]
@@ -63,6 +63,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print("--minimize requires --backend apply (in-place vtree "
               "minimization is manager-backed)", file=sys.stderr)
         return 1
+    if args.strategy is None and args.backend in ("ddnnf", "race"):
+        # The d-DNNF build is decomposition-driven (the vtree is recorded
+        # but unused) and the race only needs one cheap vtree choice, so
+        # default these backends onto the facade path.
+        args.strategy = "natural"
     if args.strategy is not None or args.minimize:
         strategy = args.strategy if args.strategy is not None else "best-of"
         compiled = Compiler(
@@ -77,6 +82,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         )
         if compiled.decomposition_width is not None:
             print(f"decomposition width: {compiled.decomposition_width}")
+        stats = compiled.stats()
+        if "friendly_width" in stats:
+            print(f"friendly decomposition: width {stats['friendly_width']}, "
+                  f"{stats.get('bags_forget', 0)} responsible bags, "
+                  f"peak {stats.get('states_peak', 0)} states/bag")
         print(f"models: {compiled.model_count()} / 2^{len(vs)}")
         return 0
     if args.backend == "obdd":
@@ -166,19 +176,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         mgr, root = compile_lineage_sdd(q, db)
         p = sdd_probability(mgr, root, db.probability_map(), exact=args.exact)
-        form = "SDD"
+        form, width, size = "SDD", mgr.width(root), mgr.size(root)
+    elif args.backend == "ddnnf":
+        from .dnnf.wmc import probability as dnnf_probability
+        from .queries.compile import compile_lineage_ddnnf
+
+        r = compile_lineage_ddnnf(q, db)
+        p = dnnf_probability(r.dag, r.root, db.probability_map(), exact=args.exact)
+        form, width, size = "d-DNNF", r.width, r.size
     else:
         mgr, root = compile_lineage_obdd(q, db)
         p = probability_via_obdd(q, db)
-        form = "OBDD"
+        form, width, size = "OBDD", mgr.width(root), mgr.size(root)
     report(
         f"query: {q}",
         ["property", "value"],
         [
             ["inversion", "none" if inv is None else f"length {inv.length}"],
             ["tuples", db.size],
-            [f"lineage {form} width", mgr.width(root)],
-            [f"lineage {form} size", mgr.size(root)],
+            [f"lineage {form} width", width],
+            [f"lineage {form} size", size],
             ["P(q)", str(p) if args.exact else f"{p:.6f}"],
         ],
     )
@@ -311,9 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("query")
     q.add_argument("--domain", type=int, default=2)
     q.add_argument("--prob", type=float, default=0.5)
-    q.add_argument("--backend", choices=["obdd", "sdd"], default="obdd")
+    q.add_argument("--backend", choices=["obdd", "sdd", "ddnnf"], default="obdd")
     q.add_argument("--exact", action="store_true",
-                   help="exact Fraction probability (sdd backend only)")
+                   help="exact Fraction probability (sdd/ddnnf backends)")
     q.set_defaults(fn=_cmd_query)
 
     b = sub.add_parser("batch", help="evaluate a ';'-separated UCQ workload "

@@ -5,8 +5,9 @@ with pluggable realizations.  This package is its single front door:
 
 - :class:`Compiler` — ``Compiler(backend=..., strategy=...).compile(circuit)``;
 - the **backend registry** (:mod:`~repro.compiler.backends`):
-  ``canonical`` / ``apply`` / ``obdd``, each returning a uniform
-  :class:`~repro.compiler.backends.Compiled`;
+  ``canonical`` / ``apply`` / ``obdd`` / ``ddnnf`` (bag-by-bag d-DNNF,
+  PR 6) / ``race`` (compile several backends, keep the best), each
+  returning a uniform :class:`~repro.compiler.backends.Compiled`;
 - the **vtree-strategy registry** (:mod:`~repro.compiler.strategies`):
   ``lemma1`` (± ``-exact`` / ``-heuristic``), ``natural``, ``balanced``,
   the racing ``best-of``, and ``dynamic`` (seed with ``best-of``, then
@@ -22,7 +23,9 @@ from .backends import (
     CanonicalBackend,
     Compiled,
     CompilationBackend,
+    DdnnfBackend,
     ObddBackend,
+    RaceBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -50,6 +53,8 @@ __all__ = [
     "CanonicalBackend",
     "ApplyBackend",
     "ObddBackend",
+    "DdnnfBackend",
+    "RaceBackend",
     "register_backend",
     "get_backend",
     "available_backends",

@@ -18,12 +18,20 @@ Registered backends:
   vtree's left-to-right leaf order (OBDDs are the canonical SDDs of
   right-linear vtrees, so for linear vtrees this is the same object in the
   paper's sense).
+- ``ddnnf`` — bag-by-bag d-DNNF compilation straight from a friendly tree
+  decomposition of the circuit (:mod:`repro.dnnf`, arXiv 1811.02944 §5.1);
+  no apply calls, no :class:`SddManager` — the only backend whose cost is
+  a single ``O(2^{O(w)}·n)`` pass instead of an apply cascade.
+- ``race`` — compiles several candidate backends on the same vtree choice
+  and keeps the best result (:class:`RaceBackend`); the backend-level
+  counterpart of the ``best-of`` *vtree* race.
 """
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
-from typing import Callable, Mapping, Protocol, runtime_checkable
+from typing import Callable, Mapping, Protocol, Sequence, runtime_checkable
 
 from ..circuits.circuit import Circuit
 from ..core.vtree import Vtree
@@ -37,6 +45,10 @@ __all__ = [
     "CanonicalBackend",
     "ApplyBackend",
     "ObddBackend",
+    "DdnnfBackend",
+    "DdnnfCompiled",
+    "RaceBackend",
+    "RacedCompiled",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -314,6 +326,98 @@ class ObddCompiled(_CompiledBase):
         return self.manager.stats()
 
 
+class DdnnfCompiled(_CompiledBase):
+    """Result of the bag-by-bag d-DNNF compilation; exposes ``dag``,
+    ``root`` and ``result`` (the :class:`~repro.dnnf.builder.DdnnfResult`)
+    for callers that want the raw handles.
+
+    The ``vtree`` attribute is the strategy's choice, kept for protocol
+    compliance only — this backend compiles from its *own* friendly tree
+    decomposition of the circuit's gate graph, never from the vtree.
+    """
+
+    backend = "ddnnf"
+
+    def __init__(self, circuit, vtree, decomposition_width, strategy, *, result):
+        super().__init__(circuit, vtree, decomposition_width, strategy)
+        self.result = result
+        self.dag = result.dag
+        self.root = result.root
+        self._evaluator = None
+
+    @property
+    def size(self) -> int:
+        return self.result.size
+
+    @property
+    def width(self) -> int:
+        return self.result.width
+
+    def model_count(self) -> int:
+        from ..dnnf.wmc import model_count as dnnf_model_count
+
+        # Smoothness makes the root mention exactly the circuit's
+        # variables, so no extras shifting is needed (the scope argument
+        # covers degenerate circuits whose output ignores some variable
+        # gate — those still count free, matching the other backends).
+        return dnnf_model_count(self.dag, self.root, self.circuit.variables)
+
+    def probability(self, prob, *, exact: bool = False):
+        from ..dnnf.wmc import probability as dnnf_probability
+
+        # Variables beyond the root's scope marginalize out for free; no
+        # _fill_extra needed.
+        return dnnf_probability(self.dag, self.root, prob, exact=exact)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return self.dag.evaluate(self.root, assignment)
+
+    def stats(self) -> dict[str, int]:
+        return self.result.stats()
+
+
+class RacedCompiled(_CompiledBase):
+    """The winner of a backend race, plus the race log.
+
+    Every uniform accessor delegates to the winning backend's ``Compiled``
+    (available as ``winner``); :meth:`stats` merges the winner's counters
+    with per-candidate ``race_size_*`` / ``race_us_*`` / ``race_won_*``
+    entries so best-of race logs stay comparable across backends — all
+    plain ints, per the public-stats convention.
+    """
+
+    backend = "race"
+
+    def __init__(self, winner: Compiled, race_log: dict[str, int]):
+        super().__init__(
+            winner.circuit, winner.vtree, winner.decomposition_width, winner.strategy
+        )
+        self.winner = winner
+        self.race_log = race_log
+
+    @property
+    def size(self) -> int:
+        return self.winner.size
+
+    @property
+    def width(self) -> int:
+        return self.winner.width
+
+    def model_count(self) -> int:
+        return self.winner.model_count()
+
+    def probability(self, prob, *, exact: bool = False):
+        return self.winner.probability(prob, exact=exact)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return self.winner.evaluate(assignment)
+
+    def stats(self) -> dict[str, int]:
+        out = self.winner.stats()
+        out.update(self.race_log)
+        return out
+
+
 # ----------------------------------------------------------------------
 # concrete backends
 # ----------------------------------------------------------------------
@@ -371,6 +475,84 @@ class ObddBackend:
         )
 
 
+class DdnnfBackend:
+    """Backend four: compile the circuit's gate graph bag by bag.
+
+    Ignores the supplied vtree for compilation (it is recorded on the
+    result for protocol compliance only) — the d-DNNF construction works
+    on a friendly tree decomposition computed here with the same selection
+    rule as the Lemma-1 pipeline (exact treewidth DP for tiny graphs,
+    elimination heuristics otherwise).
+    """
+
+    name = "ddnnf"
+
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+        from ..dnnf.builder import build_ddnnf
+
+        result = build_ddnnf(circuit)
+        return DdnnfCompiled(
+            circuit, vtree, decomposition_width, strategy, result=result
+        )
+
+
+class RaceBackend:
+    """Race candidate *backends* on one vtree choice; keep the best result.
+
+    The backend-level sibling of :class:`~repro.compiler.strategies.
+    BestOfStrategy`: where best-of races vtrees under one backend, this
+    races backends under one vtree.  The two compose —
+    ``Compiler(backend=("apply", "ddnnf"), strategy="best-of")`` first
+    races vtrees (apply-costed), then races the winning vtree across
+    backends.
+
+    Every candidate fully compiles (sizes across representations are not
+    comparable mid-flight the way manager node counts are in the vtree
+    race, so there is no early abandon); ranking is by compiled size, then
+    wall-clock.  A losing ``apply`` result releases its pinned root so the
+    losing manager stays collectable.  The ``best-of`` trial, if any, is
+    offered to the ``apply`` candidate only — exactly one owner, as in the
+    vtree race's handoff rules.
+    """
+
+    name = "race"
+
+    def __init__(self, candidates: Sequence[str] = ("apply", "ddnnf")):
+        if not candidates:
+            raise ValueError("race needs at least one candidate backend")
+        self.candidates = tuple(candidates)
+        for cand in self.candidates:
+            if cand == self.name:
+                raise ValueError("race cannot race itself")
+
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+        results: list[tuple[tuple[int, int], str, Compiled]] = []
+        race_log: dict[str, int] = {}
+        for cand in self.candidates:
+            backend = get_backend(cand)
+            start = time.perf_counter()
+            compiled = backend.compile(
+                circuit,
+                vtree,
+                decomposition_width=decomposition_width,
+                strategy=strategy,
+                trial=trial if cand == "apply" else None,
+            )
+            elapsed_us = int((time.perf_counter() - start) * 1e6)
+            race_log[f"race_size_{cand}"] = compiled.size
+            race_log[f"race_us_{cand}"] = elapsed_us
+            results.append(((compiled.size, elapsed_us), cand, compiled))
+        results.sort(key=lambda r: r[0])
+        _, winner_name, winner = results[0]
+        for _, cand, loser in results[1:]:
+            race_log[f"race_won_{cand}"] = 0
+            release = getattr(loser, "release", None)
+            if release is not None:
+                release()
+        race_log[f"race_won_{winner_name}"] = 1
+        return RacedCompiled(winner, race_log)
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -400,3 +582,5 @@ def available_backends() -> list[str]:
 register_backend("canonical", CanonicalBackend)
 register_backend("apply", ApplyBackend)
 register_backend("obdd", ObddBackend)
+register_backend("ddnnf", DdnnfBackend)
+register_backend("race", RaceBackend)

@@ -19,11 +19,11 @@ without touching the facade.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..circuits.circuit import Circuit
 from ..core.vtree import Vtree
-from .backends import Compiled, CompilationBackend, get_backend
+from .backends import Compiled, CompilationBackend, RaceBackend, get_backend
 from .strategies import VtreeChoice, VtreeStrategy, get_strategy
 
 __all__ = ["Compiler", "compile_with"]
@@ -33,9 +33,14 @@ class Compiler:
     """A configured (backend, vtree-strategy) pair.
 
     ``backend`` and ``strategy`` may be registry names (``"canonical"``,
-    ``"apply"``, ``"obdd"`` / ``"lemma1"``, ``"natural"``, ``"balanced"``,
-    ``"best-of"``, ``"dynamic"``, ...) or objects implementing the
-    respective protocols.
+    ``"apply"``, ``"obdd"``, ``"ddnnf"``, ``"race"`` / ``"lemma1"``,
+    ``"natural"``, ``"balanced"``, ``"best-of"``, ``"dynamic"``, ...) or
+    objects implementing the respective protocols.  A *sequence* of backend
+    names is the racing mode: ``Compiler(backend=("apply", "ddnnf"))``
+    compiles every named backend on the same vtree choice and keeps the
+    best result (see :class:`~repro.compiler.backends.RaceBackend`) —
+    ``best-of`` then races vtrees while the backend race races
+    representations.
 
     ``minimize`` runs in-place dynamic vtree minimization on every
     compilation result after the backend finishes: ``True`` with the
@@ -55,12 +60,18 @@ class Compiler:
 
     def __init__(
         self,
-        backend: str | CompilationBackend = "apply",
+        backend: str | CompilationBackend | Sequence[str] = "apply",
         strategy: str | VtreeStrategy = "lemma1",
         *,
         minimize: bool | Mapping[str, object] = False,
     ):
-        self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        if isinstance(backend, str):
+            self.backend: CompilationBackend = get_backend(backend)
+        elif isinstance(backend, (list, tuple)):
+            # Racing mode: a sequence of backend names races them all.
+            self.backend = RaceBackend(tuple(backend))
+        else:
+            self.backend = backend
         self.strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
         if minimize is False or minimize is None:
             self.minimize_options: dict[str, object] | None = None
@@ -107,7 +118,7 @@ class Compiler:
 def compile_with(
     circuit: Circuit,
     *,
-    backend: str | CompilationBackend = "apply",
+    backend: str | CompilationBackend | Sequence[str] = "apply",
     strategy: str | VtreeStrategy = "lemma1",
     vtree: Vtree | None = None,
     minimize: bool | Mapping[str, object] = False,

@@ -26,6 +26,14 @@ Registered strategies:
   (:meth:`~repro.sdd.manager.SddManager.minimize`) on the live SDD: the
   returned vtree is the *minimized* one and the minimized trial travels to
   the apply backend, so the search cost is local moves, never a recompile.
+
+Racing is two-dimensional since the ``ddnnf`` backend landed: ``best-of``
+races *vtrees* under one backend, while the ``race`` backend
+(:class:`~repro.compiler.backends.RaceBackend`, or the facade's
+``Compiler(backend=("apply", "ddnnf"))`` sugar) races *backends* under one
+vtree choice.  They compose: ``Compiler(backend=("apply", "ddnnf"),
+strategy="best-of")`` hands the winning vtree (and its apply trial, which
+only the apply candidate may consume) to the backend race.
 """
 
 from __future__ import annotations

@@ -1,0 +1,34 @@
+"""The fourth compilation backend: bag-by-bag d-DNNF (no SddManager).
+
+See ``README.md`` in this directory for the friendly-bag / responsible-bag /
+suspicious-gate glossary and the mapping to arXiv 1811.02944 §5.1.
+"""
+
+from .builder import DdnnfResult, build_ddnnf, friendly_from_circuit
+from .nodes import (
+    FALSE,
+    TRUE,
+    DnnfDag,
+    check_ddnnf,
+    check_decomposable,
+    check_deterministic,
+    check_smooth,
+)
+from .wmc import DnnfWmcEvaluator, model_count, probability, weighted_model_count
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "DnnfDag",
+    "DnnfWmcEvaluator",
+    "DdnnfResult",
+    "build_ddnnf",
+    "friendly_from_circuit",
+    "check_ddnnf",
+    "check_decomposable",
+    "check_deterministic",
+    "check_smooth",
+    "model_count",
+    "probability",
+    "weighted_model_count",
+]

@@ -8,12 +8,18 @@ bag is empty, so every input gate (variable) is *forgotten exactly once*;
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator, Sequence
 
 import networkx as nx
 
-__all__ = ["TreeDecomposition", "NiceNode", "NiceTreeDecomposition"]
+__all__ = [
+    "TreeDecomposition",
+    "NiceNode",
+    "NiceTreeDecomposition",
+    "FriendlyTreeDecomposition",
+]
 
 
 class TreeDecomposition:
@@ -90,6 +96,20 @@ class TreeDecomposition:
         for v in sorted(built.bag, key=repr):
             built = NiceNode("forget", built.bag - {v}, (built,), vertex=v)
         return NiceTreeDecomposition(root=built)
+
+    def make_friendly(self, root: int | None = None) -> "FriendlyTreeDecomposition":
+        """Convert to a *friendly* tree decomposition (the shape the
+        bag-by-bag d-DNNF builder of :mod:`repro.dnnf` consumes).
+
+        A friendly decomposition is a nice tree decomposition with an empty
+        root bag in which every vertex is forgotten exactly once; the forget
+        node of a vertex is its *responsible bag* in the terminology of
+        provsql / arXiv 1811.02944 §5.1 — the unique place where the vertex
+        leaves the bags for good, with all its incident edges already
+        covered below.  Width never increases: every friendly bag is a
+        subset of one of the original bags.
+        """
+        return FriendlyTreeDecomposition(self.make_nice(root).root)
 
     def _build_nice(self, node: int, parent: int | None) -> "NiceNode":
         # Iterative bottom-up construction (an explicit DFS preorder,
@@ -231,3 +251,50 @@ class NiceTreeDecomposition:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"NiceTreeDecomposition(width={self.width})"
+
+
+class FriendlyTreeDecomposition(NiceTreeDecomposition):
+    """A nice tree decomposition annotated for bag-by-bag d-DNNF building.
+
+    Beyond :class:`NiceTreeDecomposition`'s guarantees (empty root bag,
+    every vertex forgotten exactly once) this indexes the *responsible bag*
+    of every vertex: ``responsible[v]`` is the unique forget node of ``v``.
+    By connectivity, every edge incident to ``v`` is covered strictly below
+    that node — which is exactly what lets the d-DNNF builder commit the
+    literal of a variable gate (or discharge a gate's justification
+    obligations) at its responsible bag and never look at the vertex again.
+    """
+
+    def __init__(self, root: NiceNode):
+        super().__init__(root)
+        responsible: dict[Hashable, NiceNode] = {}
+        counts: Counter[str] = Counter()
+        for n in self.nodes():
+            counts[n.kind] += 1
+            if n.kind == "forget":
+                if n.vertex in responsible:
+                    raise ValueError(
+                        f"vertex {n.vertex!r} forgotten more than once; "
+                        "not a friendly decomposition"
+                    )
+                responsible[n.vertex] = n
+        if responsible.keys() != self.vertices():
+            never = self.vertices() - responsible.keys()
+            raise ValueError(f"vertices never forgotten: {sorted(never, key=repr)[:5]}")
+        self.responsible = responsible
+        self._kind_counts = dict(counts)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Number of nodes per bag shape (``leaf``/``introduce``/``forget``/
+        ``join``) — public counters for stats and tests."""
+        return dict(self._kind_counts)
+
+    def responsible_bag(self, vertex: Hashable) -> NiceNode:
+        """The forget node of ``vertex`` (raises KeyError if unknown)."""
+        return self.responsible[vertex]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FriendlyTreeDecomposition(width={self.width}, "
+            f"vertices={len(self.responsible)})"
+        )

@@ -1,13 +1,19 @@
 """Query compilation over tuple-independent probabilistic databases."""
 
 from .analysis import find_inversion, is_hierarchical, is_inversion_free
-from .compile import compile_lineage_obdd, compile_lineage_sdd, lineage_vtree
+from .compile import (
+    compile_lineage_ddnnf,
+    compile_lineage_obdd,
+    compile_lineage_sdd,
+    lineage_vtree,
+)
 from .database import Database, ProbabilisticDatabase, complete_database
 from .engine import QueryEngine
 from .evaluate import (
     BatchEvaluation,
     evaluate_many,
     probability_brute_force,
+    probability_via_ddnnf,
     probability_via_obdd,
     probability_via_sdd,
 )

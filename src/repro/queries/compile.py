@@ -25,6 +25,7 @@ __all__ = [
     "lineage_vtree",
     "compile_lineage_obdd",
     "compile_lineage_sdd",
+    "compile_lineage_ddnnf",
     "lineage_obdd_width",
     "lineage_sdd_size",
 ]
@@ -138,6 +139,20 @@ def compile_lineage_sdd(
     if missing:
         raise ValueError(f"manager vtree misses lineage variables: {sorted(missing)[:5]}")
     return manager, manager.compile_circuit(circuit)
+
+
+def compile_lineage_ddnnf(query: UCQ, db: Database):
+    """Compile the lineage bag-by-bag into a d-DNNF — no variable order, no
+    manager, no apply cascade: the decomposition of the lineage circuit's
+    gate graph drives the build directly (:mod:`repro.dnnf`).
+
+    Returns the :class:`~repro.dnnf.builder.DdnnfResult`; pair it with
+    :func:`repro.dnnf.wmc.probability` or hand both to
+    :func:`repro.queries.evaluate.probability_via_ddnnf`.
+    """
+    from ..dnnf.builder import build_ddnnf
+
+    return build_ddnnf(lineage_circuit(query, db))
 
 
 def lineage_obdd_width(query: UCQ, db: Database, order: Sequence[str] | None = None) -> int:

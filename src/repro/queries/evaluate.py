@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
-from .compile import compile_lineage_obdd
+from .compile import compile_lineage_ddnnf, compile_lineage_obdd
 from .database import ProbabilisticDatabase
 from .engine import QueryEngine
 from .lineage import lineage_function
@@ -39,6 +39,7 @@ __all__ = [
     "probability_brute_force",
     "probability_via_obdd",
     "probability_via_sdd",
+    "probability_via_ddnnf",
     "probability_exact_fraction",
     "BatchEvaluation",
     "evaluate_many",
@@ -76,6 +77,25 @@ def probability_via_sdd(
     instances outgrow float precision (hundreds of tuples).
     """
     return QueryEngine(db, vtree=vtree).probability(query, exact=exact)
+
+
+def probability_via_ddnnf(
+    query: UCQ, db: ProbabilisticDatabase, *, exact: bool = False
+) -> float | Fraction:
+    """Query probability through the bag-by-bag d-DNNF pipeline — the only
+    evaluator here that never builds an OBDD or touches an
+    :class:`SddManager`: the lineage circuit's tree decomposition drives
+    the compilation, then the smooth-d-DNNF WMC sums it up.
+
+    ``exact=True`` keeps the arithmetic in :class:`~fractions.Fraction`
+    with the same ``Fraction(str(p))`` conventions as the other exact
+    evaluators, so the cross-backend parity tests compare bit-identical
+    rationals.
+    """
+    from ..dnnf.wmc import probability as dnnf_probability
+
+    r = compile_lineage_ddnnf(query, db)
+    return dnnf_probability(r.dag, r.root, db.probability_map(), exact=exact)
 
 
 def probability_exact_fraction(

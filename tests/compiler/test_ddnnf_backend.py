@@ -1,0 +1,134 @@
+"""Explicit four-way conformance: ddnnf vs canonical / apply / obdd.
+
+``test_facade.py`` already loops every registered backend; this file pins
+the ddnnf backend against each reference *by name* (so a registry change
+can't silently drop the comparison), adds probabilistic-database lineage
+parity, and exercises the backend-racing mode end to end.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import chain_and_or, grid, ladder
+from repro.circuits.random_circuits import random_circuit
+from repro.compiler import Compiler, RaceBackend, available_backends
+from repro.queries.compile import compile_lineage_ddnnf
+from repro.queries.database import complete_database
+from repro.queries.evaluate import (
+    probability_brute_force,
+    probability_exact_fraction,
+    probability_via_ddnnf,
+)
+from repro.queries.syntax import parse_ucq
+
+pytestmark = pytest.mark.ddnnf
+
+REFERENCES = ("canonical", "apply", "obdd")
+
+
+@st.composite
+def small_circuits(draw, max_vars: int = 12, max_gates: int = 18):
+    n_vars = draw(st.integers(min_value=2, max_value=max_vars))
+    n_gates = draw(st.integers(min_value=2, max_value=max_gates))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    return random_circuit(rng, n_vars=n_vars, n_gates=n_gates)
+
+
+class TestFourWayParity:
+    def test_all_four_backends_registered(self):
+        have = set(available_backends())
+        assert {"ddnnf", *REFERENCES} <= have
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_circuits(), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_ddnnf_matches_each_reference(self, circuit, seed):
+        rng = np.random.default_rng(seed)
+        vs = sorted(map(str, circuit.variables))
+        prob = {v: round(float(rng.uniform(0.1, 0.9)), 3) for v in vs}
+        assignments = [{v: int(rng.integers(0, 2)) for v in vs} for _ in range(3)]
+
+        ddnnf = Compiler(backend="ddnnf", strategy="natural").compile(circuit)
+        for ref_name in REFERENCES:
+            ref = Compiler(backend=ref_name, strategy="lemma1").compile(circuit)
+            assert ddnnf.model_count() == ref.model_count(), ref_name
+            exact = ddnnf.probability(prob, exact=True)
+            assert isinstance(exact, Fraction)
+            assert exact == ref.probability(prob, exact=True), ref_name
+            for a in assignments:
+                assert ddnnf.evaluate(a) == ref.evaluate(a), ref_name
+
+    def test_stats_surface_is_public_ints(self):
+        compiled = Compiler(backend="ddnnf", strategy="natural").compile(ladder(4))
+        stats = compiled.stats()
+        for key in ("friendly_width", "bags_forget", "states_peak",
+                    "unique_hits", "unique_misses"):
+            assert key in stats, key
+        assert all(isinstance(v, int) for v in stats.values())
+
+
+class TestLineageParity:
+    QUERIES = ["R(x),S(x,y)", "R(x),S(x,y)|S(y,y)", "R(x)|R(y),S(x,y)"]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_ddnnf_matches_brute_force(self, text):
+        q = parse_ucq(text)
+        db = complete_database({"R": 1, "S": 2}, 2, p=0.4)
+        got = probability_via_ddnnf(q, db)
+        assert got == pytest.approx(probability_brute_force(q, db), abs=1e-12)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_ddnnf_exact_bit_identical_to_sdd_exact(self, text):
+        q = parse_ucq(text)
+        db = complete_database({"R": 1, "S": 2}, 2, p=0.3)
+        via_ddnnf = probability_via_ddnnf(q, db, exact=True)
+        via_sdd = probability_exact_fraction(q, db)
+        assert isinstance(via_ddnnf, Fraction)
+        assert via_ddnnf == via_sdd
+
+    def test_lineage_result_passes_structural_oracles(self):
+        from repro.dnnf import check_ddnnf
+
+        q = parse_ucq("R(x),S(x,y)")
+        db = complete_database({"R": 1, "S": 2}, 2, p=0.5)
+        r = compile_lineage_ddnnf(q, db)
+        check_ddnnf(r.dag, r.root)
+
+
+class TestBackendRace:
+    def test_race_produces_winner_with_merged_stats(self):
+        circuit = chain_and_or(8)
+        compiled = Compiler(backend="race", strategy="lemma1").compile(circuit)
+        assert compiled.backend == "race"
+        assert compiled.model_count() == circuit.function().count_models()
+        stats = compiled.stats()
+        wins = [v for k, v in stats.items() if k.startswith("race_won_")]
+        assert sum(wins) == 1
+        for cand in ("apply", "ddnnf"):
+            assert f"race_size_{cand}" in stats
+            assert f"race_us_{cand}" in stats
+
+    def test_sequence_backend_sugar(self):
+        circuit = grid(2, 3)
+        compiled = Compiler(backend=("apply", "ddnnf"), strategy="lemma1").compile(circuit)
+        assert compiled.backend == "race"
+        assert compiled.model_count() == circuit.function().count_models()
+
+    def test_race_rejects_bad_candidate_lists(self):
+        with pytest.raises(ValueError):
+            RaceBackend(candidates=())
+        with pytest.raises(ValueError):
+            RaceBackend(candidates=("apply", "race"))
+
+    def test_race_parity_with_solo_backends(self):
+        circuit = ladder(4)
+        prob = {v: 0.25 for v in circuit.variables}
+        raced = Compiler(backend="race", strategy="lemma1").compile(circuit)
+        solo = Compiler(backend="ddnnf", strategy="natural").compile(circuit)
+        assert raced.probability(prob, exact=True) == solo.probability(prob, exact=True)

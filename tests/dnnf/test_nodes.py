@@ -1,0 +1,141 @@
+"""The d-DNNF node store and the structural-invariant oracles.
+
+The oracles (`check_decomposable` / `check_smooth` / `check_deterministic`)
+are first-class test infrastructure — the builder suite trusts them the way
+the SDD suite trusts ``check_unique_table`` — so this file proves *they*
+work: hand-built violating DAGs must raise, hand-built clean ones must pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnnf.nodes import (
+    FALSE,
+    TRUE,
+    DnnfDag,
+    check_ddnnf,
+    check_decomposable,
+    check_deterministic,
+    check_smooth,
+)
+
+
+class TestStore:
+    def test_constants_preallocated(self):
+        dag = DnnfDag()
+        assert dag.node_kind[FALSE] == "const" and dag.node_kind[TRUE] == "const"
+        assert dag.size(FALSE) == 0 and dag.size(TRUE) == 0
+
+    def test_literal_hash_consing(self):
+        dag = DnnfDag()
+        a = dag.literal("x", True)
+        b = dag.literal("x", True)
+        c = dag.literal("x", False)
+        assert a == b and a != c
+        assert dag.unique_hits == 1 and dag.unique_misses == 2
+
+    def test_conjoin_simplifications(self):
+        dag = DnnfDag()
+        x = dag.literal("x", True)
+        y = dag.literal("y", True)
+        assert dag.conjoin([]) == TRUE
+        assert dag.conjoin([TRUE, x]) == x
+        assert dag.conjoin([x, FALSE, y]) == FALSE
+        ab = dag.conjoin([x, y])
+        ba = dag.conjoin([y, x])
+        assert ab == ba  # AND interning is order-insensitive
+
+    def test_disjoin_simplifications(self):
+        dag = DnnfDag()
+        x = dag.literal("x", True)
+        nx_ = dag.literal("x", False)
+        assert dag.disjoin([]) == FALSE
+        assert dag.disjoin([FALSE, x]) == x
+        assert dag.disjoin([x, TRUE]) == TRUE
+        both = dag.disjoin([x, nx_])
+        assert both > TRUE  # x ∨ ¬x stays an OR node, never folds to TRUE
+
+    def test_measures_and_evaluate(self):
+        dag = DnnfDag()
+        x, y = dag.literal("x", True), dag.literal("y", False)
+        a = dag.conjoin([x, y])
+        assert dag.size(a) == 3
+        assert dag.width(a) == 2
+        assert dag.edge_count(a) == 2
+        assert dag.scopes(a)[a] == frozenset({"x", "y"})
+        assert dag.evaluate(a, {"x": 1, "y": 0}) is True
+        assert dag.evaluate(a, {"x": 1, "y": 1}) is False
+
+    def test_reachable_is_topological(self):
+        dag = DnnfDag()
+        x, y = dag.literal("x", True), dag.literal("y", True)
+        a = dag.conjoin([x, y])
+        order = dag.reachable(a)
+        assert order == sorted(order)
+        assert order.index(x) < order.index(a)
+
+    def test_stats_are_public_ints(self):
+        dag = DnnfDag()
+        dag.conjoin([dag.literal("x", True), dag.literal("y", True)])
+        stats = dag.stats()
+        assert stats and all(isinstance(v, int) for v in stats.values())
+
+
+class TestCheckers:
+    def _clean(self):
+        """(x ∧ y) ∨ (¬x ∧ y) — decomposable, smooth, deterministic."""
+        dag = DnnfDag()
+        a = dag.conjoin([dag.literal("x", True), dag.literal("y", True)])
+        b = dag.conjoin([dag.literal("x", False), dag.literal("y", True)])
+        return dag, dag.disjoin([a, b])
+
+    def test_clean_dag_passes_all(self):
+        dag, root = self._clean()
+        check_ddnnf(dag, root)
+
+    def test_constants_and_literals_pass(self):
+        dag = DnnfDag()
+        for root in (FALSE, TRUE, dag.literal("x", True)):
+            check_ddnnf(dag, root)
+
+    def test_non_decomposable_and_raises(self):
+        dag = DnnfDag()
+        bad = dag.conjoin([dag.literal("x", True), dag.literal("x", False)])
+        with pytest.raises(AssertionError, match="not decomposable"):
+            check_decomposable(dag, bad)
+        # ...while the other two invariants hold for the same DAG.
+        check_smooth(dag, bad)
+        check_deterministic(dag, bad)
+
+    def test_non_smooth_or_raises(self):
+        dag = DnnfDag()
+        x = dag.literal("x", True)
+        xy = dag.conjoin([dag.literal("x", False), dag.literal("y", True)])
+        bad = dag.disjoin([x, xy])  # scopes {x} vs {x, y}
+        with pytest.raises(AssertionError, match="not smooth"):
+            check_smooth(dag, bad)
+        check_decomposable(dag, bad)
+
+    def test_non_deterministic_or_raises(self):
+        # x∧y overlaps x∧(y ∨ ¬y): smooth and decomposable, NOT deterministic.
+        dag = DnnfDag()
+        x = dag.literal("x", True)
+        y, ny = dag.literal("y", True), dag.literal("y", False)
+        a = dag.conjoin([x, y])
+        b = dag.conjoin([x, dag.disjoin([y, ny])])
+        bad = dag.disjoin([a, b])
+        check_decomposable(dag, bad)
+        check_smooth(dag, bad)
+        with pytest.raises(AssertionError, match="not deterministic"):
+            check_deterministic(dag, bad)
+
+    def test_deterministic_lifts_over_scope_gaps(self):
+        # Children with *different* scopes may still overlap after lifting:
+        # x  vs  x∧y share the model {x=1, y=1} over the union scope.
+        dag = DnnfDag()
+        x = dag.literal("x", True)
+        xy = dag.conjoin([dag.literal("x", True), dag.literal("y", True)])
+        bad = dag.disjoin([x, xy])
+        with pytest.raises(AssertionError, match="not deterministic"):
+            check_deterministic(dag, bad)

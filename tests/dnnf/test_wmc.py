@@ -1,0 +1,101 @@
+"""Weighted model counting over the d-DNNF DAG.
+
+Mirrors ``tests/sdd/test_wmc.py``: exact ``Fraction`` arithmetic against
+brute force, float approximation, and the memoised-evaluator surface.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import chain_and_or, ladder
+from repro.circuits.random_circuits import random_circuit
+from repro.dnnf import (
+    DnnfWmcEvaluator,
+    build_ddnnf,
+    model_count,
+    probability,
+    weighted_model_count,
+)
+from repro.dnnf.wmc import exact_weights
+
+pytestmark = pytest.mark.ddnnf
+
+
+def brute_probability(circuit, prob):
+    total = Fraction(0)
+    vs = sorted(map(str, circuit.variables))
+    for mask in range(1 << len(vs)):
+        a = {v: (mask >> i) & 1 for i, v in enumerate(vs)}
+        if circuit.evaluate(a):
+            w = Fraction(1)
+            for v in vs:
+                p = Fraction(str(prob[v]))
+                w *= p if a[v] else 1 - p
+            total += w
+    return total
+
+
+class TestExact:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_fraction_probability_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(rng, n_vars=6, n_gates=10)
+        prob = {v: round(float(rng.uniform(0.05, 0.95)), 3) for v in circuit.variables}
+        r = build_ddnnf(circuit)
+        got = probability(r.dag, r.root, prob, exact=True)
+        assert isinstance(got, Fraction)
+        assert got == brute_probability(circuit, prob)
+
+    def test_float_close_to_exact(self):
+        circuit = ladder(4)
+        prob = {v: 0.3 for v in circuit.variables}
+        r = build_ddnnf(circuit)
+        exact = probability(r.dag, r.root, prob, exact=True)
+        approx = probability(r.dag, r.root, prob, exact=False)
+        assert isinstance(approx, float)
+        assert abs(approx - float(exact)) < 1e-12
+
+
+class TestModelCount:
+    def test_scope_shift_counts_free_variables(self):
+        circuit = chain_and_or(6)
+        r = build_ddnnf(circuit)
+        base = model_count(r.dag, r.root)
+        padded = model_count(r.dag, r.root, list(circuit.variables) + ["f1", "f2"])
+        assert padded == base * 4
+
+    def test_constants(self):
+        from repro.circuits.circuit import Circuit
+        from repro.dnnf import FALSE, TRUE
+
+        c = Circuit()
+        c.set_output(c.add_const(True))
+        r = build_ddnnf(c)
+        assert r.root == TRUE
+        assert model_count(r.dag, r.root, ["a", "b"]) == 4
+        assert model_count(r.dag, FALSE, ["a", "b"]) == 0
+
+
+class TestEvaluator:
+    def test_memo_reuse_across_queries(self):
+        circuit = ladder(3)
+        r = build_ddnnf(circuit)
+        ev = DnnfWmcEvaluator(r.dag, exact_weights({v: 0.5 for v in circuit.variables}))
+        first = ev.value(r.root)
+        entries_after_first = ev.stats()["memo_entries"]
+        assert ev.value(r.root) == first  # served from memo
+        assert ev.stats()["memo_entries"] == entries_after_first
+        assert entries_after_first >= r.dag.size(r.root)
+
+    def test_weighted_model_count_is_unnormalised(self):
+        circuit = chain_and_or(5)
+        r = build_ddnnf(circuit)
+        weights = {str(v): (Fraction(1), Fraction(1)) for v in circuit.variables}
+        assert weighted_model_count(r.dag, r.root, weights) == model_count(r.dag, r.root)

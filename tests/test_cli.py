@@ -20,6 +20,19 @@ class TestCompile:
         assert main(["compile", "1"]) == 0
         assert "constant" in capsys.readouterr().out
 
+    def test_compile_ddnnf_backend(self, capsys):
+        assert main(["compile", "(a & b) | c", "--backend", "ddnnf"]) == 0
+        out = capsys.readouterr().out
+        assert "ddnnf (via natural)" in out
+        assert "friendly decomposition:" in out
+        assert "models: 5 / 2^3" in out
+
+    def test_compile_race_backend(self, capsys):
+        assert main(["compile", "(a & b) | c", "--backend", "race"]) == 0
+        out = capsys.readouterr().out
+        assert "race (via natural)" in out
+        assert "models: 5 / 2^3" in out
+
 
 class TestCtw:
     def test_ctw_literal(self, capsys):
@@ -44,6 +57,13 @@ class TestQuery:
     def test_inversion_reported(self, capsys):
         assert main(["query", "R(x),S1(x,y) | S1(x,y),T(y)", "--domain", "2"]) == 0
         assert "length 1" in capsys.readouterr().out
+
+    def test_query_ddnnf_backend_exact(self, capsys):
+        assert main(["query", "R(x),S(x,y)", "--domain", "2",
+                     "--backend", "ddnnf", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "lineage d-DNNF size" in out
+        assert "39/64" in out
 
 
 class TestIsa:
