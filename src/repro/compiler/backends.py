@@ -122,6 +122,7 @@ class CompilationBackend(Protocol):
         decomposition_width: int | None = None,
         strategy: str = "",
         trial: tuple[SddManager, int] | None = None,
+        node_budget: int | None = None,
     ) -> Compiled: ...
 
 
@@ -424,7 +425,11 @@ class RacedCompiled(_CompiledBase):
 class CanonicalBackend:
     name = "canonical"
 
-    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+    # node_budget is accepted for signature uniformity but not enforced:
+    # the truth-table construction has no between-gates safepoint to
+    # check it at (it is already limited to ~20 variables).
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="",
+                trial=None, node_budget=None):
         from ..core.nnf_compile import compile_canonical_nnf
         from ..core.sdd_compile import compile_canonical_sdd
 
@@ -443,7 +448,8 @@ class CanonicalBackend:
 class ApplyBackend:
     name = "apply"
 
-    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="",
+                trial=None, node_budget=None):
         if trial is not None:
             # Ownership handoff: the best-of race already compiled the
             # winning candidate and its VtreeChoice carries the (manager,
@@ -458,7 +464,7 @@ class ApplyBackend:
                     manager=manager, root=root,
                 )
         manager = SddManager(vtree)
-        root = manager.compile_circuit(circuit)
+        root = manager.compile_circuit(circuit, node_budget=node_budget)
         return ApplyCompiled(
             circuit, vtree, decomposition_width, strategy, manager=manager, root=root
         )
@@ -467,7 +473,10 @@ class ApplyBackend:
 class ObddBackend:
     name = "obdd"
 
-    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+    # node_budget accepted for signature uniformity; the OBDD compiler has
+    # no budget hook yet, so a race over this backend never abandons it.
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="",
+                trial=None, node_budget=None):
         manager = ObddManager(vtree.leaf_order())
         root = manager.compile_circuit(circuit)
         return ObddCompiled(
@@ -487,10 +496,11 @@ class DdnnfBackend:
 
     name = "ddnnf"
 
-    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="",
+                trial=None, node_budget=None):
         from ..dnnf.builder import build_ddnnf
 
-        result = build_ddnnf(circuit)
+        result = build_ddnnf(circuit, node_budget=node_budget)
         return DdnnfCompiled(
             circuit, vtree, decomposition_width, strategy, result=result
         )
@@ -506,42 +516,95 @@ class RaceBackend:
     races vtrees (apply-costed), then races the winning vtree across
     backends.
 
-    Every candidate fully compiles (sizes across representations are not
-    comparable mid-flight the way manager node counts are in the vtree
-    race, so there is no early abandon); ranking is by compiled size, then
-    wall-clock.  A losing ``apply`` result releases its pinned root so the
-    losing manager stays collectable.  The ``best-of`` trial, if any, is
-    offered to the ``apply`` candidate only — exactly one owner, as in the
-    vtree race's handoff rules.
+    Ranking is by compiled size, then wall-clock.  A losing ``apply``
+    result releases its pinned root so the losing manager stays
+    collectable.  The ``best-of`` trial, if any, is offered to the
+    ``apply`` candidate only — exactly one owner, as in the vtree race's
+    handoff rules.
+
+    **Budgeted early abandon** (``abandon=True``, the default): once a
+    front-runner has fully compiled, each later candidate runs under a
+    node budget of ``max(budget_slack × best_size, budget_floor)`` — a
+    candidate that blows far past the current best size cannot win on the
+    (size, time) ranking, so it is cut off mid-compilation via the
+    backends' ``node_budget`` hook instead of being run to completion.
+    The slack is deliberately generous and the floor high: live node
+    counts *during* apply compilation include intermediate gate results
+    and literals far above the final compiled size, so a tight budget
+    would abandon eventual winners.  An abandoned candidate logs
+    ``race_abandoned_<cand> = 1`` (and its elapsed time) but no size.
+    Backends without a budget hook (canonical, obdd) simply never
+    abandon.
     """
 
     name = "race"
 
-    def __init__(self, candidates: Sequence[str] = ("apply", "ddnnf")):
+    def __init__(
+        self,
+        candidates: Sequence[str] = ("apply", "ddnnf"),
+        *,
+        abandon: bool = True,
+        budget_slack: float = 4.0,
+        budget_floor: int = 1024,
+    ):
         if not candidates:
             raise ValueError("race needs at least one candidate backend")
+        if budget_slack < 1.0:
+            raise ValueError("budget_slack must be >= 1 (the winner must fit)")
+        if budget_floor <= 0:
+            raise ValueError("budget_floor must be positive")
         self.candidates = tuple(candidates)
+        self.abandon = abandon
+        self.budget_slack = budget_slack
+        self.budget_floor = budget_floor
         for cand in self.candidates:
             if cand == self.name:
                 raise ValueError("race cannot race itself")
 
-    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="", trial=None):
+    def compile(self, circuit, vtree, *, decomposition_width=None, strategy="",
+                trial=None, node_budget=None):
+        from ..sdd.manager import CompilationBudgetExceeded
+
         results: list[tuple[tuple[int, int], str, Compiled]] = []
         race_log: dict[str, int] = {}
+        best_size: int | None = None
         for cand in self.candidates:
             backend = get_backend(cand)
+            budget = node_budget
+            if self.abandon and best_size is not None:
+                cutoff = max(int(self.budget_slack * best_size), self.budget_floor)
+                budget = cutoff if budget is None else min(budget, cutoff)
             start = time.perf_counter()
-            compiled = backend.compile(
-                circuit,
-                vtree,
-                decomposition_width=decomposition_width,
-                strategy=strategy,
-                trial=trial if cand == "apply" else None,
-            )
+            try:
+                compiled = backend.compile(
+                    circuit,
+                    vtree,
+                    decomposition_width=decomposition_width,
+                    strategy=strategy,
+                    trial=trial if cand == "apply" else None,
+                    node_budget=budget,
+                )
+            except CompilationBudgetExceeded:
+                race_log[f"race_us_{cand}"] = int(
+                    (time.perf_counter() - start) * 1e6
+                )
+                race_log[f"race_abandoned_{cand}"] = 1
+                race_log[f"race_won_{cand}"] = 0
+                continue
             elapsed_us = int((time.perf_counter() - start) * 1e6)
             race_log[f"race_size_{cand}"] = compiled.size
             race_log[f"race_us_{cand}"] = elapsed_us
+            race_log[f"race_abandoned_{cand}"] = 0
             results.append(((compiled.size, elapsed_us), cand, compiled))
+            if best_size is None or compiled.size < best_size:
+                best_size = compiled.size
+        if not results:
+            # Every candidate hit the caller's node_budget (self-imposed
+            # cutoffs always leave the front-runner standing): surface the
+            # budget breach rather than inventing a winner.
+            raise CompilationBudgetExceeded(
+                f"all race candidates exceeded the node budget {node_budget}"
+            )
         results.sort(key=lambda r: r[0])
         _, winner_name, winner = results[0]
         for _, cand, loser in results[1:]:

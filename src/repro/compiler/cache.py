@@ -1,0 +1,118 @@
+"""Shared compiled-artifact cache plumbing: a stats-counting LRU store and
+stable cache-key fingerprints.
+
+Every caching layer in the system — the per-session compiled-query cache
+inside :class:`repro.queries.engine.QueryEngine` and the cross-session
+answer cache inside :class:`repro.service.QueryService` — needs the same
+two ingredients:
+
+- an **LRU mapping with public counters** (hits / misses / evictions, the
+  numbers operators actually watch), and
+- **stable keys**: a cache shared across sessions, processes, or restarts
+  must key on *content*, never on object identity or ``hash()`` (which
+  ``PYTHONHASHSEED`` randomizes per process).
+
+:class:`LruStatsCache` is the store; :func:`fingerprint` hashes any
+sequence of content strings into a short stable hex digest (keyed BLAKE2,
+matching :func:`repro.queries.parallel.shard_of`'s conventions).  The
+service composes its keys from :meth:`repro.queries.syntax.UCQ.normalized`
+and :meth:`repro.queries.database.Database.fingerprint` — two queries that
+differ only in atom order, and two databases with identical content, hit
+the same entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Hashable, Iterator
+
+__all__ = ["LruStatsCache", "fingerprint"]
+
+
+def fingerprint(*parts: str, digest_size: int = 16) -> str:
+    """A stable hex digest of ``parts`` — independent of
+    ``PYTHONHASHSEED``, process, and platform, so fingerprints agree
+    across service restarts and spawn workers.  Parts are length-prefixed
+    before hashing, so ``("ab", "c")`` and ``("a", "bc")`` never collide.
+    """
+    h = hashlib.blake2b(digest_size=digest_size)
+    for part in parts:
+        data = part.encode()
+        h.update(len(data).to_bytes(8, "big"))
+        h.update(data)
+    return h.hexdigest()
+
+
+class LruStatsCache:
+    """A bounded least-recently-used mapping with public counters.
+
+    ``capacity=None`` never evicts (counters still run).  ``get`` counts a
+    hit or a miss and refreshes recency; ``put`` inserts or refreshes and
+    evicts the least-recently-used entries beyond ``capacity``.  Not
+    thread-safe by itself — callers that share one instance across workers
+    hold their own lock (:class:`repro.service.QueryService` does).
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default=None):
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default=None):
+        """Read without touching recency or the hit/miss counters."""
+        return self._store.get(key, default)
+
+    def put(self, key: Hashable, value) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def pop(self, key: Hashable, default=None):
+        return self._store.pop(key, default)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._store)
+
+    def stats(self) -> dict[str, int]:
+        """Public counters, prefixed for direct merging into service and
+        engine ``stats()`` dictionaries."""
+        return {
+            "cache_entries": len(self._store),
+            "cache_capacity": 0 if self.capacity is None else self.capacity,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LruStatsCache(entries={len(self._store)}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

@@ -146,13 +146,21 @@ def build_ddnnf(
     decomposition: TreeDecomposition | None = None,
     *,
     exact: bool | None = None,
+    node_budget: int | None = None,
 ) -> DdnnfResult:
-    """Compile ``circuit`` to a smooth deterministic d-DNNF, bag by bag."""
+    """Compile ``circuit`` to a smooth deterministic d-DNNF, bag by bag.
+
+    ``node_budget`` caps the total DAG node count; exceeding it raises
+    :class:`~repro.sdd.manager.CompilationBudgetExceeded` (checked between
+    bags, the same between-work-units contract as
+    :meth:`~repro.sdd.manager.SddManager.compile_circuit`) — the hook the
+    race backend's early abandon uses to cut off a candidate that can no
+    longer win."""
     if circuit.output is None:
         raise ValueError("circuit has no output gate")
     friendly = friendly_from_circuit(circuit, decomposition, exact=exact)
     dag = DnnfDag()
-    builder = _BagBuilder(circuit, dag)
+    builder = _BagBuilder(circuit, dag, node_budget=node_budget)
     root = builder.run(friendly)
     return DdnnfResult(circuit, dag, root, friendly, builder.counters)
 
@@ -160,9 +168,10 @@ def build_ddnnf(
 class _BagBuilder:
     """The (ν, S)-state walk; one instance per compilation."""
 
-    def __init__(self, circuit: Circuit, dag: DnnfDag):
+    def __init__(self, circuit: Circuit, dag: DnnfDag, *, node_budget: int | None = None):
         self.circuit = circuit
         self.dag = dag
+        self.node_budget = node_budget
         self.kinds = [g.kind for g in circuit.gates]
         self.inputs = [frozenset(g.inputs) for g in circuit.gates]
         self.payloads = [g.payload for g in circuit.gates]
@@ -270,6 +279,16 @@ class _BagBuilder:
                 cur = self._join(
                     states.pop(id(node.children[0])),
                     states.pop(id(node.children[1])),
+                )
+            if (
+                self.node_budget is not None
+                and len(self.dag.node_kind) > self.node_budget
+            ):
+                from ..sdd.manager import CompilationBudgetExceeded
+
+                raise CompilationBudgetExceeded(
+                    f"node budget {self.node_budget} exceeded "
+                    f"({len(self.dag.node_kind)} d-DNNF nodes)"
                 )
             states[id(node)] = cur
         root_states = states[id(friendly.root)]

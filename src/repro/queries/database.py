@@ -8,6 +8,7 @@ a Boolean function over tuple variables — is satisfied.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Iterable, Mapping, Sequence
 
@@ -59,6 +60,23 @@ class Database:
     @property
     def size(self) -> int:
         return sum(len(ts) for ts in self.relations.values())
+
+    def fingerprint(self) -> str:
+        """A stable content digest of the instance — same tuples (and, for
+        probabilistic databases, same probabilities) ⇒ same fingerprint,
+        across processes and restarts (no ``hash()``/identity involved).
+        Cache layers key compiled queries on this plus the normalized
+        query text (:meth:`repro.queries.syntax.UCQ.normalized`), so a
+        rebuilt-but-identical database keeps its cache entries valid.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        probabilities = getattr(self, "probabilities", {})
+        for rel in sorted(self.relations):
+            for tup in sorted(self.relations[rel], key=repr):
+                name = tuple_variable(rel, tup)
+                entry = f"{name}={probabilities.get(name, 1)!r};"
+                h.update(entry.encode())
+        return h.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Database({ {r: len(ts) for r, ts in self.relations.items()} })"

@@ -83,9 +83,22 @@ class QueryEngine:
     runs one :meth:`minimize` round (with 2× hysteresis).  Set it below
     ``max_nodes`` so the vtree gets repaired before eviction starts
     paying for it.
+
+    ``backend`` picks the compiled representation: ``"sdd"`` (default) is
+    the apply-based :class:`SddManager` path described above; ``"ddnnf"``
+    compiles each lineage bag-by-bag into a d-DNNF instead
+    (:func:`~repro.queries.compile.compile_lineage_ddnnf` — no manager,
+    no vtree).  d-DNNF roots participate in the compiled-query cache and
+    the ``max_nodes`` budget exactly like SDD roots: the budget bounds
+    the total d-DNNF nodes of all cached queries and evicts with the same
+    ``eviction_policy`` scoring (each query's footprint is exclusive —
+    separate DAGs share nothing).  Manager-specific services
+    (``auto_minimize_nodes``, :meth:`minimize`, explicit ``vtree``) do
+    not apply to ``"ddnnf"`` and raise at construction.
     """
 
     _EVICTION_POLICIES = ("size-lru", "lru")
+    _BACKENDS = ("sdd", "ddnnf")
 
     def __init__(
         self,
@@ -95,6 +108,7 @@ class QueryEngine:
         max_nodes: int | None = None,
         auto_minimize_nodes: int | None = None,
         eviction_policy: str = "size-lru",
+        backend: str = "sdd",
     ):
         if max_nodes is not None and max_nodes <= 0:
             raise ValueError("max_nodes must be positive")
@@ -105,7 +119,17 @@ class QueryEngine:
                 f"unknown eviction_policy {eviction_policy!r}; "
                 f"choose from {self._EVICTION_POLICIES}"
             )
+        if backend not in self._BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {self._BACKENDS}"
+            )
+        if backend == "ddnnf" and (vtree is not None or auto_minimize_nodes is not None):
+            raise ValueError(
+                "backend='ddnnf' compiles from tree decompositions: "
+                "vtree and auto_minimize_nodes do not apply"
+            )
         self.db = db
+        self.backend = backend
         self.max_nodes = max_nodes
         self.auto_minimize_nodes = auto_minimize_nodes
         self.eviction_policy = eviction_policy
@@ -115,7 +139,14 @@ class QueryEngine:
         self._manager: SddManager | None = SddManager(vtree) if vtree is not None else None
         self._roots: OrderedDict[UCQ, int] = OrderedDict()
         self._evaluators: dict[bool, SddWmcEvaluator] = {}
+        # backend="ddnnf": per-query compiled DAGs + memoized WMC values
+        # (each DdnnfResult owns its own DnnfDag, so values evict with
+        # their query).
+        self._ddnnf: OrderedDict[UCQ, object] = OrderedDict()
+        self._ddnnf_values: dict[tuple[UCQ, bool], float | Fraction] = {}
         self._evicted = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # session resources
@@ -158,12 +189,18 @@ class QueryEngine:
     # queries
     # ------------------------------------------------------------------
     def compile(self, query: UCQ) -> int:
-        """Compile ``query``'s lineage into the shared manager (cached and
-        pinned against collection); returns the root node id."""
+        """Compile ``query``'s lineage (cached; for the SDD backend also
+        pinned against collection); returns the root node id — in the
+        shared manager (``backend="sdd"``) or in the query's own d-DNNF
+        DAG (``backend="ddnnf"``)."""
+        if self.backend == "ddnnf":
+            return self._compile_ddnnf(query).root
         root = self._roots.get(query)
         if root is not None:
             self._roots.move_to_end(query)
+            self._cache_hits += 1
             return root
+        self._cache_misses += 1
         mgr = self._ensure_manager(query)
         _, root = compile_lineage_sdd(query, self.db, manager=mgr)
         mgr.pin(root)
@@ -180,22 +217,73 @@ class QueryEngine:
             )
         return self._roots[query]
 
+    def _compile_ddnnf(self, query: UCQ):
+        """The ``backend="ddnnf"`` compile path: cache
+        :class:`~repro.dnnf.builder.DdnnfResult` handles per query and
+        apply the same budget sweep the SDD path runs."""
+        result = self._ddnnf.get(query)
+        if result is not None:
+            self._ddnnf.move_to_end(query)
+            self._cache_hits += 1
+            return result
+        self._cache_misses += 1
+        from .compile import compile_lineage_ddnnf
+
+        result = compile_lineage_ddnnf(query, self.db)
+        self._ddnnf[query] = result
+        self._collect_over_budget_ddnnf(keep=query)
+        return result
+
     def cached_root(self, query: UCQ) -> int | None:
-        """The pinned root id of ``query`` if it is currently compiled,
-        ``None`` if it was never asked for or has been evicted/forgotten.
-        Never compiles — the read-only counterpart of :meth:`compile`."""
+        """The root id of ``query`` if it is currently compiled, ``None``
+        if it was never asked for or has been evicted/forgotten.  Never
+        compiles — the read-only counterpart of :meth:`compile`."""
+        if self.backend == "ddnnf":
+            result = self._ddnnf.get(query)
+            return None if result is None else result.root
         return self._roots.get(query)
 
     def probability(self, query: UCQ, *, exact: bool = False) -> float | Fraction:
         """Exact probability of ``query`` under the tuple-independence
         semantics; ``exact=True`` stays in :class:`~fractions.Fraction`."""
+        if self.backend == "ddnnf":
+            r = self._compile_ddnnf(query)
+            key = (query, exact)
+            value = self._ddnnf_values.get(key)
+            if value is None:
+                from ..dnnf.wmc import probability as dnnf_probability
+
+                value = dnnf_probability(
+                    r.dag, r.root, self.db.probability_map(), exact=exact
+                )
+                value = Fraction(value) if exact else float(value)
+                self._ddnnf_values[key] = value
+            return value
         root = self.compile(query)
         value = self._evaluator(exact).value(root)
         # Constant roots short-circuit to int 0/1; normalize the ring.
         return Fraction(value) if exact else float(value)
 
+    def compiled_size(self, query: UCQ) -> int | None:
+        """Compiled size of ``query`` if it is currently cached, ``None``
+        otherwise.  Never compiles and never touches the hit/miss
+        counters — the sibling of :meth:`cached_root` used by the worker
+        pool and parallel paths to report sizes without inflating the
+        cache statistics."""
+        if self.backend == "ddnnf":
+            result = self._ddnnf.get(query)
+            return None if result is None else result.size
+        root = self._roots.get(query)
+        if root is None:
+            return None
+        assert self._manager is not None
+        return self._manager.size(root)
+
     def lineage_size(self, query: UCQ) -> int:
-        """SDD size of the compiled lineage of ``query``."""
+        """Compiled size of the lineage of ``query`` (SDD size or d-DNNF
+        node count, per the session ``backend``)."""
+        if self.backend == "ddnnf":
+            return self._compile_ddnnf(query).size
         mgr = self._ensure_manager(query)
         return mgr.size(self.compile(query))
 
@@ -246,7 +334,25 @@ class QueryEngine:
                 max_nodes=self.max_nodes,
                 mode=parallel_mode,
                 shard_seed=shard_seed,
+                backend=self.backend,
             ).evaluate(qs, exact=exact)
+        if self.backend == "ddnnf":
+            probabilities = []
+            sizes = []
+            for q in qs:
+                probabilities.append(self.probability(q, exact=exact))
+                # Just asked for: never evicted yet (mirrors the SDD path's
+                # measure-at-evaluation-time contract).
+                sizes.append(self._ddnnf[q].size)
+            return BatchEvaluation(
+                queries=list(qs),
+                probabilities=probabilities,
+                roots=[self.cached_root(q) for q in qs],
+                sizes=sizes,
+                manager=None,
+                vtree=None,
+                stats=self.stats(),
+            )
         probabilities = []
         sizes = []
         mgr: SddManager | None = None
@@ -270,10 +376,18 @@ class QueryEngine:
     # session lifecycle (GC policy)
     # ------------------------------------------------------------------
     def forget(self, query: UCQ) -> bool:
-        """Release ``query``'s pinned lineage root and drop it from the
-        compiled-query cache; the nodes become collectable by the next
-        :meth:`gc` (unless shared with a still-pinned query).  Returns
-        whether the query was cached."""
+        """Release ``query``'s compiled lineage and drop it from the
+        compiled-query cache — for the SDD backend the pinned root's nodes
+        become collectable by the next :meth:`gc` (unless shared with a
+        still-pinned query); for the d-DNNF backend the query's DAG and
+        memoized values are dropped outright.  Returns whether the query
+        was cached."""
+        if self.backend == "ddnnf":
+            if self._ddnnf.pop(query, None) is None:
+                return False
+            self._ddnnf_values.pop((query, False), None)
+            self._ddnnf_values.pop((query, True), None)
+            return True
         root = self._roots.pop(query, None)
         if root is None:
             return False
@@ -385,6 +499,37 @@ class QueryEngine:
             batch *= 2
             mgr.gc(full=True)
 
+    def _collect_over_budget_ddnnf(self, keep: UCQ) -> None:
+        """The d-DNNF counterpart of :meth:`_collect_over_budget`: evict
+        cached queries until the total d-DNNF node footprint fits
+        ``max_nodes`` (or only ``keep`` remains).  Footprints are exact
+        and exclusive (each query owns its DAG), so ``size-lru`` scores
+        ``size × staleness`` directly — no reachability sweep needed."""
+        if self.max_nodes is None or self.live_nodes() <= self.max_nodes:
+            return
+        victims = [q for q in self._ddnnf if q != keep]
+        if self.eviction_policy == "size-lru" and len(victims) > 1:
+            n = len(victims)
+            scored = sorted(
+                (-(self._ddnnf[q].size + 1) * (n - age), age, q)
+                for age, q in enumerate(victims)
+            )
+            victims = [q for _, _, q in scored]
+        for q in victims:
+            if self.live_nodes() <= self.max_nodes:
+                break
+            self.forget(q)
+            self._evicted += 1
+
+    def live_nodes(self) -> int:
+        """The session's current compiled-node footprint — the number the
+        ``max_nodes`` budget bounds and service-tier quotas charge
+        against: manager live nodes for the SDD backend, total cached
+        d-DNNF nodes for the d-DNNF backend."""
+        if self.backend == "ddnnf":
+            return sum(r.size for r in self._ddnnf.values())
+        return 0 if self._manager is None else self._manager.live_node_count
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -398,12 +543,22 @@ class QueryEngine:
         private ``_and_cache`` / ``_memo`` attributes.
         """
         out: dict[str, int | str] = {
-            "queries_compiled": len(self._roots),
+            "queries_compiled": (
+                len(self._ddnnf) if self.backend == "ddnnf" else len(self._roots)
+            ),
             "queries_evicted": self._evicted,
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
+            "cache_evictions": self._evicted,
+            "backend": self.backend,
             "eviction_policy": self.eviction_policy,
             "minimize_runs": self._minimize_runs,
             "tuples": self.db.size,
         }
+        if self.backend == "ddnnf":
+            out["ddnnf_nodes"] = self.live_nodes()
+            out["wmc_memo_entries"] = len(self._ddnnf_values)
+            return out
         if self._manager is not None:
             m = self._manager.stats()
             out["manager_nodes"] = m["nodes"]

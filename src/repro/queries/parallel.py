@@ -98,9 +98,9 @@ def _evaluate_shard(payload):
     ``None`` if the query was evicted by the time the shard finished
     (mirroring the serial batch contract).
     """
-    db, vtree_ops, max_nodes, items, exact = payload
-    vtree = Vtree.from_postfix(vtree_ops)
-    engine = QueryEngine(db, vtree=vtree, max_nodes=max_nodes)
+    db, vtree_ops, max_nodes, backend, items, exact = payload
+    vtree = Vtree.from_postfix(vtree_ops) if vtree_ops is not None else None
+    engine = QueryEngine(db, vtree=vtree, max_nodes=max_nodes, backend=backend)
     return _run_items(engine, items, exact)
 
 
@@ -108,10 +108,9 @@ def _run_items(engine: QueryEngine, items, exact: bool):
     results = []
     for idx, q in items:
         p = engine.probability(q, exact=exact)
-        mgr = engine.manager
-        root = engine.cached_root(q)  # just asked for: never evicted yet
-        assert mgr is not None and root is not None
-        results.append((idx, p, mgr.size(root)))
+        size = engine.compiled_size(q)  # just asked for: never evicted yet
+        assert size is not None
+        results.append((idx, p, size))
     roots = [(idx, engine.cached_root(q)) for idx, q in items]
     return results, roots, engine.stats()
 
@@ -138,7 +137,7 @@ class ParallelBatchEvaluation:
     shards: list[int]
     workers: int
     mode: str
-    vtree: Vtree
+    vtree: Vtree | None  # None for the (vtree-free) d-DNNF backend
     worker_stats: dict[int, dict[str, int | str]]  # shard index -> engine stats
     stats: dict[str, int | str] = field(default_factory=dict)
 
@@ -165,6 +164,16 @@ class ParallelQueryEngine:
     the module docstring for the choice rule and the determinism
     guarantee.  Not safe for *concurrent* ``evaluate`` calls on the same
     instance.
+
+    ``backend`` selects the compiled representation per worker engine
+    (``"sdd"`` or ``"ddnnf"`` — the latter needs no shared vtree, every
+    other guarantee is unchanged).  ``persistent=True`` routes batches
+    through a long-lived :class:`~repro.service.pool.WorkerPool` instead
+    of the per-batch executors: worker engines (threads *and* spawn-child
+    processes) survive across batches, and ``steal`` lets idle workers
+    take queued work from skewed shards — answers stay bit-identical, per
+    the pool's determinism guarantee.  A persistent engine should be
+    :meth:`close`\\ d (or used as a context manager) when done.
     """
 
     def __init__(
@@ -176,6 +185,9 @@ class ParallelQueryEngine:
         max_nodes: int | None = None,
         mode: str = "auto",
         shard_seed: int = 0,
+        backend: str = "sdd",
+        persistent: bool = False,
+        steal: bool = True,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -183,15 +195,23 @@ class ParallelQueryEngine:
             raise ValueError(f"unknown mode {mode!r}")
         if max_nodes is not None and max_nodes <= 0:
             raise ValueError("max_nodes must be positive")
+        if backend not in QueryEngine._BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {QueryEngine._BACKENDS}"
+            )
         self.db = db
         self.workers = workers
         self.max_nodes = max_nodes
         self.mode = mode
         self.shard_seed = shard_seed
+        self.backend = backend
+        self.persistent = persistent
+        self.steal = steal
         self._vtree = vtree
         # threads mode keeps one engine per shard alive across batches —
         # the session-sharing contract of the serial engine, per shard.
         self._engines: dict[int, QueryEngine] = {}
+        self._pool = None  # persistent=True: the lazily started WorkerPool
 
     @property
     def vtree(self) -> Vtree | None:
@@ -202,7 +222,9 @@ class ParallelQueryEngine:
         """The worker index this engine deterministically assigns ``query``."""
         return shard_of(query, self.workers, self.shard_seed)
 
-    def _ensure_vtree(self, first_query: UCQ) -> Vtree:
+    def _ensure_vtree(self, first_query: UCQ) -> Vtree | None:
+        if self.backend == "ddnnf":
+            return None  # d-DNNF compiles from tree decompositions, no vtree
         if self._vtree is None:
             self._vtree = lineage_vtree(first_query, self.db)
         return self._vtree
@@ -231,7 +253,12 @@ class ParallelQueryEngine:
         if self.workers == 1:
             engine = self._engines.get(0)
             if engine is None:
-                engine = QueryEngine(self.db, vtree=self._vtree, max_nodes=self.max_nodes)
+                engine = QueryEngine(
+                    self.db,
+                    vtree=self._vtree,
+                    max_nodes=self.max_nodes,
+                    backend=self.backend,
+                )
                 self._engines[0] = engine
             batch = engine.evaluate(qs, exact=exact)
             self._vtree = engine.vtree
@@ -245,6 +272,8 @@ class ParallelQueryEngine:
         mode = self._resolve_mode(len(qs))
         occupied = sorted(items_per_worker)
 
+        if self.persistent:
+            return self._run_pool(qs, shards, items_per_worker, exact, vtree, mode)
         if mode == "threads":
             outputs = self._run_threads(occupied, items_per_worker, exact, vtree)
         else:
@@ -283,7 +312,10 @@ class ParallelQueryEngine:
         for w in occupied:
             if w not in self._engines:
                 self._engines[w] = QueryEngine(
-                    self.db, vtree=vtree, max_nodes=self.max_nodes
+                    self.db,
+                    vtree=vtree,
+                    max_nodes=self.max_nodes,
+                    backend=self.backend,
                 )
         if len(occupied) == 1:
             w = occupied[0]
@@ -299,9 +331,9 @@ class ParallelQueryEngine:
         from concurrent.futures import ProcessPoolExecutor
         from multiprocessing import get_context
 
-        vtree_ops = vtree.to_postfix()
+        vtree_ops = None if vtree is None else vtree.to_postfix()
         payloads = [
-            (self.db, vtree_ops, self.max_nodes, items_per_worker[w], exact)
+            (self.db, vtree_ops, self.max_nodes, self.backend, items_per_worker[w], exact)
             for w in occupied
         ]
         if len(payloads) == 1:
@@ -315,13 +347,79 @@ class ParallelQueryEngine:
         ) as pool:
             return list(pool.map(_evaluate_shard, payloads))
 
+    def _run_pool(self, qs, shards, items_per_worker, exact, vtree, mode):
+        """``persistent=True``: run the batch on the long-lived
+        :class:`~repro.service.pool.WorkerPool` (started on the first
+        batch with the mode resolved then; warm engines and — in spawn
+        mode — warm child processes serve every later batch)."""
+        pool = self._ensure_pool(vtree, mode)
+        results = pool.run_batch(items_per_worker, exact=exact)
+        probabilities: list = [None] * len(qs)
+        sizes: list = [0] * len(qs)
+        roots: list = [None] * len(qs)
+        for idx, r in results.items():
+            probabilities[idx] = r.probability
+            sizes[idx] = r.size
+            roots[idx] = r.root
+        worker_stats = pool.worker_stats()
+        stats = self._merge_stats(list(worker_stats.values()))
+        stats.update(pool.stats())
+        return ParallelBatchEvaluation(
+            queries=list(qs),
+            probabilities=probabilities,
+            roots=roots,
+            sizes=sizes,
+            shards=shards,
+            workers=self.workers,
+            mode=pool.mode,
+            vtree=vtree,
+            worker_stats=worker_stats,
+            stats=stats,
+        )
+
+    def _ensure_pool(self, vtree, mode):
+        if self._pool is None:
+            from ..service.pool import WorkerPool
+
+            self._pool = WorkerPool(
+                self.db,
+                workers=self.workers,
+                vtree=vtree,
+                max_nodes=self.max_nodes,
+                mode=mode,
+                steal=self.steal,
+                backend=self.backend,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool, if one was started.
+        Idempotent; a no-op for the classic per-batch paths."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ParallelQueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def engines(self) -> dict[int, QueryEngine]:
-        """The live per-shard engines (threads/serial modes only; spawn
-        workers live and die with their batch)."""
+        """The live per-shard engines (classic threads/serial modes; with
+        ``persistent=True`` see the pool's own
+        :meth:`~repro.service.pool.WorkerPool.engines`)."""
+        if self._pool is not None:
+            return self._pool.engines()
         return dict(self._engines)
+
+    @property
+    def pool(self):
+        """The persistent :class:`~repro.service.pool.WorkerPool`
+        (``None`` unless ``persistent=True`` and a batch has run)."""
+        return self._pool
 
     def _merge_stats(
         self, worker_stats: Sequence[dict[str, int | str]]

@@ -123,6 +123,29 @@ class UCQ:
     def __str__(self) -> str:
         return " | ".join(str(d) for d in self.disjuncts)
 
+    def normalized(self) -> str:
+        """Canonical query text for content-keyed caches.
+
+        Conjunction and disjunction are commutative and idempotent, so
+        atoms/inequalities are sorted and deduplicated within each
+        disjunct and the disjuncts sorted and deduplicated in turn —
+        ``S(x,y),R(x)`` and ``R(x),S(x,y)`` key the same cache entry
+        (:class:`repro.service.QueryService` uses this with
+        :meth:`repro.queries.database.Database.fingerprint`).  Variable
+        *renamings* are not canonicalized; syntactically distinct
+        equivalent queries may still occupy separate entries.
+        """
+        parts = sorted(
+            {
+                ",".join(
+                    sorted({str(a) for a in d.atoms})
+                    + sorted({str(i) for i in d.inequalities})
+                )
+                for d in self.disjuncts
+            }
+        )
+        return " | ".join(parts)
+
 
 _ATOM = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\(([^()]*)\)")
 _INEQ = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*!=\s*([A-Za-z_][A-Za-z0-9_]*)")

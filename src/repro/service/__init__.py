@@ -1,0 +1,32 @@
+"""The always-on query service tier (PR 7).
+
+A long-lived front door over the query-compilation engines: persistent
+warm worker pools (:mod:`~repro.service.pool`), admission control and
+per-session quotas (:mod:`~repro.service.admission`), and the
+session-multiplexing service itself with its shared content-keyed answer
+cache (:mod:`~repro.service.service`).  Answers are bit-identical to a
+serial :class:`~repro.queries.engine.QueryEngine` for every worker
+count, execution mode, and steal schedule.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    QuotaExceeded,
+    ServiceSaturated,
+    Session,
+)
+from .pool import TaskResult, WorkerPool
+from .service import QueryService, ServiceAnswer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "QuotaExceeded",
+    "ServiceSaturated",
+    "Session",
+    "TaskResult",
+    "WorkerPool",
+    "QueryService",
+    "ServiceAnswer",
+]

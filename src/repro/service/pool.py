@@ -1,0 +1,389 @@
+"""Persistent per-shard worker pools with work-stealing.
+
+The execution substrate of the always-on service tier: ``workers``
+long-lived :class:`~repro.queries.engine.QueryEngine` sessions — in-process
+(``mode="threads"``) or in spawn-started child processes kept alive on a
+task queue (``mode="spawn"``) — all sharing one read-only base vtree.
+Where :class:`~repro.queries.parallel.ParallelQueryEngine`'s classic spawn
+path starts and tears down a process pool per batch (interpreter start,
+imports, vtree transfer, cache warm-up — every batch), a
+:class:`WorkerPool` pays those costs once: engines, hash-cons tables,
+apply caches, WMC memos, and compiled-query caches all survive across
+batches and sessions.
+
+Scheduling
+----------
+
+Tasks enter per-shard FIFO queues (shard = the deterministic
+:func:`~repro.queries.parallel.shard_of` assignment, so repeat queries
+find the worker whose compiled-query cache already holds them).  Each
+worker drains its own queue head-first; with ``steal=True`` an idle
+worker takes from the **tail of the longest other queue** instead of
+sleeping — classic work-stealing, so one skewed shard no longer bounds
+batch latency by itself.
+
+Determinism guarantee
+---------------------
+
+Stealing moves *where* a query is evaluated, never *what* it answers:
+every worker compiles against the same base vtree, SDDs (and the
+decomposition-driven d-DNNFs) are canonical, so probabilities and sizes
+are bit-identical to serial evaluation for every worker count and every
+steal schedule.  Results are reassembled by task id, so arrival order
+never leaks into batch order.  What stealing *can* move is which worker's
+``max_nodes`` budget a query is charged to — the same latitude the
+shard-local budgets always had (it affects ``root`` liveness markers and
+per-worker counters, never answers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..core.vtree import Vtree
+from ..queries.database import ProbabilisticDatabase
+from ..queries.engine import QueryEngine
+from ..queries.syntax import UCQ
+
+__all__ = ["WorkerPool", "TaskResult"]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One evaluated query: the exact probability, the compiled size (at
+    evaluation time), the root id in the executing worker's store (not
+    dereferenceable for spawn workers), and which worker ran it."""
+
+    probability: float | Fraction
+    size: int
+    root: int | None
+    worker: int
+
+
+@dataclass
+class _Task:
+    query: UCQ
+    exact: bool
+    future: Future = field(default_factory=Future)
+
+
+class _Scheduler:
+    """Per-shard FIFO queues + the steal rule, under one condition var.
+
+    ``get`` blocks until a task is available for ``worker`` (its own queue
+    head, else — when stealing is on — the tail of the longest non-empty
+    queue, smallest owner id breaking ties deterministically) or the pool
+    closes (returns ``None``)."""
+
+    def __init__(self, workers: int, steal: bool):
+        self._queues: list[deque[_Task]] = [deque() for _ in range(workers)]
+        self._cond = threading.Condition()
+        self._steal = steal
+        self._closed = False
+        self.steals = 0
+        self.tasks_queued = 0
+
+    def put(self, shard: int, task: _Task) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self._queues[shard].append(task)
+            self.tasks_queued += 1
+            self._cond.notify_all()
+
+    def get(self, worker: int) -> _Task | None:
+        with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                own = self._queues[worker]
+                if own:
+                    return own.popleft()
+                if self._steal:
+                    victim = max(
+                        (w for w, q in enumerate(self._queues) if q and w != worker),
+                        key=lambda w: (len(self._queues[w]), -w),
+                        default=None,
+                    )
+                    if victim is not None:
+                        self.steals += 1
+                        return self._queues[victim].pop()
+                self._cond.wait()
+
+    def close(self) -> list[_Task]:
+        """Close the intake and return (to fail) any still-queued tasks."""
+        with self._cond:
+            self._closed = True
+            leftovers = [t for q in self._queues for t in q]
+            for q in self._queues:
+                q.clear()
+            self._cond.notify_all()
+            return leftovers
+
+
+def _pool_worker_main(conn, payload) -> None:
+    """A spawn worker's whole life (top-level so the child can import it):
+    build one warm engine, then serve tasks off the pipe until the ``None``
+    sentinel.  Engine state — vtree, manager, caches — persists across
+    every task and batch the parent ever sends."""
+    db, vtree_ops, max_nodes, backend = payload
+    vtree = Vtree.from_postfix(vtree_ops) if vtree_ops is not None else None
+    engine = QueryEngine(db, vtree=vtree, max_nodes=max_nodes, backend=backend)
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            query, exact = msg
+            try:
+                p = engine.probability(query, exact=exact)
+                size = engine.compiled_size(query)  # just answered: present
+                conn.send(
+                    ("ok", p, size, engine.cached_root(query), engine.stats())
+                )
+            except Exception as exc:  # surface, don't kill the worker
+                conn.send(("err", repr(exc), 0, None, engine.stats()))
+    except (EOFError, KeyboardInterrupt):  # parent died / interrupted
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """``workers`` persistent warm engines behind a work-stealing scheduler.
+
+    ``mode="threads"`` keeps each engine on an in-process worker thread;
+    ``mode="spawn"`` keeps each engine in a long-lived spawn-started child
+    process fed one task at a time over a pipe by a parent-side feeder
+    thread (both modes share the scheduler, so stealing and determinism
+    behave identically).  The pool starts lazily on the first
+    :meth:`submit` and must eventually be :meth:`close`\\ d (workers are
+    daemons, so a forgotten pool cannot hang interpreter exit).
+
+    ``vtree`` is the shared base vtree (required for the SDD backend so
+    every worker compiles canonically against the same decomposition;
+    pass ``None`` for ``backend="ddnnf"``).  ``max_nodes`` is the
+    per-worker session budget, as in
+    :class:`~repro.queries.parallel.ParallelQueryEngine`.
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        *,
+        workers: int,
+        vtree: Vtree | None,
+        max_nodes: int | None = None,
+        mode: str = "threads",
+        steal: bool = True,
+        backend: str = "sdd",
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if mode not in ("threads", "spawn"):
+            raise ValueError(f"unknown mode {mode!r} (threads or spawn)")
+        if vtree is None and backend == "sdd":
+            raise ValueError("the sdd backend needs a shared base vtree")
+        self.db = db
+        self.workers = workers
+        self.vtree = vtree
+        self.max_nodes = max_nodes
+        self.mode = mode
+        self.steal = steal
+        self.backend = backend
+        self.batches_served = 0
+        self.tasks_served = 0
+        self._scheduler = _Scheduler(workers, steal)
+        self._threads: list[threading.Thread] = []
+        self._engines: dict[int, QueryEngine] = {}
+        self._procs: list = []
+        self._conns: list = []
+        self._spawn_stats: dict[int, dict[str, int | str]] = {}
+        self._started = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Start the workers (idempotent; :meth:`submit` calls it)."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if self.mode == "spawn":
+                self._start_spawn_workers()
+            for w in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker_loop,
+                    args=(w,),
+                    name=f"repro-pool-{self.mode}-{w}",
+                    daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+            self._started = True
+            return self
+
+    def _start_spawn_workers(self) -> None:
+        from multiprocessing import get_context
+
+        ctx = get_context("spawn")
+        vtree_ops = None if self.vtree is None else self.vtree.to_postfix()
+        payload = (self.db, vtree_ops, self.max_nodes, self.backend)
+        for w in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_pool_worker_main, args=(child_conn, payload), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def close(self) -> None:
+        """Shut the pool down: fail queued tasks, stop worker threads, and
+        terminate spawn children (sentinel first, hard kill as backstop).
+        Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for task in self._scheduler.close():
+            task.future.set_exception(RuntimeError("pool closed"))
+        for t in self._threads:
+            t.join(timeout=30)
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # work
+    # ------------------------------------------------------------------
+    def submit(self, shard: int, query: UCQ, *, exact: bool = False) -> Future:
+        """Enqueue one query on ``shard``'s queue; returns a
+        :class:`concurrent.futures.Future` resolving to a
+        :class:`TaskResult`.  Thread-safe; callable from any thread (the
+        service's asyncio loop wraps the future)."""
+        if not self._started:
+            self.start()
+        task = _Task(query=query, exact=exact)
+        self._scheduler.put(shard % self.workers, task)
+        return task.future
+
+    def run_batch(
+        self, items_per_shard: dict[int, list[tuple[int, UCQ]]], *, exact: bool = False
+    ) -> dict[int, TaskResult]:
+        """Evaluate one batch (``shard -> [(batch_index, query), ...]``)
+        and block until every task resolves; returns ``batch_index ->
+        TaskResult``.  Queries keep their per-shard order, so a worker
+        that never steals sees exactly the serial LRU sequence of its
+        shard."""
+        futures: dict[int, Future] = {}
+        for shard in sorted(items_per_shard):
+            for idx, query in items_per_shard[shard]:
+                futures[idx] = self.submit(shard, query, exact=exact)
+        results = {idx: f.result() for idx, f in futures.items()}
+        self.batches_served += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+    def _worker_loop(self, w: int) -> None:
+        while True:
+            task = self._scheduler.get(w)
+            if task is None:
+                return
+            try:
+                result = self._execute(w, task)
+            except BaseException as exc:  # noqa: BLE001 - routed to waiter
+                task.future.set_exception(exc)
+            else:
+                self.tasks_served += 1
+                task.future.set_result(result)
+
+    def _execute(self, w: int, task: _Task) -> TaskResult:
+        if self.mode == "threads":
+            engine = self._engines.get(w)
+            if engine is None:
+                # Lazily built, used only by worker thread w — no locking.
+                engine = QueryEngine(
+                    self.db,
+                    vtree=self.vtree,
+                    max_nodes=self.max_nodes,
+                    backend=self.backend,
+                )
+                self._engines[w] = engine
+            p = engine.probability(task.query, exact=task.exact)
+            size = engine.compiled_size(task.query)  # just answered: present
+            return TaskResult(
+                probability=p,
+                size=size,
+                root=engine.cached_root(task.query),
+                worker=w,
+            )
+        # spawn: round-trip through worker w's pipe (feeder thread w is the
+        # only user of conns[w], so no pipe-level locking either).
+        conn = self._conns[w]
+        conn.send((task.query, task.exact))
+        status, p, size, root, stats = conn.recv()
+        self._spawn_stats[w] = stats
+        if status != "ok":
+            raise RuntimeError(f"spawn worker {w} failed: {p}")
+        return TaskResult(probability=p, size=size, root=root, worker=w)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def engines(self) -> dict[int, QueryEngine]:
+        """The live per-worker engines (threads mode; spawn engines live
+        in their child processes)."""
+        return dict(self._engines)
+
+    def worker_pids(self) -> list[int]:
+        """Spawn worker process ids (stable across batches — that is the
+        point); empty in threads mode."""
+        return [p.pid for p in self._procs]
+
+    def worker_stats(self) -> dict[int, dict[str, int | str]]:
+        """Per-worker engine ``stats()`` — live for threads workers, the
+        snapshot piggybacked on each result for spawn workers."""
+        if self.mode == "threads":
+            return {w: e.stats() for w, e in self._engines.items()}
+        return dict(self._spawn_stats)
+
+    def stats(self) -> dict[str, int | str]:
+        """Pool-level counters (scheduler + lifecycle; per-engine counters
+        live in :meth:`worker_stats`)."""
+        return {
+            "pool_mode": self.mode,
+            "pool_workers": self.workers,
+            "pool_started": int(self._started),
+            "pool_batches_served": self.batches_served,
+            "pool_tasks_served": self.tasks_served,
+            "pool_tasks_queued": self._scheduler.tasks_queued,
+            "pool_steals": self._scheduler.steals,
+        }
+

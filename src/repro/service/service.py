@@ -1,0 +1,356 @@
+"""The always-on query service: one warm pool, many sessions.
+
+:class:`QueryService` is the long-lived front door over the engine tier.
+Where a :class:`~repro.queries.engine.QueryEngine` is one caller's
+session and a :class:`~repro.queries.parallel.ParallelQueryEngine` is one
+caller's batch harness, the service multiplexes *many concurrent
+sessions* onto one persistent :class:`~repro.service.pool.WorkerPool`:
+
+- **warm workers** — per-shard engines (threads or spawn-child
+  processes) built once and reused for every batch of every session, so
+  vtrees, hash-cons tables, apply caches, and WMC memos amortize across
+  the service's whole lifetime;
+- **a shared answer cache** — keyed by *content*
+  (:meth:`~repro.queries.syntax.UCQ.normalized` text +
+  :meth:`~repro.queries.database.Database.fingerprint` + backend +
+  value ring, via :func:`~repro.compiler.cache.fingerprint`), so one
+  session's work answers another session's repeat instantly, and the
+  hit/miss/eviction counters surface in :meth:`stats`;
+- **admission control** — a bounded in-flight window that *rejects* with
+  a retry hint (:exc:`~repro.service.admission.ServiceSaturated`) rather
+  than queueing unboundedly, and per-session compiled-node quotas
+  (:exc:`~repro.service.admission.QuotaExceeded`) charged from the
+  canonical compiled sizes — deterministic for sequential submissions,
+  independent of worker count or steal schedule.
+
+Answers are **bit-identical to a serial engine**: compilation happens on
+pool workers against one shared base vtree (SDDs are canonical per
+vtree; d-DNNF sizes/values are decomposition-determined), the cache only
+ever stores values a worker computed, and results are matched back to
+queries by id, never by arrival order.
+
+The service is thread-safe and asyncio-friendly: :meth:`submit` is a
+coroutine (futures bridged with :func:`asyncio.wrap_future`),
+:meth:`submit_sync` the blocking twin.  One quota note: quota checks are
+per *submission*, admission is all-or-nothing per batch — a batch
+admitted under budget runs to completion even if it crosses the quota
+mid-way; the *next* submission is rejected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .admission import AdmissionController, Session
+from .pool import WorkerPool
+from ..compiler.cache import LruStatsCache, fingerprint
+from ..core.vtree import Vtree
+from ..queries.compile import lineage_vtree
+from ..queries.database import ProbabilisticDatabase
+from ..queries.engine import QueryEngine
+from ..queries.parallel import shard_of
+from ..queries.syntax import UCQ
+
+__all__ = ["QueryService", "ServiceAnswer"]
+
+
+@dataclass(frozen=True)
+class ServiceAnswer:
+    """One answered query: the probability, the compiled size it was
+    charged at, whether it came from the shared answer cache, and (for
+    freshly computed answers) the worker that ran it."""
+
+    probability: float | Fraction
+    size: int
+    cached: bool
+    worker: int | None
+
+
+class QueryService:
+    """Serve probabilistic queries from many sessions over one warm pool.
+
+    ``workers``/``mode``/``steal``/``backend``/``max_nodes`` configure
+    the underlying :class:`WorkerPool` (``max_nodes`` is the per-worker
+    engine budget, as in the parallel tier).  ``vtree`` pins the shared
+    base vtree; otherwise it is derived from the first query ever
+    submitted, exactly as a serial engine would.
+
+    ``cache_capacity`` bounds the shared answer cache (``None`` =
+    unbounded); ``max_in_flight`` bounds admitted-but-unanswered queries
+    across all sessions; ``session_quota`` is the default per-session
+    compiled-node budget (``None`` = unmetered; per-session overrides via
+    :meth:`session`).
+
+    The pool starts lazily on the first submission and must be
+    :meth:`close`\\ d (or use the service as a context manager).
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        *,
+        workers: int = 2,
+        mode: str = "threads",
+        vtree: Vtree | None = None,
+        max_nodes: int | None = None,
+        backend: str = "sdd",
+        steal: bool = True,
+        shard_seed: int = 0,
+        cache_capacity: int | None = None,
+        max_in_flight: int = 1024,
+        retry_after: float = 0.05,
+        session_quota: int | None = None,
+    ):
+        if backend not in QueryEngine._BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {QueryEngine._BACKENDS}"
+            )
+        self.db = db
+        self.workers = workers
+        self.mode = mode
+        self.max_nodes = max_nodes
+        self.backend = backend
+        self.steal = steal
+        self.shard_seed = shard_seed
+        self.session_quota = session_quota
+        self._vtree = vtree
+        self._db_fp = db.fingerprint()
+        self._cache = LruStatsCache(cache_capacity)
+        self._admission = AdmissionController(max_in_flight, retry_after)
+        self._sessions: dict[str, Session] = {}
+        self._pool: WorkerPool | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._queries_served = 0
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def session(self, name: str, *, max_nodes: int | None = None) -> Session:
+        """Fetch-or-create the session ``name``.  ``max_nodes`` sets its
+        quota on first creation (defaulting to the service-wide
+        ``session_quota``); an existing session keeps its ledger."""
+        with self._lock:
+            return self._session(name, max_nodes)
+
+    def _session(self, name: str, max_nodes: int | None = None) -> Session:
+        sess = self._sessions.get(name)
+        if sess is None:
+            quota = max_nodes if max_nodes is not None else self.session_quota
+            sess = Session(name=name, max_nodes=quota)
+            self._sessions[name] = sess
+        return sess
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_sync(
+        self,
+        queries: Iterable[UCQ],
+        *,
+        session: str = "default",
+        exact: bool = False,
+    ) -> list[ServiceAnswer]:
+        """Blocking submit: admit the batch (or raise
+        :exc:`ServiceSaturated` / :exc:`QuotaExceeded`), wait for every
+        answer, and return them in batch order."""
+        return [f.result() for f in self._dispatch(list(queries), session, exact)]
+
+    async def submit(
+        self,
+        queries: Iterable[UCQ],
+        *,
+        session: str = "default",
+        exact: bool = False,
+    ) -> list[ServiceAnswer]:
+        """Asyncio submit: admission happens synchronously at call time
+        (so rejections raise immediately, before any await); the answers
+        are awaited without blocking the event loop."""
+        futures = self._dispatch(list(queries), session, exact)
+        return list(
+            await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+        )
+
+    def probability(
+        self, query: UCQ, *, session: str = "default", exact: bool = False
+    ) -> float | Fraction:
+        """One-query convenience wrapper over :meth:`submit_sync`."""
+        return self.submit_sync([query], session=session, exact=exact)[0].probability
+
+    def _dispatch(
+        self, qs: Sequence[UCQ], session: str, exact: bool
+    ) -> list[Future]:
+        """Admit and route one batch; returns one client future per query
+        (in batch order), each resolving to a :class:`ServiceAnswer`.
+
+        Under the service lock: quota check (whole batch rejected if the
+        session is already over), all-or-nothing admission, then per
+        query either an answer-cache hit (charged and released
+        immediately) or a pool submission.  Completion callbacks are
+        attached *outside* the lock — a fast worker may complete the task
+        before ``add_done_callback`` returns, running the callback on
+        this thread, and the callback takes the lock itself.
+        """
+        if not qs:
+            raise ValueError("empty workload")
+        pending: list[tuple[Future, Future, str, Session]] = []
+        out: list[Future] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            sess = self._session(session)
+            sess.check()  # QuotaExceeded
+            self._admission.try_admit(len(qs))  # ServiceSaturated
+            pool = self._ensure_pool(qs[0])
+            for q in qs:
+                key = self._cache_key(q, exact)
+                hit = self._cache.get(key)
+                client: Future = Future()
+                out.append(client)
+                if hit is not None:
+                    p, size = hit
+                    sess.charge(size)
+                    self._admission.release(1)
+                    self._queries_served += 1
+                    client.set_result(
+                        ServiceAnswer(probability=p, size=size, cached=True, worker=None)
+                    )
+                    continue
+                task = pool.submit(
+                    shard_of(q, self.workers, self.shard_seed), q, exact=exact
+                )
+                pending.append((task, client, key, sess))
+        for task, client, key, sess in pending:
+            task.add_done_callback(self._completion(client, key, sess))
+        return out
+
+    def _completion(self, client: Future, key: str, sess: Session):
+        def done(task: Future) -> None:
+            try:
+                r = task.result()
+            except BaseException as exc:  # noqa: BLE001 - routed to client
+                with self._lock:
+                    self._admission.release(1)
+                client.set_exception(exc)
+                return
+            with self._lock:
+                self._cache.put(key, (r.probability, r.size))
+                sess.charge(r.size)
+                self._admission.release(1)
+                self._queries_served += 1
+            client.set_result(
+                ServiceAnswer(
+                    probability=r.probability, size=r.size, cached=False, worker=r.worker
+                )
+            )
+
+        return done
+
+    def _cache_key(self, query: UCQ, exact: bool) -> str:
+        return fingerprint(
+            query.normalized(),
+            self._db_fp,
+            self.backend,
+            "exact" if exact else "float",
+        )
+
+    def _ensure_pool(self, first_query: UCQ) -> WorkerPool:
+        if self._pool is None:
+            vtree = self._vtree
+            if vtree is None and self.backend == "sdd":
+                vtree = lineage_vtree(first_query, self.db)
+                self._vtree = vtree
+            self._pool = WorkerPool(
+                self.db,
+                workers=self.workers,
+                vtree=vtree,
+                max_nodes=self.max_nodes,
+                mode=self.mode,
+                steal=self.steal,
+                backend=self.backend,
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    @property
+    def vtree(self) -> Vtree | None:
+        """The shared base vtree (``None`` until the first SDD query)."""
+        return self._vtree
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The underlying worker pool (``None`` until the first batch)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Refuse new submissions and shut the pool down (idempotent; any
+        in-flight queries are failed by the pool)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool = self._pool
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int | str]:
+        """One merged counter dictionary for operators:
+
+        - ``service_*`` — queries served, session count;
+        - ``cache_*`` — the shared answer cache (hits / misses /
+          evictions / entries / capacity);
+        - ``admission_*`` — in-flight window and admit/reject totals;
+        - ``pool_*`` — scheduler and lifecycle counters (including
+          ``pool_steals``);
+        - ``engine_*`` — the pool workers' own engine counters summed
+          (ints summed, strings passed through — the
+          :meth:`~repro.queries.parallel.ParallelQueryEngine._merge_stats`
+          convention), so the per-engine compiled-query cache counters
+          stay distinguishable from the service-level answer cache.
+        """
+        with self._lock:
+            out: dict[str, int | str] = {
+                "service_queries": self._queries_served,
+                "service_sessions": len(self._sessions),
+                "db_fingerprint": self._db_fp,
+            }
+            out.update(self._cache.stats())
+            out.update(self._admission.stats())
+            pool = self._pool
+        if pool is not None:
+            out.update(pool.stats())
+            merged: dict[str, int | str] = {}
+            for stats in pool.worker_stats().values():
+                for k, v in stats.items():
+                    if isinstance(v, str):
+                        merged[k] = v
+                    else:
+                        merged[k] = merged.get(k, 0) + v
+            out.update({f"engine_{k}": v for k, v in merged.items()})
+        return out
+
+    def session_stats(self) -> dict[str, dict[str, int]]:
+        """Per-session ledgers: nodes used, quota, answered/rejected."""
+        with self._lock:
+            return {
+                name: {
+                    "max_nodes": 0 if s.max_nodes is None else s.max_nodes,
+                    "nodes_used": s.nodes_used,
+                    "queries_answered": s.queries_answered,
+                    "queries_rejected": s.queries_rejected,
+                }
+                for name, s in self._sessions.items()
+            }

@@ -66,6 +66,32 @@ class TestQuery:
         assert "39/64" in out
 
 
+class TestServe:
+    def test_serve_exact_sessions_and_stats(self, capsys):
+        assert main(["serve", "R(x),S(x,y); S(x,y)", "--domain", "2",
+                     "--sessions", "3", "--repeats", "2", "--workers", "2",
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "serve: 2 queries x 3 sessions x 2 repeats" in out
+        assert "service stats:" in out
+        assert "service_queries=12" in out
+
+    def test_serve_single_session_cache_counters(self, capsys):
+        # One sequential session: repeat rounds are deterministic hits.
+        assert main(["serve", "R(x),S(x,y); S(x,y)", "--domain", "2",
+                     "--sessions", "1", "--repeats", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits=4" in out and "cache_misses=2" in out
+
+    def test_serve_ddnnf_backend(self, capsys):
+        assert main(["serve", "R(x),S(x,y)", "--domain", "2",
+                     "--backend", "ddnnf"]) == 0
+        assert "backend=ddnnf" in capsys.readouterr().out
+
+    def test_serve_empty_workload(self):
+        assert main(["serve", " ; ", "--domain", "2"]) == 1
+
+
 class TestIsa:
     def test_isa_small(self, capsys):
         assert main(["isa", "1", "2", "--show-vtree"]) == 0
