@@ -1,0 +1,415 @@
+"""The one framing layer for every on-disk artifact.
+
+Every flat file this repo writes — compiled SDDs, d-DNNF DAGs, OBDDs,
+vtrees, and the binary circuit/NNF payloads — goes through this module:
+one magic, one version field, one CRC, one section directory, one varint
+codec.  Consolidating the framing here (instead of per-format ``"format":
+"repro-xyz-v1"`` keys) is what makes corruption detection uniform: any
+byte flip anywhere in a file surfaces as a typed :class:`ArtifactError`
+with byte-offset context, never a silent wrong answer or a bare
+``struct.error``.
+
+File layout (all integers little-endian)::
+
+    bytes 0..8    magic  b"REPROART"
+    bytes 8..10   format version (u16)
+    bytes 10..12  artifact kind  (u16; see repro.artifact.format)
+    bytes 12..16  CRC-32 of every byte after the header
+    ------------- payload (covered by the CRC) -------------
+    uvarint       section count
+    per section:  uvarint name length, name (ascii),
+                  u8 dtype (0=bytes, 1=i32, 2=i64, 3=u8),
+                  uvarint payload byte length
+    padding       zeros to the next 8-byte boundary
+    sections      each section's payload, zero-padded to 8-byte alignment
+
+Sections are 8-byte aligned so a reader can hand out **zero-copy typed
+views** straight into an ``mmap``-ed file (``memoryview.cast("i")`` /
+``("q")``) — the node tables of a frozen store are then shared read-only
+by every process that maps the file, which is the whole point of the
+artifact tier.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+import zlib
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ArtifactError",
+    "Artifact",
+    "MAGIC",
+    "VERSION",
+    "KIND_VTREE",
+    "KIND_SDD",
+    "KIND_DDNNF",
+    "KIND_OBDD",
+    "KIND_NNF",
+    "KIND_CIRCUIT",
+    "read_uvarint",
+    "write_uvarint",
+    "pack_strings",
+    "unpack_strings",
+    "pack_artifact",
+    "write_artifact",
+    "open_artifact",
+    "load_artifact_bytes",
+]
+
+MAGIC = b"REPROART"
+VERSION = 1
+
+# Artifact kinds (the u16 in the header).  Defined here, next to the
+# framing they are part of; re-exported by repro.artifact.format.
+KIND_VTREE = 1
+KIND_SDD = 2
+KIND_DDNNF = 3
+KIND_OBDD = 4
+KIND_NNF = 5
+KIND_CIRCUIT = 6
+
+_HEADER = struct.Struct("<8sHHI")  # magic, version, kind, crc32
+HEADER_SIZE = _HEADER.size  # 16
+
+# Section dtype codes.
+DTYPE_BYTES = 0
+DTYPE_I32 = 1
+DTYPE_I64 = 2
+DTYPE_U8 = 3
+_DTYPES = (DTYPE_BYTES, DTYPE_I32, DTYPE_I64, DTYPE_U8)
+_ITEMSIZE = {DTYPE_BYTES: 1, DTYPE_I32: 4, DTYPE_I64: 8, DTYPE_U8: 1}
+_CAST = {DTYPE_I32: "i", DTYPE_I64: "q"}
+
+assert struct.calcsize("i") == 4 and struct.calcsize("q") == 8
+
+
+class ArtifactError(Exception):
+    """A malformed, truncated, corrupt, or version-mismatched artifact.
+
+    Carries the byte ``offset`` where the problem was detected and the
+    ``path`` of the file (when reading from disk), so operators can tell
+    a flipped byte from a truncated upload from an old writer.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 path: str | None = None):
+        self.offset = offset
+        self.path = path
+        parts = [message]
+        if offset is not None:
+            parts.append(f"at byte {offset}")
+        if path is not None:
+            parts.append(f"in {path}")
+        super().__init__(" ".join(parts))
+
+
+# ----------------------------------------------------------------------
+# varints and string tables
+# ----------------------------------------------------------------------
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative values")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(buf, pos: int, *, path: str | None = None) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint at ``pos``; returns ``(value, end)``.
+
+    Raises :class:`ArtifactError` (with the offending offset) on
+    truncation or a varint longer than 64 bits.
+    """
+    value = 0
+    shift = 0
+    n = len(buf)
+    start = pos
+    while True:
+        if pos >= n:
+            raise ArtifactError("truncated varint", offset=start, path=path)
+        if shift > 63:
+            raise ArtifactError("varint overflow", offset=start, path=path)
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def pack_strings(strings: Iterable[str]) -> bytes:
+    """A varint-framed UTF-8 string table (count, then len+bytes each)."""
+    items = list(strings)
+    out = bytearray()
+    write_uvarint(out, len(items))
+    for s in items:
+        data = s.encode("utf-8")
+        write_uvarint(out, len(data))
+        out += data
+    return bytes(out)
+
+
+def unpack_strings(buf, *, path: str | None = None) -> list[str]:
+    """Inverse of :func:`pack_strings`; validates framing."""
+    count, pos = read_uvarint(buf, 0, path=path)
+    out: list[str] = []
+    for _ in range(count):
+        length, pos = read_uvarint(buf, pos, path=path)
+        end = pos + length
+        if end > len(buf):
+            raise ArtifactError("truncated string table", offset=pos, path=path)
+        try:
+            out.append(bytes(buf[pos:end]).decode("utf-8"))
+        except UnicodeDecodeError:
+            raise ArtifactError("corrupt string table", offset=pos, path=path) from None
+        pos = end
+    if pos != len(buf):
+        raise ArtifactError("trailing bytes after string table", offset=pos, path=path)
+    return out
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _to_le(dtype: int, data: bytes) -> bytes:
+    """Arrays are stored little-endian; byteswap on big-endian hosts."""
+    if sys.byteorder == "little" or _ITEMSIZE[dtype] == 1:
+        return data
+    import array as _array  # pragma: no cover - big-endian hosts only
+
+    a = _array.array(_CAST[dtype], data)
+    a.byteswap()
+    return a.tobytes()
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def pack_artifact(kind: int, sections: Sequence[tuple[str, int, bytes]]) -> bytes:
+    """Assemble a complete artifact file image.
+
+    ``sections`` is a sequence of ``(name, dtype, payload_bytes)``; typed
+    sections must have a byte length divisible by their item size.
+    """
+    directory = bytearray()
+    write_uvarint(directory, len(sections))
+    for name, dtype, data in sections:
+        if dtype not in _DTYPES:
+            raise ValueError(f"unknown section dtype {dtype}")
+        if len(data) % _ITEMSIZE[dtype]:
+            raise ValueError(
+                f"section {name!r}: {len(data)} bytes is not a multiple of "
+                f"the item size {_ITEMSIZE[dtype]}"
+            )
+        encoded = name.encode("ascii")
+        write_uvarint(directory, len(encoded))
+        directory += encoded
+        directory.append(dtype)
+        write_uvarint(directory, len(data))
+    payload = bytearray(directory)
+    payload += b"\0" * (_align8(HEADER_SIZE + len(directory)) - HEADER_SIZE - len(directory))
+    for _, dtype, data in sections:
+        payload += _to_le(dtype, data)
+        payload += b"\0" * (_align8(len(data)) - len(data))
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, VERSION, kind, crc) + bytes(payload)
+
+
+def write_artifact(path, kind: int, sections: Sequence[tuple[str, int, bytes]]) -> None:
+    """Atomically write an artifact file (temp file + rename, so a reader
+    mmap-ing the path never sees a half-written image)."""
+    data = pack_artifact(kind, sections)
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+class Artifact:
+    """A parsed, CRC-verified artifact: typed zero-copy section views.
+
+    Construct via :func:`open_artifact` (mmap-backed) or
+    :func:`load_artifact_bytes`.  Close mmap-backed instances when done
+    (or use as a context manager); views handed out become invalid after
+    :meth:`close`.
+    """
+
+    def __init__(self, buf, *, path: str | None = None, mm=None, fh=None,
+                 expect_kind: int | None = None):
+        self._buf = memoryview(buf)
+        self._mm = mm
+        self._fh = fh
+        self.path = path
+        n = len(self._buf)
+        if n < HEADER_SIZE:
+            raise ArtifactError("truncated header", offset=n, path=path)
+        magic, version, kind, crc = _HEADER.unpack(self._buf[:HEADER_SIZE])
+        if magic != MAGIC:
+            raise ArtifactError("bad magic (not a repro artifact)", offset=0, path=path)
+        # The header itself is outside the CRC, so each field is validated
+        # individually; version 0 never shipped, so it is corruption too.
+        if version > VERSION or version == 0:
+            raise ArtifactError(
+                f"unsupported artifact version {version} (reader supports "
+                f"1..{VERSION})",
+                offset=8, path=path,
+            )
+        if expect_kind is not None and kind != expect_kind:
+            raise ArtifactError(
+                f"artifact kind {kind} does not match expected {expect_kind}",
+                offset=10, path=path,
+            )
+        payload = self._buf[HEADER_SIZE:]
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != crc:
+            raise ArtifactError(
+                f"CRC mismatch (stored {crc:#010x}, computed {actual:#010x}): "
+                "artifact is corrupt", offset=12, path=path,
+            )
+        self.version = version
+        self.kind = kind
+        # Parse the section directory.
+        count, pos = read_uvarint(payload, 0, path=path)
+        entries: list[tuple[str, int, int]] = []
+        for _ in range(count):
+            nlen, pos = read_uvarint(payload, pos, path=path)
+            end = pos + nlen
+            if end > len(payload):
+                raise ArtifactError("truncated section name",
+                                    offset=HEADER_SIZE + pos, path=path)
+            try:
+                name = bytes(payload[pos:end]).decode("ascii")
+            except UnicodeDecodeError:
+                raise ArtifactError("corrupt section name",
+                                    offset=HEADER_SIZE + pos, path=path) from None
+            pos = end
+            if pos >= len(payload):
+                raise ArtifactError("truncated section dtype",
+                                    offset=HEADER_SIZE + pos, path=path)
+            dtype = payload[pos]
+            pos += 1
+            if dtype not in _DTYPES:
+                raise ArtifactError(f"unknown section dtype {dtype}",
+                                    offset=HEADER_SIZE + pos - 1, path=path)
+            length, pos = read_uvarint(payload, pos, path=path)
+            entries.append((name, dtype, length))
+        data_pos = _align8(HEADER_SIZE + pos) - HEADER_SIZE
+        self._sections: dict[str, tuple[int, int, int]] = {}
+        for name, dtype, length in entries:
+            if length % _ITEMSIZE[dtype]:
+                raise ArtifactError(
+                    f"section {name!r} length {length} not aligned to item size",
+                    offset=HEADER_SIZE + data_pos, path=path,
+                )
+            end = data_pos + length
+            if end > len(payload):
+                raise ArtifactError(
+                    f"section {name!r} runs past end of file",
+                    offset=HEADER_SIZE + data_pos, path=path,
+                )
+            self._sections[name] = (dtype, HEADER_SIZE + data_pos, length)
+            data_pos = _align8(end)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return list(self._sections)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def _entry(self, name: str) -> tuple[int, int, int]:
+        try:
+            return self._sections[name]
+        except KeyError:
+            raise ArtifactError(f"missing section {name!r}", path=self.path) from None
+
+    def raw(self, name: str) -> memoryview:
+        """The section's bytes as a read-only view (no copy)."""
+        dtype, off, length = self._entry(name)
+        return self._buf[off:off + length]
+
+    def i32(self, name: str) -> memoryview:
+        """Zero-copy ``int32`` view (mmap-shared when the file is mapped)."""
+        dtype, off, length = self._entry(name)
+        if dtype != DTYPE_I32:
+            raise ArtifactError(f"section {name!r} is not i32", path=self.path)
+        return self._le_view(name, "i")
+
+    def i64(self, name: str) -> memoryview:
+        dtype, off, length = self._entry(name)
+        if dtype != DTYPE_I64:
+            raise ArtifactError(f"section {name!r} is not i64", path=self.path)
+        return self._le_view(name, "q")
+
+    def _le_view(self, name: str, code: str):
+        view = self.raw(name)
+        if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+            import array as _array
+
+            a = _array.array(code, bytes(view))
+            a.byteswap()
+            return a
+        return view.cast(code)
+
+    def strings(self, name: str) -> list[str]:
+        return unpack_strings(self.raw(name), path=self.path)
+
+    def close(self) -> None:
+        self._buf.release()
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Artifact":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_artifact(path, *, expect_kind: int | None = None,
+                  use_mmap: bool = True) -> Artifact:
+    """Open, verify, and parse an artifact file.
+
+    With ``use_mmap=True`` (default) the file is mapped read-only and all
+    section views alias the mapping — N processes opening the same path
+    share one copy of the node tables through the page cache.
+    """
+    path = os.fspath(path)
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise ArtifactError(f"cannot open artifact: {exc}", path=path) from None
+    try:
+        if use_mmap and os.fstat(fh.fileno()).st_size > 0:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            return Artifact(mm, path=path, mm=mm, fh=fh, expect_kind=expect_kind)
+        data = fh.read()
+        fh.close()
+        return Artifact(data, path=path, expect_kind=expect_kind)
+    except ArtifactError:
+        fh.close()
+        raise
+
+
+def load_artifact_bytes(data: bytes, *, expect_kind: int | None = None) -> Artifact:
+    """Parse an in-memory artifact image (e.g. from a network transfer)."""
+    return Artifact(data, expect_kind=expect_kind)

@@ -2,11 +2,22 @@
 
 Compiled artifacts are expensive; this module lets users persist them.
 DAG sharing survives the round trip (nodes serialized once, by id).
+
+The dict codecs here are the structural source of truth; the *framing*
+has moved to the shared artifact container
+(:mod:`repro.artifact.encoding` — one magic/version/CRC header, one
+varint codec for every on-disk format).  Persist NNF DAGs and circuits
+with :func:`repro.artifact.format.nnf_to_bytes` /
+:func:`~repro.artifact.format.nnf_from_bytes` (and the ``circuit_*``
+twins), which add corruption detection the bare JSON strings never had;
+the old ad-hoc string framing (:func:`nnf_dumps` / :func:`nnf_loads`)
+survives as a deprecated shim.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any
 
 from .circuit import AND, CONST, NOT, OR, VAR, Circuit, Gate
@@ -55,10 +66,25 @@ def nnf_from_dict(data: dict[str, Any]) -> NNF:
 
 
 def nnf_dumps(root: NNF) -> str:
+    """Deprecated: use :func:`repro.artifact.format.nnf_to_bytes` (the
+    shared artifact container adds a version header and CRC)."""
+    warnings.warn(
+        "nnf_dumps is deprecated; use repro.artifact.format.nnf_to_bytes "
+        "(versioned, CRC-checked container framing)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return json.dumps(nnf_to_dict(root))
 
 
 def nnf_loads(text: str) -> NNF:
+    """Deprecated: use :func:`repro.artifact.format.nnf_from_bytes`."""
+    warnings.warn(
+        "nnf_loads is deprecated; use repro.artifact.format.nnf_from_bytes "
+        "(versioned, CRC-checked container framing)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return nnf_from_dict(json.loads(text))
 
 

@@ -68,6 +68,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         # but unused) and the race only needs one cheap vtree choice, so
         # default these backends onto the facade path.
         args.strategy = "natural"
+    if args.save is not None and args.strategy is None:
+        # Saving needs a Compiled handle, which only the facade path
+        # returns; default it onto the facade's default strategy.
+        args.strategy = "lemma1"
     if args.strategy is not None or args.minimize:
         strategy = args.strategy if args.strategy is not None else "best-of"
         compiled = Compiler(
@@ -88,6 +92,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                   f"{stats.get('bags_forget', 0)} responsible bags, "
                   f"peak {stats.get('states_peak', 0)} states/bag")
         print(f"models: {compiled.model_count()} / 2^{len(vs)}")
+        if args.save is not None:
+            compiled.save(args.save)
+            reloaded = Compiler.load(args.save)
+            print(f"saved artifact: {args.save} "
+                  f"({reloaded.backend} backend, size {reloaded.size})")
         return 0
     if args.backend == "obdd":
         print("--backend obdd requires --strategy (facade path)", file=sys.stderr)
@@ -171,7 +180,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     q = parse_ucq(args.query)
     inv = find_inversion(q)
     db = complete_database(_schema_of(q), args.domain, p=args.prob)
-    if args.backend == "sdd":
+    if (args.load is not None or args.save is not None) and args.backend != "sdd":
+        print("--load/--save require --backend sdd (artifacts are frozen "
+              "SDD bases)", file=sys.stderr)
+        return 1
+    if args.load is not None or args.save is not None:
+        engine = QueryEngine(db, frozen=args.load)
+        p = engine.probability(q, exact=args.exact)
+        size = engine.compiled_size(q)
+        frozen_hit = engine.stats()["frozen_hits"] > 0
+        form, width = "SDD", "-"
+        if args.save is not None:
+            if frozen_hit:
+                engine.compile(q)  # freeze sets come from live roots
+            engine.save_artifact(args.save)
+            print(f"saved artifact: {args.save}")
+        if frozen_hit:
+            print(f"answered from artifact {args.load} (no compilation)")
+    elif args.backend == "sdd":
         from .sdd.wmc import probability as sdd_probability
 
         mgr, root = compile_lineage_sdd(q, db)
@@ -298,6 +324,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not queries:
         print("no queries given", file=sys.stderr)
         return 1
+    if args.artifacts is not None and args.backend != "sdd":
+        print("--artifacts requires --backend sdd", file=sys.stderr)
+        return 1
     service = QueryService(
         db,
         workers=args.workers,
@@ -307,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         max_in_flight=args.max_in_flight,
         session_quota=args.session_quota,
+        artifact_dir=args.artifacts,
     )
 
     async def one_session(name: str) -> list:
@@ -322,6 +352,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         all_answers = asyncio.run(drive())
+        if args.artifacts is not None:
+            import os
+
+            os.makedirs(args.artifacts, exist_ok=True)
+            saved = service.save_artifact()
+            print(f"artifact saved: {saved} "
+                  f"(warm start was {'on' if service.stats().get('pool_artifact_warm') else 'off'})")
     finally:
         stats = service.stats()
         service.close()
@@ -378,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="after compiling, minimize the vtree in place with "
                         "live SDD rotations/swaps (apply backend; defaults "
                         "the strategy to best-of when none is given)")
+    c.add_argument("--save", metavar="PATH", default=None,
+                   help="write the compiled result as a flat binary artifact "
+                        "(reload with Compiler.load / 'query --load'; routes "
+                        "through the facade, defaulting --strategy lemma1)")
     c.set_defaults(fn=_cmd_compile)
 
     t = sub.add_parser("ctw", help="exhaustive circuit treewidth (Result 2)")
@@ -392,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--backend", choices=["obdd", "sdd", "ddnnf"], default="obdd")
     q.add_argument("--exact", action="store_true",
                    help="exact Fraction probability (sdd/ddnnf backends)")
+    q.add_argument("--load", metavar="PATH", default=None,
+                   help="answer from a saved artifact base (sdd backend): a "
+                        "stored query is served off the mmap-ed file with no "
+                        "compilation, bit-identical to a live compile")
+    q.add_argument("--save", metavar="PATH", default=None,
+                   help="after answering, freeze the compiled query into an "
+                        "artifact file for later --load (sdd backend)")
     q.set_defaults(fn=_cmd_query)
 
     b = sub.add_parser("batch", help="evaluate a ';'-separated UCQ workload "
@@ -457,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "queries across all sessions")
     s.add_argument("--session-quota", type=int, default=None,
                    help="default per-session compiled-node quota")
+    s.add_argument("--artifacts", metavar="DIR", default=None,
+                   help="artifact directory: warm-start the pool from "
+                        "<db_fingerprint>.rpaf when present, and save the "
+                        "served workload back to it after the run "
+                        "(sdd backend)")
     s.set_defaults(fn=_cmd_serve)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")

@@ -108,6 +108,8 @@ class Compiled(Protocol):
 
     def stats(self) -> dict[str, int]: ...
 
+    def save(self, path) -> None: ...
+
 
 class CompilationBackend(Protocol):
     """A realization of the pipeline: ``compile(circuit, vtree) -> Compiled``."""
@@ -152,6 +154,15 @@ class _CompiledBase:
         """Vtree variables beyond the circuit's own (e.g. unpruned Lemma-1
         dummies); the compiled function never depends on them."""
         return set(self.vtree.variables) - self.circuit_variables
+
+    def save(self, path) -> None:
+        """Save this result as a flat artifact file (node tables + meta +
+        circuit); reload with :meth:`repro.compiler.Compiler.load` — the
+        loaded handle answers every uniform accessor without recompiling,
+        float probabilities bit-identical."""
+        from ..artifact.format import save_compiled
+
+        save_compiled(self, path)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -6,8 +6,8 @@ inside :class:`repro.queries.engine.QueryEngine` and the cross-session
 answer cache inside :class:`repro.service.QueryService` — needs the same
 two ingredients:
 
-- an **LRU mapping with public counters** (hits / misses / evictions, the
-  numbers operators actually watch), and
+- an **LRU mapping with public counters** (hits / misses / evictions /
+  expiries, the numbers operators actually watch), and
 - **stable keys**: a cache shared across sessions, processes, or restarts
   must key on *content*, never on object identity or ``hash()`` (which
   ``PYTHONHASHSEED`` randomizes per process).
@@ -24,8 +24,9 @@ the same entry.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
-from typing import Hashable, Iterator
+from typing import Callable, Hashable, Iterator
 
 __all__ = ["LruStatsCache", "fingerprint"]
 
@@ -49,36 +50,81 @@ class LruStatsCache:
 
     ``capacity=None`` never evicts (counters still run).  ``get`` counts a
     hit or a miss and refreshes recency; ``put`` inserts or refreshes and
-    evicts the least-recently-used entries beyond ``capacity``.  Not
-    thread-safe by itself — callers that share one instance across workers
-    hold their own lock (:class:`repro.service.QueryService` does).
+    evicts the least-recently-used entries beyond ``capacity``.
+
+    ``ttl`` (seconds, ``None`` = entries never expire) arms per-entry
+    expiry: each ``put`` stamps a deadline, and a ``get``/``peek`` past
+    the deadline drops the entry, counts it in ``expired`` (surfaced as
+    ``cache_expired``), and reports a miss — the answer is stale, the
+    caller must recompute.  ``clock`` injects the time source for
+    deterministic tests (defaults to :func:`time.monotonic`).
+
+    Not thread-safe by itself — callers that share one instance across
+    workers hold their own lock (:class:`repro.service.QueryService`
+    does).
     """
 
-    def __init__(self, capacity: int | None = None):
+    def __init__(
+        self,
+        capacity: int | None = None,
+        *,
+        ttl: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive (or None for unbounded)")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None for no expiry)")
         self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock if clock is not None else time.monotonic
+        # With a TTL, values are stored as (value, deadline) pairs; without
+        # one they are stored raw (zero overhead on the common path).
         self._store: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expired = 0
+
+    def _expire(self, key: Hashable, entry) -> bool:
+        """True (and drops the entry) when it is past its deadline."""
+        if self.ttl is None:
+            return False
+        _, deadline = entry
+        if self._clock() < deadline:
+            return False
+        del self._store[key]
+        self.expired += 1
+        return True
 
     def get(self, key: Hashable, default=None):
         try:
-            value = self._store[key]
+            entry = self._store[key]
         except KeyError:
+            self.misses += 1
+            return default
+        if self._expire(key, entry):
             self.misses += 1
             return default
         self._store.move_to_end(key)
         self.hits += 1
-        return value
+        return entry[0] if self.ttl is not None else entry
 
     def peek(self, key: Hashable, default=None):
-        """Read without touching recency or the hit/miss counters."""
-        return self._store.get(key, default)
+        """Read without touching recency or the hit/miss counters (expiry
+        still applies — a stale value is never handed out)."""
+        entry = self._store.get(key, default)
+        if entry is default:
+            return default
+        if self._expire(key, entry):
+            return default
+        return entry[0] if self.ttl is not None else entry
 
     def put(self, key: Hashable, value) -> None:
-        self._store[key] = value
+        if self.ttl is not None:
+            self._store[key] = (value, self._clock() + self.ttl)
+        else:
+            self._store[key] = value
         self._store.move_to_end(key)
         if self.capacity is not None:
             while len(self._store) > self.capacity:
@@ -86,13 +132,19 @@ class LruStatsCache:
                 self.evictions += 1
 
     def pop(self, key: Hashable, default=None):
-        return self._store.pop(key, default)
+        entry = self._store.pop(key, None)
+        if entry is None:
+            return default
+        return entry[0] if self.ttl is not None else entry
 
     def clear(self) -> None:
         self._store.clear()
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._store
+        entry = self._store.get(key)
+        if entry is None:
+            return False
+        return not self._expire(key, entry)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -109,10 +161,12 @@ class LruStatsCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_evictions": self.evictions,
+            "cache_expired": self.expired,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"LruStatsCache(entries={len(self._store)}, hits={self.hits}, "
-            f"misses={self.misses}, evictions={self.evictions})"
+            f"misses={self.misses}, evictions={self.evictions}, "
+            f"expired={self.expired})"
         )

@@ -110,6 +110,20 @@ class Compiler:
             minimize(**self.minimize_options)
         return compiled
 
+    @staticmethod
+    def load(path, *, use_mmap: bool = True) -> Compiled:
+        """Load a ``compiled.save(path)`` artifact without recompiling.
+
+        Returns a :class:`~repro.artifact.store.FrozenCompiled`: the same
+        uniform accessors over the mmap-ed node tables, float
+        probabilities bit-identical to the result that was saved.  Raises
+        :class:`~repro.artifact.encoding.ArtifactError` on corrupt,
+        truncated, or version-mismatched files.
+        """
+        from ..artifact.format import load_compiled
+
+        return load_compiled(path, use_mmap=use_mmap)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         sname = getattr(self.strategy, "name", type(self.strategy).__name__)
         return f"Compiler(backend={self.backend.name!r}, strategy={sname!r})"

@@ -396,6 +396,22 @@ class Vtree:
             raise ValueError("malformed postfix vtree encoding")
         return stack[0]
 
+    def to_bytes(self) -> bytes:
+        """The vtree as a standalone binary artifact (the postfix codes
+        inside the shared :mod:`repro.artifact` container — versioned,
+        CRC-checked, mmap-able)."""
+        from ..artifact.format import vtree_to_bytes
+
+        return vtree_to_bytes(self)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Vtree":
+        """Inverse of :meth:`to_bytes`; raises
+        :class:`~repro.artifact.encoding.ArtifactError` on corruption."""
+        from ..artifact.format import vtree_from_bytes
+
+        return vtree_from_bytes(data)
+
     def render(self) -> str:
         """ASCII rendering (root at top), used to regenerate Figure 4."""
         lines: list[str] = []

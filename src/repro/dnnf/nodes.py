@@ -187,6 +187,13 @@ class DnnfDag:
                 vals[u] = any(vals[c] for c in self.node_children[u])
         return vals[root]
 
+    def freeze(self, roots, *, names=None, meta=None):
+        """Freeze ``roots`` into an immutable array-backed
+        :class:`~repro.artifact.store.FrozenDdnnf` (save/mmap/share)."""
+        from ..artifact.store import FrozenDdnnf
+
+        return FrozenDdnnf.from_dag(self, list(roots), names=names, meta=meta)
+
     def stats(self) -> dict[str, int]:
         """Public counters (the supported alternative to private pokes)."""
         return {

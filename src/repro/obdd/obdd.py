@@ -237,6 +237,13 @@ class ObddManager:
     # ------------------------------------------------------------------
     # measures / queries
     # ------------------------------------------------------------------
+    def freeze(self, roots, *, names=None, meta=None):
+        """Freeze ``roots`` into an immutable array-backed
+        :class:`~repro.artifact.store.FrozenObdd` (save/mmap/share)."""
+        from ..artifact.store import FrozenObdd
+
+        return FrozenObdd.from_manager(self, list(roots), names=names, meta=meta)
+
     def stats(self) -> dict[str, int]:
         """Public counters for the manager's tables and caches (mirrors
         :meth:`repro.sdd.manager.SddManager.stats`)."""

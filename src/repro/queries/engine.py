@@ -95,6 +95,18 @@ class QueryEngine:
     separate DAGs share nothing).  Manager-specific services
     (``auto_minimize_nodes``, :meth:`minimize`, explicit ``vtree``) do
     not apply to ``"ddnnf"`` and raise at construction.
+
+    ``frozen`` preloads a compiled artifact base (a
+    :class:`~repro.artifact.store.FrozenSdd` or a path to one written by
+    :meth:`save_artifact`) for the SDD backend: queries whose normalized
+    text matches a stored root are answered straight off the mmap-ed node
+    tables — no manager, no compilation, bit-identical probabilities —
+    and count as ``frozen_hits`` rather than cache misses.  When no
+    explicit ``vtree`` is given the frozen base's vtree becomes the
+    session vtree, so queries *outside* the base compile against the same
+    decomposition.  The artifact's stamped database fingerprint must
+    match ``db`` (a mismatched file raises, never silently answers for
+    the wrong database).
     """
 
     _EVICTION_POLICIES = ("size-lru", "lru")
@@ -109,6 +121,7 @@ class QueryEngine:
         auto_minimize_nodes: int | None = None,
         eviction_policy: str = "size-lru",
         backend: str = "sdd",
+        frozen=None,
     ):
         if max_nodes is not None and max_nodes <= 0:
             raise ValueError("max_nodes must be positive")
@@ -128,6 +141,26 @@ class QueryEngine:
                 "backend='ddnnf' compiles from tree decompositions: "
                 "vtree and auto_minimize_nodes do not apply"
             )
+        if frozen is not None and backend != "sdd":
+            raise ValueError("frozen artifact bases require backend='sdd'")
+        if frozen is not None and not hasattr(frozen, "root_named"):
+            # A path: mmap the artifact in place (children of a spawn pool
+            # all map the same file — the OS shares the pages).
+            from ..artifact.store import FrozenSdd
+
+            frozen = FrozenSdd.load(frozen)
+        if frozen is not None:
+            frozen_fp = frozen.meta.get("db_fingerprint")
+            if frozen_fp is not None and frozen_fp != db.fingerprint():
+                raise ValueError(
+                    "frozen artifact was compiled for a different database "
+                    f"(artifact {frozen_fp!r} vs session {db.fingerprint()!r})"
+                )
+            if vtree is None:
+                vtree = frozen.vtree()
+        self._frozen = frozen
+        self._frozen_wmc: dict[bool, object] = {}
+        self._frozen_hits = 0
         self.db = db
         self.backend = backend
         self.max_nodes = max_nodes
@@ -186,6 +219,68 @@ class QueryEngine:
         return ev
 
     # ------------------------------------------------------------------
+    # frozen artifact base
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self):
+        """The preloaded :class:`~repro.artifact.store.FrozenSdd` base
+        (``None`` when the session compiles everything live)."""
+        return self._frozen
+
+    def _frozen_root(self, query: UCQ) -> int | None:
+        """The frozen base's root for ``query`` (matched on normalized
+        query text), ``None`` when absent or no base is loaded."""
+        if self._frozen is None or self._frozen.root_names is None:
+            return None
+        try:
+            return self._frozen.root_named(query.normalized())
+        except (KeyError, ValueError):
+            return None
+
+    def _frozen_evaluator(self, exact: bool):
+        """A :class:`~repro.artifact.store.FrozenSddWmc` over the frozen
+        base, weights built exactly like :meth:`_evaluator` (database
+        probabilities plus half-weights for vtree-only variables) so
+        frozen answers are bit-identical to live ones."""
+        ev = self._frozen_wmc.get(exact)
+        if ev is None:
+            from ..artifact.store import FrozenSddWmc
+
+            prob = self.db.probability_map()
+            weights = exact_weights(prob) if exact else float_weights(prob)
+            missing = self._frozen.variables - set(weights)
+            if missing:
+                half = Fraction(1, 2) if exact else 0.5
+                weights.update({v: (half, half) for v in missing})
+            ev = FrozenSddWmc(self._frozen, weights)
+            self._frozen_wmc[exact] = ev
+        return ev
+
+    def save_artifact(self, path, *, meta: dict | None = None):
+        """Freeze every currently cached query into one artifact file.
+
+        Roots are named by :meth:`~repro.queries.syntax.UCQ.normalized`
+        query text and the database fingerprint is stamped into the
+        metadata, so a later session (or a spawn worker) can open the file
+        with ``QueryEngine(db, frozen=path)`` and answer those queries
+        without compiling anything.  Returns the written
+        :class:`~repro.artifact.store.FrozenSdd`."""
+        if self.backend != "sdd":
+            raise ValueError("save_artifact requires backend='sdd'")
+        if not self._roots or self._manager is None:
+            raise ValueError("no compiled queries to save")
+        full_meta = {"db_fingerprint": self.db.fingerprint()}
+        if meta:
+            full_meta.update(meta)
+        frozen = self._manager.freeze(
+            list(self._roots.values()),
+            names=[q.normalized() for q in self._roots],
+            meta=full_meta,
+        )
+        frozen.write(path)
+        return frozen
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def compile(self, query: UCQ) -> int:
@@ -241,7 +336,10 @@ class QueryEngine:
         if self.backend == "ddnnf":
             result = self._ddnnf.get(query)
             return None if result is None else result.root
-        return self._roots.get(query)
+        root = self._roots.get(query)
+        if root is None:
+            return self._frozen_root(query)
+        return root
 
     def probability(self, query: UCQ, *, exact: bool = False) -> float | Fraction:
         """Exact probability of ``query`` under the tuple-independence
@@ -259,6 +357,13 @@ class QueryEngine:
                 value = Fraction(value) if exact else float(value)
                 self._ddnnf_values[key] = value
             return value
+        froot = self._frozen_root(query)
+        if froot is not None and query not in self._roots:
+            # Served straight off the mmap-ed artifact: no compilation, no
+            # manager, and not a cache miss — the answer was precompiled.
+            self._frozen_hits += 1
+            value = self._frozen_evaluator(exact).value(froot)
+            return Fraction(value) if exact else float(value)
         root = self.compile(query)
         value = self._evaluator(exact).value(root)
         # Constant roots short-circuit to int 0/1; normalize the ring.
@@ -275,6 +380,9 @@ class QueryEngine:
             return None if result is None else result.size
         root = self._roots.get(query)
         if root is None:
+            froot = self._frozen_root(query)
+            if froot is not None:
+                return self._frozen.size(froot)
             return None
         assert self._manager is not None
         return self._manager.size(root)
@@ -284,6 +392,10 @@ class QueryEngine:
         node count, per the session ``backend``)."""
         if self.backend == "ddnnf":
             return self._compile_ddnnf(query).size
+        froot = self._frozen_root(query)
+        if froot is not None and query not in self._roots:
+            self._frozen_hits += 1
+            return self._frozen.size(froot)
         mgr = self._ensure_manager(query)
         return mgr.size(self.compile(query))
 
@@ -355,19 +467,20 @@ class QueryEngine:
             )
         probabilities = []
         sizes = []
-        mgr: SddManager | None = None
         for q in qs:
             probabilities.append(self.probability(q, exact=exact))
-            mgr = self._manager
-            assert mgr is not None
-            sizes.append(mgr.size(self._roots[q]))
-        assert mgr is not None
+            if q in self._roots:
+                assert self._manager is not None
+                sizes.append(self._manager.size(self._roots[q]))
+            else:
+                # Answered from the frozen artifact base: measure there.
+                sizes.append(self._frozen.size(self._frozen_root(q)))
         return BatchEvaluation(
             queries=list(qs),
             probabilities=probabilities,
-            roots=[self._roots.get(q) for q in qs],
+            roots=[self.cached_root(q) for q in qs],
             sizes=sizes,
-            manager=mgr,
+            manager=self._manager,
             vtree=self._vtree,
             stats=self.stats(),
         )
@@ -554,6 +667,12 @@ class QueryEngine:
             "eviction_policy": self.eviction_policy,
             "minimize_runs": self._minimize_runs,
             "tuples": self.db.size,
+            "frozen_queries": (
+                0
+                if self._frozen is None or self._frozen.root_names is None
+                else len(self._frozen.root_names)
+            ),
+            "frozen_hits": self._frozen_hits,
         }
         if self.backend == "ddnnf":
             out["ddnnf_nodes"] = self.live_nodes()

@@ -130,9 +130,15 @@ def _pool_worker_main(conn, payload) -> None:
     build one warm engine, then serve tasks off the pipe until the ``None``
     sentinel.  Engine state — vtree, manager, caches — persists across
     every task and batch the parent ever sends."""
-    db, vtree_ops, max_nodes, backend = payload
+    db, vtree_ops, max_nodes, backend, artifact_path = payload
     vtree = Vtree.from_postfix(vtree_ops) if vtree_ops is not None else None
-    engine = QueryEngine(db, vtree=vtree, max_nodes=max_nodes, backend=backend)
+    engine = QueryEngine(
+        db,
+        vtree=vtree,
+        max_nodes=max_nodes,
+        backend=backend,
+        frozen=artifact_path,
+    )
     try:
         while True:
             msg = conn.recv()
@@ -169,6 +175,17 @@ class WorkerPool:
     pass ``None`` for ``backend="ddnnf"``).  ``max_nodes`` is the
     per-worker session budget, as in
     :class:`~repro.queries.parallel.ParallelQueryEngine`.
+
+    ``artifact`` warm-starts every worker from a compiled artifact base
+    (a path written by :meth:`QueryEngine.save_artifact`, or a loaded
+    :class:`~repro.artifact.store.FrozenSdd`): workers answer stored
+    queries straight off the artifact with no per-worker recompilation.
+    In spawn mode only the *path* is shipped in the start payload —
+    every child mmaps the same file, so the OS shares the pages — which
+    is why spawn pools need a file-backed artifact, not an in-memory
+    freeze.  The artifact also supplies the shared base vtree when
+    ``vtree`` is ``None``, so queries outside the base still compile
+    canonically in every worker.
     """
 
     def __init__(
@@ -176,18 +193,38 @@ class WorkerPool:
         db: ProbabilisticDatabase,
         *,
         workers: int,
-        vtree: Vtree | None,
+        vtree: Vtree | None = None,
         max_nodes: int | None = None,
         mode: str = "threads",
         steal: bool = True,
         backend: str = "sdd",
+        artifact=None,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
         if mode not in ("threads", "spawn"):
             raise ValueError(f"unknown mode {mode!r} (threads or spawn)")
-        if vtree is None and backend == "sdd":
+        if artifact is not None and backend != "sdd":
+            raise ValueError("artifact warm start requires backend='sdd'")
+        if vtree is None and backend == "sdd" and artifact is None:
             raise ValueError("the sdd backend needs a shared base vtree")
+        self._artifact_obj = None
+        self._artifact_path = None
+        if artifact is not None:
+            if hasattr(artifact, "root_named"):
+                self._artifact_obj = artifact
+                backing = getattr(artifact, "_artifact", None)
+                self._artifact_path = getattr(backing, "path", None)
+            else:
+                import os
+
+                self._artifact_path = os.fspath(artifact)
+        if mode == "spawn" and artifact is not None and self._artifact_path is None:
+            raise ValueError(
+                "spawn pools ship artifact paths to their children; pass a "
+                "file path (or a FrozenSdd loaded from one), not an "
+                "in-memory freeze"
+            )
         self.db = db
         self.workers = workers
         self.vtree = vtree
@@ -236,7 +273,13 @@ class WorkerPool:
 
         ctx = get_context("spawn")
         vtree_ops = None if self.vtree is None else self.vtree.to_postfix()
-        payload = (self.db, vtree_ops, self.max_nodes, self.backend)
+        payload = (
+            self.db,
+            vtree_ops,
+            self.max_nodes,
+            self.backend,
+            self._artifact_path,
+        )
         for w in range(self.workers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -311,6 +354,18 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # execution backends
     # ------------------------------------------------------------------
+    def _threads_frozen(self):
+        """The shared in-process :class:`FrozenSdd` base (loaded once, all
+        threads workers read the same immutable tables); ``None`` without
+        a warm-start artifact."""
+        if self._artifact_obj is None and self._artifact_path is not None:
+            with self._lock:
+                if self._artifact_obj is None:
+                    from ..artifact.store import FrozenSdd
+
+                    self._artifact_obj = FrozenSdd.load(self._artifact_path)
+        return self._artifact_obj
+
     def _worker_loop(self, w: int) -> None:
         while True:
             task = self._scheduler.get(w)
@@ -328,12 +383,15 @@ class WorkerPool:
         if self.mode == "threads":
             engine = self._engines.get(w)
             if engine is None:
-                # Lazily built, used only by worker thread w — no locking.
+                # Lazily built, used only by worker thread w — no locking
+                # (the shared FrozenSdd is immutable; each engine keeps its
+                # own WMC memo over it).
                 engine = QueryEngine(
                     self.db,
                     vtree=self.vtree,
                     max_nodes=self.max_nodes,
                     backend=self.backend,
+                    frozen=self._threads_frozen(),
                 )
                 self._engines[w] = engine
             p = engine.probability(task.query, exact=task.exact)
@@ -385,5 +443,8 @@ class WorkerPool:
             "pool_tasks_served": self.tasks_served,
             "pool_tasks_queued": self._scheduler.tasks_queued,
             "pool_steals": self._scheduler.steals,
+            "pool_artifact_warm": int(
+                self._artifact_obj is not None or self._artifact_path is not None
+            ),
         }
 

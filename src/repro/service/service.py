@@ -40,6 +40,7 @@ mid-way; the *next* submission is rejected.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -81,10 +82,20 @@ class QueryService:
     submitted, exactly as a serial engine would.
 
     ``cache_capacity`` bounds the shared answer cache (``None`` =
-    unbounded); ``max_in_flight`` bounds admitted-but-unanswered queries
-    across all sessions; ``session_quota`` is the default per-session
-    compiled-node budget (``None`` = unmetered; per-session overrides via
+    unbounded); ``cache_ttl`` arms per-answer expiry (seconds; an expired
+    entry is recomputed and counted in the ``cache_expired`` stat;
+    ``cache_clock`` injects a deterministic time source for tests);
+    ``max_in_flight`` bounds admitted-but-unanswered queries across all
+    sessions; ``session_quota`` is the default per-session compiled-node
+    budget (``None`` = unmetered; per-session overrides via
     :meth:`session`).
+
+    ``artifact_dir`` makes restarts warm: when the directory holds an
+    artifact for this database (``<db_fingerprint>.rpaf``, as written by
+    :meth:`save_artifact`), the pool warm-starts every worker from it —
+    stored queries are answered straight off the mmap-ed file with no
+    per-worker recompilation, and the artifact's vtree becomes the
+    shared base vtree.
 
     The pool starts lazily on the first submission and must be
     :meth:`close`\\ d (or use the service as a context manager).
@@ -102,9 +113,12 @@ class QueryService:
         steal: bool = True,
         shard_seed: int = 0,
         cache_capacity: int | None = None,
+        cache_ttl: float | None = None,
+        cache_clock=None,
         max_in_flight: int = 1024,
         retry_after: float = 0.05,
         session_quota: int | None = None,
+        artifact_dir: str | os.PathLike | None = None,
     ):
         if backend not in QueryEngine._BACKENDS:
             raise ValueError(
@@ -120,13 +134,17 @@ class QueryService:
         self.session_quota = session_quota
         self._vtree = vtree
         self._db_fp = db.fingerprint()
-        self._cache = LruStatsCache(cache_capacity)
+        self._cache = LruStatsCache(cache_capacity, ttl=cache_ttl, clock=cache_clock)
         self._admission = AdmissionController(max_in_flight, retry_after)
         self._sessions: dict[str, Session] = {}
         self._pool: WorkerPool | None = None
         self._lock = threading.Lock()
         self._closed = False
         self._queries_served = 0
+        self._artifact_dir = None if artifact_dir is None else os.fspath(artifact_dir)
+        # Every distinct query ever dispatched (normalized text -> UCQ):
+        # the freeze set for save_artifact.
+        self._seen: dict[str, UCQ] = {}
 
     # ------------------------------------------------------------------
     # sessions
@@ -208,6 +226,7 @@ class QueryService:
             self._admission.try_admit(len(qs))  # ServiceSaturated
             pool = self._ensure_pool(qs[0])
             for q in qs:
+                self._seen.setdefault(q.normalized(), q)
                 key = self._cache_key(q, exact)
                 hit = self._cache.get(key)
                 client: Future = Future()
@@ -259,10 +278,21 @@ class QueryService:
             "exact" if exact else "float",
         )
 
+    def _artifact_path(self) -> str | None:
+        """The canonical artifact file for this database (inside
+        ``artifact_dir``), or ``None`` when no directory is configured or
+        the backend cannot use one."""
+        if self._artifact_dir is None or self.backend != "sdd":
+            return None
+        return os.path.join(self._artifact_dir, f"{self._db_fp}.rpaf")
+
     def _ensure_pool(self, first_query: UCQ) -> WorkerPool:
         if self._pool is None:
+            artifact = self._artifact_path()
+            if artifact is not None and not os.path.exists(artifact):
+                artifact = None  # cold start; save_artifact can fill it
             vtree = self._vtree
-            if vtree is None and self.backend == "sdd":
+            if vtree is None and self.backend == "sdd" and artifact is None:
                 vtree = lineage_vtree(first_query, self.db)
                 self._vtree = vtree
             self._pool = WorkerPool(
@@ -273,8 +303,46 @@ class QueryService:
                 mode=self.mode,
                 steal=self.steal,
                 backend=self.backend,
+                artifact=artifact,
             )
         return self._pool
+
+    def save_artifact(self, path: str | os.PathLike | None = None) -> str:
+        """Freeze every query this service has ever dispatched into one
+        artifact file and return its path (default: the canonical
+        ``<db_fingerprint>.rpaf`` inside ``artifact_dir``).
+
+        A restarted service pointed at the same ``artifact_dir`` (or a
+        pool handed the path) then warm-starts: stored queries are served
+        off the file, bit-identical, with zero recompilation.  The freeze
+        compiles the seen queries once in a throwaway engine on the
+        shared base vtree — canonical SDDs make that reproduction exact —
+        so no worker state is touched and the service keeps serving
+        while it runs."""
+        if self.backend != "sdd":
+            raise ValueError("artifacts require backend='sdd'")
+        with self._lock:
+            if not self._seen:
+                raise ValueError("no queries dispatched yet; nothing to freeze")
+            if path is None:
+                path = self._artifact_path()
+                if path is None:
+                    raise ValueError(
+                        "no path given and no artifact_dir configured"
+                    )
+            queries = list(self._seen.values())
+            vtree = self._vtree
+            warm = self._artifact_path()
+        frozen = None
+        if warm is not None and os.path.exists(warm):
+            from ..artifact.store import FrozenSdd
+
+            frozen = FrozenSdd.load(warm)
+        engine = QueryEngine(self.db, vtree=vtree, frozen=frozen)
+        for q in queries:
+            engine.compile(q)
+        engine.save_artifact(path)
+        return os.fspath(path)
 
     # ------------------------------------------------------------------
     # lifecycle / introspection
@@ -325,6 +393,7 @@ class QueryService:
             out: dict[str, int | str] = {
                 "service_queries": self._queries_served,
                 "service_sessions": len(self._sessions),
+                "service_seen_queries": len(self._seen),
                 "db_fingerprint": self._db_fp,
             }
             out.update(self._cache.stats())

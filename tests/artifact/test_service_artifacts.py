@@ -1,0 +1,224 @@
+"""Warm starts from artifacts: engine, pool, service, TTL, and CLI.
+
+The wiring half of the ``-m artifact`` suite: a saved artifact must warm
+every tier of the stack — ``QueryEngine(frozen=...)`` serves saved
+queries with zero compilations, ``WorkerPool(artifact=...)`` ships the
+path to spawn children (who mmap the same file) and shares one loaded
+store across threads, ``QueryService(artifact_dir=...)`` restarts warm —
+and all answers stay **bit-identical** to the cold engine that produced
+the artifact.  The answer-cache TTL satellite rides along: expired
+entries recompute and count in ``cache_expired``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cli import main
+from repro.compiler.cache import LruStatsCache
+from repro.queries.database import ProbabilisticDatabase, complete_database
+from repro.queries.engine import QueryEngine
+from repro.queries.parallel import shard_of
+from repro.queries.syntax import parse_ucq
+from repro.service import QueryService, WorkerPool
+
+pytestmark = pytest.mark.artifact
+
+QUERIES = [
+    "R(x),S(x,y)",
+    "S(x,y)",
+    "R(x),S(x,x)",
+    "R(x) | S(x,y)",
+]
+
+
+def _db(domain: int = 3, p: float = 0.4) -> ProbabilisticDatabase:
+    return complete_database({"R": 1, "S": 2}, domain, p=p)
+
+
+def _queries():
+    return [parse_ucq(t) for t in QUERIES]
+
+
+def _saved_base(tmp_path, db, qs):
+    engine = QueryEngine(db)
+    expect = [engine.probability(q) for q in qs]
+    exact = [engine.probability(q, exact=True) for q in qs]
+    path = tmp_path / "base.rpaf"
+    engine.save_artifact(path)
+    return path, expect, exact
+
+
+def _items_by_shard(qs, workers, seed=0):
+    items: dict[int, list] = {}
+    for i, q in enumerate(qs):
+        items.setdefault(shard_of(q, workers, seed), []).append((i, q))
+    return items
+
+
+class TestEngineFrozen:
+    def test_frozen_serves_without_compiling(self, tmp_path):
+        db = _db()
+        qs = _queries()
+        path, expect, exact = _saved_base(tmp_path, db, qs)
+        warm = QueryEngine(db, frozen=path)
+        assert [repr(warm.probability(q)) for q in qs] == [repr(e) for e in expect]
+        assert [warm.probability(q, exact=True) for q in qs] == exact
+        stats = warm.stats()
+        assert stats["cache_misses"] == 0
+        assert stats["frozen_hits"] >= len(qs)
+        assert warm.manager.stats()["decision_nodes"] == 0  # nothing compiled
+
+    def test_unsaved_query_compiles_on_frozen_vtree(self, tmp_path):
+        db = _db()
+        qs = _queries()
+        path, _, _ = _saved_base(tmp_path, db, qs)
+        warm = QueryEngine(db, frozen=path)
+        novel = parse_ucq("S(x,x)")
+        assert warm.probability(novel) == QueryEngine(db).probability(novel)
+        assert warm.stats()["cache_misses"] == 1
+
+    def test_batch_evaluate_mixes_frozen_and_live(self, tmp_path):
+        db = _db()
+        qs = _queries()
+        path, _, _ = _saved_base(tmp_path, db, qs)
+        warm = QueryEngine(db, frozen=path)
+        batch = qs + [parse_ucq("S(x,x)")]
+        result = warm.evaluate(batch)
+        serial = QueryEngine(db).evaluate(batch)
+        assert [r for r in result.probabilities] == [r for r in serial.probabilities]
+
+
+class TestPoolWarmStart:
+    @pytest.mark.parametrize("mode", ["threads", "spawn"])
+    def test_warm_pool_bit_identical_zero_recompiles(self, tmp_path, mode):
+        db = _db()
+        qs = _queries()
+        path, _, exact = _saved_base(tmp_path, db, qs)
+        with WorkerPool(db, workers=2, mode=mode, artifact=path) as pool:
+            results = pool.run_batch(_items_by_shard(qs, 2), exact=True)
+            assert [results[i].probability for i in range(len(qs))] == exact
+            assert pool.stats()["pool_artifact_warm"] == 1
+            per_worker = pool.worker_stats()
+            assert sum(s["cache_misses"] for s in per_worker.values()) == 0
+            assert sum(s["frozen_hits"] for s in per_worker.values()) >= len(qs)
+
+    def test_spawn_requires_artifact_path(self):
+        db = _db(domain=2)
+        engine = QueryEngine(db)
+        q = parse_ucq("R(x)")
+        engine.probability(q)
+        frozen = engine.manager.freeze(
+            [engine._roots[q]],
+            names=[q.normalized()],
+            meta={"db_fingerprint": db.fingerprint()},
+        )
+        with pytest.raises(ValueError):
+            WorkerPool(db, workers=1, mode="spawn", artifact=frozen)
+
+    def test_pool_without_artifact_still_requires_vtree(self):
+        with pytest.raises(ValueError):
+            WorkerPool(_db(), workers=1)
+
+
+class TestServiceArtifacts:
+    @pytest.mark.parametrize("mode", ["threads", "spawn"])
+    def test_cold_save_warm_restart(self, tmp_path, mode):
+        db = _db()
+        qs = _queries()
+        art_dir = tmp_path / "artifacts"
+        art_dir.mkdir()
+        with QueryService(db, workers=2, mode=mode, artifact_dir=art_dir) as svc:
+            cold = svc.submit_sync(qs, exact=True)
+            saved = svc.save_artifact()
+        assert saved.endswith(".rpaf")
+
+        with QueryService(db, workers=2, mode=mode, artifact_dir=art_dir) as svc:
+            warm = svc.submit_sync(qs, exact=True)
+            stats = svc.stats()
+        assert [a.probability for a in warm] == [a.probability for a in cold]
+        assert stats["pool_artifact_warm"] == 1
+        assert stats["engine_cache_misses"] == 0
+        assert stats["engine_frozen_hits"] >= len(qs)
+
+    def test_cache_ttl_expiry_counts(self):
+        db = _db(domain=2)
+        qs = _queries()[:2]
+        now = [0.0]
+        with QueryService(
+            db, workers=1, cache_ttl=10.0, cache_clock=lambda: now[0]
+        ) as svc:
+            svc.submit_sync(qs)
+            again = svc.submit_sync(qs)
+            assert all(a.cached for a in again)
+            now[0] = 11.0
+            after = svc.submit_sync(qs)
+            assert not any(a.cached for a in after)
+            assert svc.stats()["cache_expired"] == len(qs)
+
+
+class TestTtlCache:
+    def test_entries_expire_and_count(self):
+        now = [0.0]
+        cache = LruStatsCache(4, ttl=5.0, clock=lambda: now[0])
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        now[0] = 4.9
+        assert cache.get("k") == 1
+        now[0] = 5.1
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats["cache_expired"] == 1
+        assert stats["cache_misses"] >= 1
+
+    def test_no_ttl_never_expires(self):
+        cache = LruStatsCache(4)
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert cache.stats()["cache_expired"] == 0
+
+
+class TestCliArtifacts:
+    def test_compile_save_reload(self, tmp_path, capsys):
+        path = tmp_path / "c.rpaf"
+        assert main(["compile", "(a & b) | c", "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "saved artifact" in out
+        assert path.exists()
+
+    def test_query_save_then_load(self, tmp_path, capsys):
+        path = tmp_path / "q.rpaf"
+        assert main(
+            ["query", "R(x),S(x,y)", "--domain", "2", "--backend", "sdd",
+             "--save", str(path)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["query", "R(x),S(x,y)", "--domain", "2", "--backend", "sdd",
+             "--load", str(path)]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "answered from artifact" in second
+        prob = [ln for ln in first.splitlines() if "P(" in ln]
+        prob2 = [ln for ln in second.splitlines() if "P(" in ln]
+        assert prob and prob == prob2
+
+    def test_query_load_requires_sdd(self, tmp_path, capsys):
+        assert main(
+            ["query", "R(x)", "--domain", "2", "--backend", "ddnnf",
+             "--load", str(tmp_path / "x.rpaf")]
+        ) == 1
+
+    def test_serve_artifacts_cold_then_warm(self, tmp_path, capsys):
+        art_dir = tmp_path / "arts"
+        args = ["serve", "R(x),S(x,y); S(x,y)", "--domain", "2",
+                "--artifacts", str(art_dir)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "artifact" in cold
+        assert list(art_dir.glob("*.rpaf"))
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "pool_artifact_warm=1" in warm or "warm" in warm

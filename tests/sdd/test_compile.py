@@ -65,9 +65,20 @@ class TestNnfSerialization:
         c = random_circuit(rng, n_vars=4, n_gates=8)
         f = c.function()
         sdd = compile_canonical_sdd(f, Vtree.balanced(sorted(f.variables)))
-        restored = nnf_loads(nnf_dumps(sdd.root))
+        with pytest.warns(DeprecationWarning):
+            restored = nnf_loads(nnf_dumps(sdd.root))
         assert restored.structural_key() == sdd.root.structural_key()
         assert restored.function(sorted(f.variables)) == f
+
+    def test_container_codec_matches_legacy_strings(self):
+        from repro.artifact.format import nnf_from_bytes, nnf_to_bytes
+
+        rng = np.random.default_rng(1)
+        c = random_circuit(rng, n_vars=4, n_gates=8)
+        f = c.function()
+        sdd = compile_canonical_sdd(f, Vtree.balanced(sorted(f.variables)))
+        restored = nnf_from_bytes(nnf_to_bytes(sdd.root))
+        assert restored.structural_key() == sdd.root.structural_key()
 
     def test_sharing_survives(self):
         rng = np.random.default_rng(2)
@@ -81,7 +92,9 @@ class TestNnfSerialization:
         from repro.circuits.nnf import false_node, lit, true_node
 
         for node in (true_node(), false_node(), lit("x", False)):
-            assert nnf_loads(nnf_dumps(node)).structural_key() == node.structural_key()
+            with pytest.warns(DeprecationWarning):
+                restored = nnf_loads(nnf_dumps(node))
+            assert restored.structural_key() == node.structural_key()
 
     def test_bad_payload(self):
         with pytest.raises(ValueError):

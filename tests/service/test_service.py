@@ -281,6 +281,7 @@ class TestCachePlumbing:
             "cache_hits": 1,
             "cache_misses": 1,
             "cache_evictions": 1,
+            "cache_expired": 0,
         }
         with pytest.raises(ValueError):
             LruStatsCache(capacity=0)
