@@ -255,12 +255,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_update_spec(db, spec: str):
+    """Parse one ``--update`` spec and apply it to ``db``, returning the
+    :class:`~repro.queries.database.UpdateDelta`.
+
+    Formats: ``weight:R:1,2:0.7`` (reweight an existing tuple),
+    ``insert:R:1,2:0.5`` (add a tuple), ``delete:R:1,2`` (remove one).
+    Values are comma-separated; integer-looking tokens are coerced, as in
+    query constants."""
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind in ("weight", "insert") and len(parts) != 4:
+        raise ValueError(f"--update {spec!r}: expected {kind}:REL:VALUES:P")
+    if kind == "delete" and len(parts) != 3:
+        raise ValueError(f"--update {spec!r}: expected delete:REL:VALUES")
+    if kind not in ("weight", "insert", "delete"):
+        raise ValueError(f"--update {spec!r}: unknown kind {kind!r}")
+    relation = parts[1]
+
+    def coerce(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    values = [coerce(t) for t in parts[2].split(",") if t != ""]
+    if kind == "weight":
+        return db.set_probability(relation, *values, p=float(parts[3]))
+    if kind == "insert":
+        return db.insert(relation, *values, p=float(parts[3]))
+    return db.delete(relation, *values)
+
+
 def _cmd_engine(args: argparse.Namespace) -> int:
     """Evaluate a ';'-separated workload through one
     :class:`~repro.queries.engine.QueryEngine` session (or, with
     ``--workers N``, a sharded
     :class:`~repro.queries.parallel.ParallelQueryEngine`) and print its
-    stats."""
+    stats.  ``--update`` specs are applied *after* the first evaluation —
+    cached lineages are delta-patched, the workload re-evaluated, and the
+    update counters printed."""
     queries, db = _parse_workload(args)
     if not queries:
         print("no queries given", file=sys.stderr)
@@ -268,6 +302,25 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be positive", file=sys.stderr)
         return 1
+
+    def run_updates(target, evaluate) -> int:
+        merged: dict[str, int] = {}
+        for spec in args.update:
+            delta = _apply_update_spec(db, spec)
+            inc = target.apply_update(delta)
+            for k, v in inc.items():
+                merged[k] = merged.get(k, 0) + v
+        rows = evaluate()
+        report(
+            f"after {len(args.update)} update(s): {len(queries)} queries, "
+            f"{db.size} tuples",
+            ["query", "SDD size", "P(q)"],
+            rows,
+        )
+        print("update counters: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(merged.items())))
+        return 0
+
     if args.workers > 1:
         if args.auto_minimize is not None:
             print("--auto-minimize applies to the serial session "
@@ -292,15 +345,29 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         )
         stats = batch.stats
         print("merged stats: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+        if args.update:
+            def evaluate():
+                b = par.evaluate(queries, exact=args.exact)
+                return [
+                    [str(q), b.sizes[i],
+                     str(b.probabilities[i]) if args.exact else f"{b.probabilities[i]:.6f}"]
+                    for i, q in enumerate(queries)
+                ]
+            return run_updates(par, evaluate)
         return 0
     engine = QueryEngine(
         db, max_nodes=args.max_nodes, auto_minimize_nodes=args.auto_minimize
     )
-    rows = []
-    for q in queries:
-        p = engine.probability(q, exact=args.exact)
-        rows.append([str(q), engine.lineage_size(q),
-                     str(p) if args.exact else f"{p:.6f}"])
+
+    def evaluate():
+        rows = []
+        for q in queries:
+            p = engine.probability(q, exact=args.exact)
+            rows.append([str(q), engine.lineage_size(q),
+                         str(p) if args.exact else f"{p:.6f}"])
+        return rows
+
+    rows = evaluate()
     report(
         f"engine: {len(queries)} queries, {db.size} tuples, one session",
         ["query", "SDD size", "P(q)"],
@@ -308,6 +375,8 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     )
     stats = engine.stats()
     print("engine stats: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    if args.update:
+        return run_updates(engine, evaluate)
     return 0
 
 
@@ -474,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="worker execution mode (auto: threads for small "
                         "batches / single-CPU hosts, spawn otherwise)")
+    e.add_argument("--update", action="append", default=[], metavar="SPEC",
+                   help="after the first evaluation, apply a live database "
+                        "update and re-evaluate: weight:REL:V1,V2:P "
+                        "(reweight), insert:REL:V1,V2:P, delete:REL:V1,V2; "
+                        "repeatable, applied in order (cached lineages are "
+                        "delta-patched, not recompiled)")
     e.set_defaults(fn=_cmd_engine)
 
     s = sub.add_parser("serve", help="serve a ';'-separated UCQ workload to "

@@ -30,6 +30,10 @@ from typing import Callable, Hashable, Iterator
 
 __all__ = ["LruStatsCache", "fingerprint"]
 
+# Private missing-key sentinel: ``None`` (and any other value) is a
+# legitimate cached value, so lookups must never use it to mean "absent".
+_MISSING = object()
+
 
 def fingerprint(*parts: str, digest_size: int = 16) -> str:
     """A stable hex digest of ``parts`` — independent of
@@ -113,8 +117,8 @@ class LruStatsCache:
     def peek(self, key: Hashable, default=None):
         """Read without touching recency or the hit/miss counters (expiry
         still applies — a stale value is never handed out)."""
-        entry = self._store.get(key, default)
-        if entry is default:
+        entry = self._store.get(key, _MISSING)
+        if entry is _MISSING:
             return default
         if self._expire(key, entry):
             return default
@@ -122,7 +126,17 @@ class LruStatsCache:
 
     def put(self, key: Hashable, value) -> None:
         if self.ttl is not None:
-            self._store[key] = (value, self._clock() + self.ttl)
+            # Lazy sweep: without it, an unbounded (capacity=None) cache
+            # under a TTL grows forever — expired entries are only dropped
+            # when *their own* key is looked up again, which for one-shot
+            # keys is never.  Each put pays one pass over the live entries;
+            # writes are the rare path in an answer cache.
+            now = self._clock()
+            stale = [k for k, (_, deadline) in self._store.items() if now >= deadline]
+            for k in stale:
+                del self._store[k]
+            self.expired += len(stale)
+            self._store[key] = (value, now + self.ttl)
         else:
             self._store[key] = value
         self._store.move_to_end(key)
@@ -132,17 +146,25 @@ class LruStatsCache:
                 self.evictions += 1
 
     def pop(self, key: Hashable, default=None):
-        entry = self._store.pop(key, None)
-        if entry is None:
+        entry = self._store.pop(key, _MISSING)
+        if entry is _MISSING:
             return default
-        return entry[0] if self.ttl is not None else entry
+        if self.ttl is not None:
+            value, deadline = entry
+            if self._clock() >= deadline:
+                # Already removed above; just account for the staleness and
+                # refuse to hand the value out.
+                self.expired += 1
+                return default
+            return value
+        return entry
 
     def clear(self) -> None:
         self._store.clear()
 
     def __contains__(self, key: Hashable) -> bool:
-        entry = self._store.get(key)
-        if entry is None:
+        entry = self._store.get(key, _MISSING)
+        if entry is _MISSING:
             return False
         return not self._expire(key, entry)
 

@@ -77,6 +77,40 @@ class DnnfWmcEvaluator:
                 raise AssertionError(f"unexpected node kind {kind!r}")
         return memo[root]
 
+    def update_weights(self, changed: Mapping[str, tuple]) -> int:
+        """Point-update literal weights, invalidating exactly the stale memo.
+
+        One ascending-id pass marks every node whose value (transitively)
+        reaches a literal of a changed variable, then drops only those
+        memo entries.  Returns the number evicted; the next :meth:`value`
+        re-sweeps just the marked cone — the DAG itself is untouched.
+        """
+        vars_changed = set(changed)
+        for var, w in changed.items():
+            self.weights[var] = w
+        dag = self.dag
+        dirty = bytearray(len(dag.node_kind))
+        for u in range(2, len(dag.node_kind)):
+            kind = dag.node_kind[u]
+            if kind == "lit":
+                if dag.node_var[u] in vars_changed:
+                    dirty[u] = 1
+            elif kind != "const":
+                for c in dag.node_children[u]:
+                    if dirty[c]:
+                        dirty[u] = 1
+                        break
+        memo = self._memo
+        stale = [u for u in memo if u > TRUE and dirty[u]]
+        for u in stale:
+            del memo[u]
+        return len(stale)
+
+    def memoized(self, root: int) -> bool:
+        """Whether ``root``'s value survived the last weight update — a
+        caller caching final values can keep them exactly when this holds."""
+        return root in self._memo
+
     def stats(self) -> dict[str, int]:
         """Public counters (the supported alternative to poking ``_memo``)."""
         return {"memo_entries": len(self._memo)}

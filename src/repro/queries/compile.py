@@ -16,6 +16,7 @@ from typing import Sequence
 from .database import Database, tuple_variable
 from .lineage import lineage_circuit
 from .syntax import UCQ
+from ..circuits.circuit import Circuit
 from ..core.vtree import Vtree
 from ..obdd.obdd import ObddManager
 from ..sdd.manager import SddManager
@@ -120,6 +121,7 @@ def compile_lineage_sdd(
     vtree: Vtree | None = None,
     *,
     manager: SddManager | None = None,
+    circuit: Circuit | None = None,
 ) -> tuple[SddManager, int]:
     """Compile the lineage into an SDD via bottom-up ``apply`` — no truth
     table, so instances with hundreds of tuples compile.
@@ -129,8 +131,11 @@ def compile_lineage_sdd(
     balanced or custom vtrees.  Passing ``manager`` compiles into an
     existing manager (its vtree must cover the lineage variables), sharing
     its hash-cons tables and apply cache with previous compilations.
+    ``circuit`` may pass a pre-built lineage circuit (callers that ground
+    the lineage anyway, e.g. the engine's update-diff bookkeeping).
     """
-    circuit = lineage_circuit(query, db)
+    if circuit is None:
+        circuit = lineage_circuit(query, db)
     if manager is None:
         if vtree is None:
             vtree = lineage_vtree(query, db)
@@ -141,18 +146,20 @@ def compile_lineage_sdd(
     return manager, manager.compile_circuit(circuit)
 
 
-def compile_lineage_ddnnf(query: UCQ, db: Database):
+def compile_lineage_ddnnf(query: UCQ, db: Database, *, circuit: Circuit | None = None):
     """Compile the lineage bag-by-bag into a d-DNNF — no variable order, no
     manager, no apply cascade: the decomposition of the lineage circuit's
     gate graph drives the build directly (:mod:`repro.dnnf`).
 
     Returns the :class:`~repro.dnnf.builder.DdnnfResult`; pair it with
     :func:`repro.dnnf.wmc.probability` or hand both to
-    :func:`repro.queries.evaluate.probability_via_ddnnf`.
+    :func:`repro.queries.evaluate.probability_via_ddnnf`.  ``circuit``
+    may pass a pre-built lineage circuit, as in
+    :func:`compile_lineage_sdd`.
     """
     from ..dnnf.builder import build_ddnnf
 
-    return build_ddnnf(lineage_circuit(query, db))
+    return build_ddnnf(circuit if circuit is not None else lineage_circuit(query, db))
 
 
 def lineage_obdd_width(query: UCQ, db: Database, order: Sequence[str] | None = None) -> int:

@@ -10,9 +10,16 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["Database", "ProbabilisticDatabase", "tuple_variable", "complete_database"]
+__all__ = [
+    "Database",
+    "ProbabilisticDatabase",
+    "UpdateDelta",
+    "tuple_variable",
+    "complete_database",
+]
 
 
 def tuple_variable(relation: str, values: Sequence) -> str:
@@ -20,11 +27,71 @@ def tuple_variable(relation: str, values: Sequence) -> str:
     return f"{relation}({','.join(str(v) for v in values)})"
 
 
+@dataclass(frozen=True)
+class UpdateDelta:
+    """One live mutation of a :class:`ProbabilisticDatabase`, as a value.
+
+    Returned by :meth:`ProbabilisticDatabase.set_probability` /
+    :meth:`~ProbabilisticDatabase.insert` /
+    :meth:`~ProbabilisticDatabase.delete` and consumed by
+    :meth:`repro.queries.engine.QueryEngine.apply_update` (and the
+    parallel / pool / service tiers, which broadcast it).  ``version`` is
+    the database's content version *after* the mutation, so a copy of the
+    database in another process (a spawn worker) can :meth:`apply` the
+    same sequence of deltas and stay in lockstep; picklable by design.
+
+    ``kind`` is one of ``"weight"`` (probability change only — the
+    lineage of every query is unchanged), ``"insert"`` (a new tuple, new
+    Boolean variable ``var``), or ``"delete"`` (tuple removed; every
+    lineage loses its derivations through ``var``).
+    """
+
+    kind: str
+    relation: str
+    values: tuple
+    var: str
+    version: int
+    p: float | None = None
+    old_p: float | None = None
+
+    def apply(self, db: "ProbabilisticDatabase") -> bool:
+        """Apply this delta to ``db`` if it has not been applied yet.
+
+        Returns ``True`` when the database was mutated, ``False`` when it
+        is already at (or past) this delta's version — so the same delta
+        can safely reach a database object through several layers
+        (engine, parallel engine, pool) without double-applying.  A
+        database more than one version behind raises: deltas must be
+        applied in order.
+        """
+        if db.version >= self.version:
+            return False
+        if db.version != self.version - 1:
+            raise ValueError(
+                f"out-of-order update: database at version {db.version}, "
+                f"delta expects {self.version - 1}"
+            )
+        if self.kind == "weight":
+            db.set_probability(self.relation, *self.values, p=self.p)
+        elif self.kind == "insert":
+            db.insert(self.relation, *self.values, p=self.p)
+        elif self.kind == "delete":
+            db.delete(self.relation, *self.values)
+        else:  # pragma: no cover - constructor-controlled
+            raise ValueError(f"unknown update kind {self.kind!r}")
+        return True
+
+
 class Database:
-    """A finite relational instance: relation name → set of tuples."""
+    """A finite relational instance: relation name → set of tuples.
+
+    ``version`` is a monotone content version: every mutation (including
+    :meth:`add`) bumps it, so caches layered on top can tell "same object,
+    changed content" apart without re-fingerprinting."""
 
     def __init__(self) -> None:
         self.relations: dict[str, set[tuple]] = {}
+        self.version: int = 0
 
     def add(self, relation: str, *values) -> str:
         """Insert a tuple; returns its tuple-variable name."""
@@ -35,6 +102,7 @@ class Database:
                 raise ValueError(f"arity mismatch in relation {relation}")
             break
         existing.add(tup)
+        self.version += 1
         return tuple_variable(relation, tup)
 
     def tuples(self, relation: str) -> set[tuple]:
@@ -90,11 +158,75 @@ class ProbabilisticDatabase(Database):
         self.probabilities: dict[str, float] = {}
 
     def add(self, relation: str, *values, p: float = 0.5) -> str:
-        name = super().add(relation, *values)
+        # Validate before touching any state: a rejected probability must
+        # leave the instance (tuples, probabilities, fingerprint) unchanged.
         if not (0.0 <= p <= 1.0):
             raise ValueError("probability must be in [0, 1]")
+        name = super().add(relation, *values)
         self.probabilities[name] = float(p)
         return name
+
+    # -- live updates -------------------------------------------------
+    #
+    # Each mutator bumps the content version and returns an
+    # ``UpdateDelta`` describing the change, which the engine tiers
+    # consume (``QueryEngine.apply_update`` and up).
+
+    def set_probability(self, relation: str, *values, p: float) -> UpdateDelta:
+        """Change the probability of an existing tuple (weight-only update)."""
+        if not (0.0 <= p <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+        tup = tuple(values)
+        if not self.contains(relation, tup):
+            raise KeyError(f"tuple {relation}{tup} not in database")
+        name = tuple_variable(relation, tup)
+        old_p = self.probabilities[name]
+        self.probabilities[name] = float(p)
+        self.version += 1
+        return UpdateDelta(
+            kind="weight",
+            relation=relation,
+            values=tup,
+            var=name,
+            version=self.version,
+            p=float(p),
+            old_p=old_p,
+        )
+
+    def insert(self, relation: str, *values, p: float = 0.5) -> UpdateDelta:
+        """Insert a new tuple as a live update."""
+        tup = tuple(values)
+        if self.contains(relation, tup):
+            raise KeyError(f"tuple {relation}{tup} already in database")
+        name = self.add(relation, *values, p=p)  # bumps version via Database.add
+        return UpdateDelta(
+            kind="insert",
+            relation=relation,
+            values=tup,
+            var=name,
+            version=self.version,
+            p=float(p),
+        )
+
+    def delete(self, relation: str, *values) -> UpdateDelta:
+        """Remove an existing tuple as a live update."""
+        tup = tuple(values)
+        if not self.contains(relation, tup):
+            raise KeyError(f"tuple {relation}{tup} not in database")
+        name = tuple_variable(relation, tup)
+        old_p = self.probabilities.pop(name)
+        self.relations[relation].discard(tup)
+        if not self.relations[relation]:
+            del self.relations[relation]
+        self.version += 1
+        return UpdateDelta(
+            kind="delete",
+            relation=relation,
+            values=tup,
+            var=name,
+            version=self.version,
+            old_p=old_p,
+        )
 
     def probability_map(self) -> dict[str, float]:
         return dict(self.probabilities)

@@ -51,7 +51,8 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from .compile import compile_lineage_sdd, lineage_vtree
-from .database import ProbabilisticDatabase
+from .database import ProbabilisticDatabase, UpdateDelta
+from .lineage import lineage_circuit, lineage_terms, terms_circuit
 from .syntax import UCQ
 from ..core.vtree import Vtree
 from ..sdd.manager import SddManager
@@ -172,14 +173,22 @@ class QueryEngine:
         self._manager: SddManager | None = SddManager(vtree) if vtree is not None else None
         self._roots: OrderedDict[UCQ, int] = OrderedDict()
         self._evaluators: dict[bool, SddWmcEvaluator] = {}
-        # backend="ddnnf": per-query compiled DAGs + memoized WMC values
-        # (each DdnnfResult owns its own DnnfDag, so values evict with
-        # their query).
+        # backend="ddnnf": per-query compiled DAGs + one WMC evaluator per
+        # (query, ring) + memoized root values (each DdnnfResult owns its
+        # own DnnfDag, so evaluators and values evict with their query).
         self._ddnnf: OrderedDict[UCQ, object] = OrderedDict()
+        self._ddnnf_wmc: dict[tuple[UCQ, bool], object] = {}
         self._ddnnf_values: dict[tuple[UCQ, bool], float | Fraction] = {}
+        # Grounded DNF terms per cached query — what apply_update diffs to
+        # delta-patch roots instead of recompiling.
+        self._terms: dict[UCQ, frozenset[frozenset[str]]] = {}
         self._evicted = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._updates_applied = 0
+        self._memo_invalidations = 0
+        self._delta_patched = 0
+        self._update_recompiles = 0
 
     # ------------------------------------------------------------------
     # session resources
@@ -216,6 +225,22 @@ class QueryEngine:
                 weights.update({v: (half, half) for v in missing})
             ev = SddWmcEvaluator(self._manager, weights)
             self._evaluators[exact] = ev
+        return ev
+
+    def _ddnnf_evaluator(self, query: UCQ, exact: bool, result):
+        """The persistent per-(query, ring) d-DNNF evaluator — same weights
+        as the one-shot :func:`repro.dnnf.wmc.probability` path (so values
+        are bit-identical to it), kept alive so weight-only updates can
+        invalidate just the affected memo cone instead of resweeping."""
+        key = (query, exact)
+        ev = self._ddnnf_wmc.get(key)
+        if ev is None:
+            from ..dnnf.wmc import DnnfWmcEvaluator
+
+            prob = self.db.probability_map()
+            weights = exact_weights(prob) if exact else float_weights(prob)
+            ev = DnnfWmcEvaluator(result.dag, weights)
+            self._ddnnf_wmc[key] = ev
         return ev
 
     # ------------------------------------------------------------------
@@ -297,9 +322,14 @@ class QueryEngine:
             return root
         self._cache_misses += 1
         mgr = self._ensure_manager(query)
-        _, root = compile_lineage_sdd(query, self.db, manager=mgr)
+        terms = lineage_terms(query, self.db)
+        _, root = compile_lineage_sdd(
+            query, self.db, manager=mgr,
+            circuit=lineage_circuit(query, self.db, terms=terms),
+        )
         mgr.pin(root)
         self._roots[query] = root
+        self._terms[query] = frozenset(terms)
         self._collect_over_budget(keep=query)
         if (
             self._next_minimize_at is not None
@@ -324,8 +354,13 @@ class QueryEngine:
         self._cache_misses += 1
         from .compile import compile_lineage_ddnnf
 
-        result = compile_lineage_ddnnf(query, self.db)
+        terms = lineage_terms(query, self.db)
+        result = compile_lineage_ddnnf(
+            query, self.db,
+            circuit=lineage_circuit(query, self.db, terms=terms),
+        )
         self._ddnnf[query] = result
+        self._terms[query] = frozenset(terms)
         self._collect_over_budget_ddnnf(keep=query)
         return result
 
@@ -349,11 +384,7 @@ class QueryEngine:
             key = (query, exact)
             value = self._ddnnf_values.get(key)
             if value is None:
-                from ..dnnf.wmc import probability as dnnf_probability
-
-                value = dnnf_probability(
-                    r.dag, r.root, self.db.probability_map(), exact=exact
-                )
+                value = self._ddnnf_evaluator(query, exact, r).value(r.root)
                 value = Fraction(value) if exact else float(value)
                 self._ddnnf_values[key] = value
             return value
@@ -361,6 +392,8 @@ class QueryEngine:
         if froot is not None and query not in self._roots:
             # Served straight off the mmap-ed artifact: no compilation, no
             # manager, and not a cache miss — the answer was precompiled.
+            # (apply_update drops the frozen base on insert/delete, so a
+            # hit here is never stale.)
             self._frozen_hits += 1
             value = self._frozen_evaluator(exact).value(froot)
             return Fraction(value) if exact else float(value)
@@ -498,12 +531,15 @@ class QueryEngine:
         if self.backend == "ddnnf":
             if self._ddnnf.pop(query, None) is None:
                 return False
-            self._ddnnf_values.pop((query, False), None)
-            self._ddnnf_values.pop((query, True), None)
+            self._terms.pop(query, None)
+            for exact in (False, True):
+                self._ddnnf_values.pop((query, exact), None)
+                self._ddnnf_wmc.pop((query, exact), None)
             return True
         root = self._roots.pop(query, None)
         if root is None:
             return False
+        self._terms.pop(query, None)
         assert self._manager is not None
         self._manager.release(root)
         return True
@@ -543,6 +579,175 @@ class QueryEngine:
         self._vtree = mgr.vtree
         self._minimize_runs += 1
         return mapping
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: UpdateDelta) -> dict[str, int]:
+        """React to one database delta without restarting the session.
+
+        ``delta`` comes from :meth:`ProbabilisticDatabase.set_probability`
+        / :meth:`~ProbabilisticDatabase.insert` /
+        :meth:`~ProbabilisticDatabase.delete`; the engine applies it to
+        its database if a caller has not already (version-gated, so the
+        same delta may arrive through several layers) and then repairs
+        its caches per update class:
+
+        - **weight** — lineages are unchanged; every live WMC evaluator
+          point-updates the variable's weight pair and evicts exactly the
+          memo entries that depended on it.  Zero recompilations.
+        - **insert** — the manager's vtree grows a fresh leaf for the new
+          tuple (no existing node or pin moves), and every cached root is
+          delta-patched: the grounded terms the insert added are compiled
+          as a small DNF and disjoined onto the old root (new root
+          pinned, old released).  Inserting only ever adds satisfiable
+          valuations, so the patch is exact.
+        - **delete** — every cached root is conditioned on the tuple's
+          variable being false (compiled lineages are closed under
+          conditioning); the engine verifies against the re-grounded
+          terms that dropping the variable's terms is the whole story and
+          falls back to an eager recompile for that query otherwise
+          (possible only through inequality-only variables whose active
+          domain shrank).
+
+        Returns this call's counter increments (the same keys
+        :meth:`stats` accumulates).
+        """
+        delta.apply(self.db)
+        self._updates_applied += 1
+        memo_invalidations = 0
+        patched = 0
+        recompiles = 0
+        if delta.kind == "weight":
+            memo_invalidations = self._update_weight_caches(
+                delta.var, delta.p
+            )
+        else:
+            if self._frozen is not None:
+                # The artifact was compiled against the old instance; its
+                # roots are now answers to the wrong lineage.
+                self._frozen = None
+                self._frozen_wmc = {}
+            if delta.kind == "insert":
+                self._extend_vtree(delta.var)
+                memo_invalidations = self._update_weight_caches(
+                    delta.var, delta.p
+                )
+                patched, recompiles = self._patch_roots(delta, insert=True)
+            else:
+                # The variable stays in the vtree; give it the same
+                # half/half weights a fresh engine fills in for vtree
+                # variables without a tuple probability, so patched and
+                # fresh sessions stay bit-identical.
+                memo_invalidations = self._update_weight_caches(
+                    delta.var, None
+                )
+                patched, recompiles = self._patch_roots(delta, insert=False)
+        self._memo_invalidations += memo_invalidations
+        self._delta_patched += patched
+        self._update_recompiles += recompiles
+        return {
+            "updates_applied": 1,
+            "memo_invalidations": memo_invalidations,
+            "delta_patched_roots": patched,
+            "update_recompiles": recompiles,
+        }
+
+    @staticmethod
+    def _weight_pair(p: float | None, exact: bool):
+        """The ``(w_neg, w_pos)`` pair a fresh evaluator would build:
+        database probabilities via :func:`exact_weights` /
+        :func:`float_weights` conventions, ``None`` (a deleted tuple's
+        vtree leftover) as the half/half marginalizer."""
+        if p is None:
+            return (Fraction(1, 2), Fraction(1, 2)) if exact else (0.5, 0.5)
+        if exact:
+            fp = Fraction(str(p))
+            return (1 - fp, fp)
+        return (1.0 - float(p), float(p))
+
+    def _update_weight_caches(self, var: str, p: float | None) -> int:
+        """Point-update ``var``'s weight in every live evaluator; returns
+        the total memo entries evicted."""
+        invalidated = 0
+        for exact, ev in self._evaluators.items():
+            invalidated += ev.update_weights({var: self._weight_pair(p, exact)})
+        for (query, exact), ev in self._ddnnf_wmc.items():
+            invalidated += ev.update_weights({var: self._weight_pair(p, exact)})
+            result = self._ddnnf.get(query)
+            if result is not None and not ev.memoized(result.root):
+                self._ddnnf_values.pop((query, exact), None)
+        if self._frozen_wmc:
+            # Frozen evaluators have no point-update; rebuilding them is
+            # still compilation-free (weights re-read from the database).
+            self._frozen_wmc = {}
+        return invalidated
+
+    def _extend_vtree(self, var: str) -> None:
+        """Grow the session vtree (and manager, if live) with ``var`` —
+        appended under a new root so nothing existing moves."""
+        if self._manager is not None:
+            self._manager.add_variable(var)
+            self._vtree = self._manager.vtree
+        elif self._vtree is not None and var not in self._vtree.variables:
+            self._vtree = Vtree.internal_trusted(self._vtree, Vtree.leaf(var))
+
+    def _patch_roots(self, delta: UpdateDelta, *, insert: bool) -> tuple[int, int]:
+        """Delta-patch every cached query for a tuple insert/delete;
+        returns ``(patched, recompiled)``."""
+        if self.backend == "ddnnf":
+            return self._patch_ddnnf(delta)
+        mgr = self._manager
+        if mgr is None:
+            return 0, 0
+        patched = 0
+        recompiles = 0
+        for query, root in list(self._roots.items()):
+            old_terms = self._terms[query]
+            new_terms = frozenset(lineage_terms(query, self.db))
+            if new_terms == old_terms:
+                continue
+            if insert and old_terms <= new_terms:
+                # Disjoining exactly the added terms is an exact patch.
+                d_root = mgr.compile_circuit(terms_circuit(new_terms - old_terms))
+                new_root = mgr.disjoin(root, d_root)
+                patched += 1
+            elif not insert and {
+                t for t in old_terms if delta.var not in t
+            } == new_terms:
+                # Dropping the tuple's terms is the whole change:
+                # condition the root on its variable being false.
+                new_root = mgr.condition(root, {delta.var: 0})
+                patched += 1
+            else:
+                # Inequality-only variables + a changed active domain can
+                # alter terms that never mention the tuple; recompile.
+                new_root = mgr.compile_circuit(
+                    lineage_circuit(query, self.db, terms=sorted(
+                        new_terms, key=lambda t: sorted(t)
+                    ))
+                )
+                recompiles += 1
+            mgr.pin(new_root)
+            mgr.release(root)
+            self._roots[query] = new_root
+            self._terms[query] = new_terms
+        return patched, recompiles
+
+    def _patch_ddnnf(self, delta: UpdateDelta) -> tuple[int, int]:
+        """The d-DNNF tier has no shared manager to patch through, and a
+        compiled DAG's root scope spans *every* tuple of the instance it
+        was built against — any insert/delete changes the scope (and
+        possibly the decomposition) of what a fresh compile would build,
+        so keeping even term-unchanged DAGs would break float
+        bit-identity with fresh compilation.  Drop everything; queries
+        recompile lazily on the next ask.  (Weight-only updates never
+        come here — they stay on the memo-invalidation fast path.)"""
+        recompiles = 0
+        for query in list(self._ddnnf):
+            self.forget(query)
+            recompiles += 1
+        return 0, recompiles
 
     def _eviction_order(self, keep: UCQ) -> list[UCQ]:
         """Victim order for the budget sweep.
@@ -673,6 +878,10 @@ class QueryEngine:
                 else len(self._frozen.root_names)
             ),
             "frozen_hits": self._frozen_hits,
+            "updates_applied": self._updates_applied,
+            "memo_invalidations": self._memo_invalidations,
+            "delta_patched_roots": self._delta_patched,
+            "update_recompiles": self._update_recompiles,
         }
         if self.backend == "ddnnf":
             out["ddnnf_nodes"] = self.live_nodes()

@@ -25,6 +25,7 @@ __all__ = [
     "ground_cq",
     "lineage_terms",
     "lineage_circuit",
+    "terms_circuit",
     "lineage_nnf",
     "lineage_function",
 ]
@@ -75,19 +76,46 @@ def lineage_terms(
     return sorted(seen, key=lambda t: sorted(t))
 
 
-def lineage_circuit(query: UCQ, db: Database, domain: Sequence | None = None) -> Circuit:
+def lineage_circuit(
+    query: UCQ,
+    db: Database,
+    domain: Sequence | None = None,
+    *,
+    terms: Sequence[frozenset[str]] | None = None,
+) -> Circuit:
     """The lineage as a DNF-shaped circuit over tuple variables.
 
     The circuit contains one variable gate per tuple of ``D`` (so the
     lineage is a function of *all* tuples, matching ``L(Q, D)``'s scope),
-    one AND per grounded term, and a top OR.
+    one AND per grounded term, and a top OR.  ``terms`` may pass
+    pre-grounded terms (callers that also need the term sets, e.g. the
+    engine's update diffing) to skip grounding twice.
     """
     c = Circuit()
     for name in db.all_tuple_variables():
         c.add_var(name)
-    terms = lineage_terms(query, db, domain)
+    if terms is None:
+        terms = lineage_terms(query, db, domain)
     ands = []
     for term in terms:
+        ids = [c.add_var(v) for v in sorted(term)]
+        ands.append(c.add_and(*ids) if ids else c.add_const(True))
+    c.set_output(c.add_or(*ands) if ands else c.add_const(False))
+    return c
+
+
+def terms_circuit(terms: Iterable[frozenset[str]]) -> Circuit:
+    """A DNF-shaped circuit over exactly the variables the terms mention.
+
+    The delta-patch compile path: the terms an insert added are compiled
+    alone and disjoined onto a cached root, so the circuit must not drag
+    in every database tuple the way :func:`lineage_circuit` does.  Terms
+    are sorted for a deterministic gate order (canonical compilation
+    across parallel workers depends on it).
+    """
+    c = Circuit()
+    ands = []
+    for term in sorted(terms, key=lambda t: sorted(t)):
         ids = [c.add_var(v) for v in sorted(term)]
         ands.append(c.add_and(*ids) if ids else c.add_const(True))
     c.set_output(c.add_or(*ands) if ands else c.add_const(False))

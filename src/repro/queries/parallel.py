@@ -57,7 +57,7 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from .compile import lineage_vtree
-from .database import ProbabilisticDatabase
+from .database import ProbabilisticDatabase, UpdateDelta
 from .engine import QueryEngine
 from .syntax import UCQ
 from ..core.vtree import Vtree
@@ -391,6 +391,50 @@ class ParallelQueryEngine:
                 backend=self.backend,
             )
         return self._pool
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: UpdateDelta) -> dict[str, int]:
+        """Broadcast one database delta to every tier this engine owns.
+
+        The shared database is mutated once (version-gated), the base
+        vtree grows the inserted tuple's leaf exactly the way each
+        worker's manager grows its own (appended under a new root — so
+        workers that extend live, workers created later from the base
+        vtree, and spawn children rebuilding from postfix all compile
+        against structurally identical vtrees, keeping answers
+        bit-identical), live per-shard engines delta-patch their caches,
+        and a persistent :class:`~repro.service.pool.WorkerPool` gets the
+        delta as a control message for threads *and* spawn children.
+        Per-batch spawn workers need nothing: they pickle the database
+        fresh each batch.  Like :meth:`evaluate`, not safe concurrently
+        with an in-flight batch on the same instance.
+
+        Returns the merged counter increments across workers
+        (``updates_applied`` counts this call once).
+        """
+        delta.apply(self.db)
+        if (
+            delta.kind == "insert"
+            and self.backend == "sdd"
+            and self._vtree is not None
+            and delta.var not in self._vtree.variables
+        ):
+            self._vtree = Vtree.internal_trusted(self._vtree, Vtree.leaf(delta.var))
+        merged = {
+            "updates_applied": 1,
+            "memo_invalidations": 0,
+            "delta_patched_roots": 0,
+            "update_recompiles": 0,
+        }
+        increments = [e.apply_update(delta) for e in self._engines.values()]
+        if self._pool is not None:
+            increments.append(self._pool.apply_update(delta))
+        for inc in increments:
+            for key in ("memo_invalidations", "delta_patched_roots", "update_recompiles"):
+                merged[key] += inc.get(key, 0)
+        return merged
 
     def close(self) -> None:
         """Shut down the persistent worker pool, if one was started.

@@ -166,6 +166,58 @@ class SddManager:
     def vnode_of(self, u: int) -> int:
         return self.node_vnode[u]
 
+    def add_variable(self, var: str) -> int:
+        """Extend the vtree with a fresh variable; returns its leaf index.
+
+        The new leaf is appended *after* every existing variable and hung
+        under a brand-new root internal node ``(old_root, leaf)``.  No
+        existing vtree index, interval, or SDD node changes, so every
+        compiled root, pin, apply-cache entry, and WMC memo stays valid —
+        the new variable only contributes a marginalization factor above
+        the old root.  This is how live tuple inserts grow the manager
+        without invalidating the session; the serial and parallel tiers
+        apply the same deltas in the same order, so the extended vtrees
+        (and hence the canonical SDDs) stay identical across workers.
+        Idempotent: an already-present variable just returns its leaf.
+        """
+        got = self.leaf_of_var.get(var)
+        if got is not None:
+            return got
+        old_root = self.v_root
+        pos = self.v_hi[old_root]
+        leaf = Vtree.leaf(var)
+        li = len(self.v_nodes)
+        self.v_nodes.append(leaf)
+        self.v_index[id(leaf)] = li
+        self.v_parent.append(None)
+        self.v_left.append(None)
+        self.v_right.append(None)
+        self.v_interval.append((pos, pos + 1))
+        self.v_lo.append(pos)
+        self.v_hi.append(pos + 1)
+        self.v_nvars.append(1)
+        self.leaf_of_var[var] = li
+        self._vnode_members.append(set())
+
+        root_obj = Vtree.internal_trusted(self.v_nodes[old_root], leaf)
+        ri = len(self.v_nodes)
+        self.v_nodes.append(root_obj)
+        self.v_index[id(root_obj)] = ri
+        self.v_parent.append(None)
+        self.v_left.append(old_root)
+        self.v_right.append(li)
+        self.v_interval.append((self.v_lo[old_root], pos + 1))
+        self.v_lo.append(self.v_lo[old_root])
+        self.v_hi.append(pos + 1)
+        self.v_nvars.append(self.v_nvars[old_root] + 1)
+        self.v_parent[old_root] = ri
+        self.v_parent[li] = ri
+        self._vnode_members.append(set())
+        self.v_root = ri
+        self.vtree = root_obj
+        self._refresh_wmc_vtrees()
+        return li
+
     # ------------------------------------------------------------------
     # node construction
     # ------------------------------------------------------------------

@@ -100,8 +100,11 @@ class SddWmcEvaluator:
         for i in order:
             v = mgr.v_nodes[i]
             if v.is_leaf:
-                w0, w1 = self.weights[v.var]
-                prod[i] = w0 + w1
+                # A variable just appended by SddManager.add_variable may
+                # not have weights yet (update_weights supplies them next);
+                # the multiplicative identity keeps the tables usable.
+                w = self.weights.get(v.var)
+                prod[i] = 1 if w is None else w[0] + w[1]
             else:
                 prod[i] = prod[mgr.v_left[i]] * prod[mgr.v_right[i]]
         self._subtree_prod = prod
@@ -171,6 +174,37 @@ class SddWmcEvaluator:
         """WMC of ``root`` over *all* vtree variables."""
         self._sweep(root)
         return self._lift(root, self._root_vnode)
+
+    def update_weights(self, changed: Mapping[str, tuple]) -> int:
+        """Point-update literal weights, invalidating exactly the stale memo.
+
+        A memoized node value depends only on the weights of variables
+        under its own vtree node, so changing ``var`` can only stale the
+        entries whose vtree node lies on the leaf(var)→root ancestor path
+        — everything else keeps its value.  Returns the number of memo
+        entries evicted; the next :meth:`value` call re-sweeps just those
+        nodes (no recompilation anywhere).
+        """
+        mgr = self.mgr
+        touched: set[int] = set()
+        for var, w in changed.items():
+            self.weights[var] = w
+            x = mgr.leaf_of_var.get(var)
+            while x is not None:
+                touched.add(x)
+                x = mgr.v_parent[x]
+        evicted = 0
+        if touched:
+            memo = self._memo
+            node_vnode = mgr.node_vnode
+            stale = [u for u in memo if node_vnode[u] in touched]
+            for u in stale:
+                del memo[u]
+            evicted = len(stale)
+        # Subtree products and gap paths embed the old weights everywhere
+        # above the touched leaves; rebuild both (linear, no node visits).
+        self._rebuild_vtree_tables()
+        return evicted
 
     def evict(self, dead_ids) -> None:
         """Drop memo entries for collected node ids (called by the

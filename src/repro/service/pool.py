@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from ..core.vtree import Vtree
-from ..queries.database import ProbabilisticDatabase
+from ..queries.database import ProbabilisticDatabase, UpdateDelta
 from ..queries.engine import QueryEngine
 from ..queries.syntax import UCQ
 
@@ -66,21 +66,28 @@ class TaskResult:
 
 @dataclass
 class _Task:
-    query: UCQ
+    query: UCQ | None
     exact: bool
+    # Control tasks carry a database delta instead of a query; they are
+    # addressed to one specific worker and never stolen.
+    control: UpdateDelta | None = None
     future: Future = field(default_factory=Future)
 
 
 class _Scheduler:
     """Per-shard FIFO queues + the steal rule, under one condition var.
 
-    ``get`` blocks until a task is available for ``worker`` (its own queue
-    head, else — when stealing is on — the tail of the longest non-empty
-    queue, smallest owner id breaking ties deterministically) or the pool
-    closes (returns ``None``)."""
+    ``get`` blocks until a task is available for ``worker`` (its own
+    control queue first, then its own queue head, else — when stealing is
+    on — the tail of the longest non-empty queue, smallest owner id
+    breaking ties deterministically) or the pool closes (returns
+    ``None``).  Control tasks live in separate per-worker queues because
+    they must reach *that* worker's engine: stealing one would update a
+    different worker twice and the target never."""
 
     def __init__(self, workers: int, steal: bool):
         self._queues: list[deque[_Task]] = [deque() for _ in range(workers)]
+        self._controls: list[deque[_Task]] = [deque() for _ in range(workers)]
         self._cond = threading.Condition()
         self._steal = steal
         self._closed = False
@@ -95,11 +102,21 @@ class _Scheduler:
             self.tasks_queued += 1
             self._cond.notify_all()
 
+    def put_control(self, worker: int, task: _Task) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self._controls[worker].append(task)
+            self._cond.notify_all()
+
     def get(self, worker: int) -> _Task | None:
         with self._cond:
             while True:
                 if self._closed:
                     return None
+                control = self._controls[worker]
+                if control:
+                    return control.popleft()
                 own = self._queues[worker]
                 if own:
                     return own.popleft()
@@ -119,7 +136,10 @@ class _Scheduler:
         with self._cond:
             self._closed = True
             leftovers = [t for q in self._queues for t in q]
+            leftovers.extend(t for q in self._controls for t in q)
             for q in self._queues:
+                q.clear()
+            for q in self._controls:
                 q.clear()
             self._cond.notify_all()
             return leftovers
@@ -144,8 +164,15 @@ def _pool_worker_main(conn, payload) -> None:
             msg = conn.recv()
             if msg is None:
                 break
-            query, exact = msg
             try:
+                if msg[0] == "update":
+                    # The child owns its private database copy (pickled at
+                    # start); the delta replays the parent's mutation here,
+                    # and the engine delta-patches its warm caches.
+                    inc = engine.apply_update(msg[1])
+                    conn.send(("ok", inc, 0, None, engine.stats()))
+                    continue
+                query, exact = msg[1], msg[2]
                 p = engine.probability(query, exact=exact)
                 size = engine.compiled_size(query)  # just answered: present
                 conn.send(
@@ -234,6 +261,7 @@ class WorkerPool:
         self.backend = backend
         self.batches_served = 0
         self.tasks_served = 0
+        self.updates_applied = 0
         self._scheduler = _Scheduler(workers, steal)
         self._threads: list[threading.Thread] = []
         self._engines: dict[int, QueryEngine] = {}
@@ -352,6 +380,64 @@ class WorkerPool:
         return results
 
     # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: UpdateDelta) -> dict[str, int]:
+        """Broadcast one database delta to every warm worker and block
+        until all have applied it.
+
+        The shared database is mutated once (version-gated; a caller like
+        :class:`~repro.queries.parallel.ParallelQueryEngine` may already
+        have applied it), the shared base vtree grows an inserted tuple's
+        leaf the same way each worker's manager does, and one control
+        message per worker rides the per-worker control queues — threads
+        workers patch their live engine, spawn children replay the delta
+        on their private database copy over the pipe.  Any update also
+        drops the warm-start artifact for engines *not yet built*: the
+        artifact answers for the instance it was compiled against, and a
+        lazily constructed engine must not warm-start from a stale one
+        (already-built engines keep their frozen base across weight-only
+        updates — their own :meth:`QueryEngine.apply_update` refreshes
+        its weights).
+
+        Must not run concurrently with an in-flight batch on the same
+        shard queues — the service tier quiesces before calling this.
+        Returns the merged counter increments across workers
+        (``updates_applied`` counts this call once).
+        """
+        delta.apply(self.db)
+        if (
+            delta.kind == "insert"
+            and self.backend == "sdd"
+            and self.vtree is not None
+            and delta.var not in self.vtree.variables
+        ):
+            self.vtree = Vtree.internal_trusted(self.vtree, Vtree.leaf(delta.var))
+        self._artifact_obj = None
+        self._artifact_path = None
+        self.updates_applied += 1
+        merged = {
+            "updates_applied": 1,
+            "memo_invalidations": 0,
+            "delta_patched_roots": 0,
+            "update_recompiles": 0,
+        }
+        if not self._started:
+            # No warm state anywhere: threads engines don't exist yet and
+            # spawn children pickle the database at start().
+            return merged
+        tasks = []
+        for w in range(self.workers):
+            task = _Task(query=None, exact=False, control=delta)
+            self._scheduler.put_control(w, task)
+            tasks.append(task)
+        for task in tasks:
+            inc = task.future.result()
+            for key in ("memo_invalidations", "delta_patched_roots", "update_recompiles"):
+                merged[key] += inc.get(key, 0)
+        return merged
+
+    # ------------------------------------------------------------------
     # execution backends
     # ------------------------------------------------------------------
     def _threads_frozen(self):
@@ -376,10 +462,13 @@ class WorkerPool:
             except BaseException as exc:  # noqa: BLE001 - routed to waiter
                 task.future.set_exception(exc)
             else:
-                self.tasks_served += 1
+                if task.control is None:
+                    self.tasks_served += 1
                 task.future.set_result(result)
 
-    def _execute(self, w: int, task: _Task) -> TaskResult:
+    def _execute(self, w: int, task: _Task):
+        if task.control is not None:
+            return self._execute_update(w, task.control)
         if self.mode == "threads":
             engine = self._engines.get(w)
             if engine is None:
@@ -405,12 +494,29 @@ class WorkerPool:
         # spawn: round-trip through worker w's pipe (feeder thread w is the
         # only user of conns[w], so no pipe-level locking either).
         conn = self._conns[w]
-        conn.send((task.query, task.exact))
+        conn.send(("task", task.query, task.exact))
         status, p, size, root, stats = conn.recv()
         self._spawn_stats[w] = stats
         if status != "ok":
             raise RuntimeError(f"spawn worker {w} failed: {p}")
         return TaskResult(probability=p, size=size, root=root, worker=w)
+
+    def _execute_update(self, w: int, delta: UpdateDelta) -> dict[str, int]:
+        """Apply one delta on worker ``w``; returns its counter increments."""
+        if self.mode == "threads":
+            engine = self._engines.get(w)
+            if engine is None:
+                # Never built: it will be constructed lazily against the
+                # already-updated shared database — nothing to patch.
+                return {"updates_applied": 0}
+            return engine.apply_update(delta)
+        conn = self._conns[w]
+        conn.send(("update", delta))
+        status, inc, _size, _root, stats = conn.recv()
+        self._spawn_stats[w] = stats
+        if status != "ok":
+            raise RuntimeError(f"spawn worker {w} failed to apply update: {inc}")
+        return inc
 
     # ------------------------------------------------------------------
     # introspection
@@ -443,6 +549,7 @@ class WorkerPool:
             "pool_tasks_served": self.tasks_served,
             "pool_tasks_queued": self._scheduler.tasks_queued,
             "pool_steals": self._scheduler.steals,
+            "pool_updates_applied": self.updates_applied,
             "pool_artifact_warm": int(
                 self._artifact_obj is not None or self._artifact_path is not None
             ),

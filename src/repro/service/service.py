@@ -42,17 +42,18 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence
 
-from .admission import AdmissionController, Session
+from .admission import AdmissionController, ServiceSaturated, Session
 from .pool import WorkerPool
 from ..compiler.cache import LruStatsCache, fingerprint
 from ..core.vtree import Vtree
 from ..queries.compile import lineage_vtree
-from ..queries.database import ProbabilisticDatabase
+from ..queries.database import ProbabilisticDatabase, UpdateDelta
 from ..queries.engine import QueryEngine
 from ..queries.parallel import shard_of
 from ..queries.syntax import UCQ
@@ -140,7 +141,10 @@ class QueryService:
         self._pool: WorkerPool | None = None
         self._lock = threading.Lock()
         self._closed = False
+        self._updating = False
         self._queries_served = 0
+        self._updates_applied = 0
+        self._cache_invalidated = 0
         self._artifact_dir = None if artifact_dir is None else os.fspath(artifact_dir)
         # Every distinct query ever dispatched (normalized text -> UCQ):
         # the freeze set for save_artifact.
@@ -221,6 +225,15 @@ class QueryService:
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+            if self._updating:
+                # A live update is quiescing the pool; refuse with the usual
+                # backpressure signal so callers retry rather than queue.
+                self._admission.rejected += len(qs)
+                raise ServiceSaturated(
+                    self._admission.in_flight,
+                    self._admission.max_in_flight,
+                    self._admission.retry_after_base,
+                )
             sess = self._session(session)
             sess.check()  # QuotaExceeded
             self._admission.try_admit(len(qs))  # ServiceSaturated
@@ -345,6 +358,85 @@ class QueryService:
         return os.fspath(path)
 
     # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, delta: UpdateDelta, *, drain_timeout: float = 30.0
+    ) -> dict[str, int]:
+        """Apply one database delta service-wide and return the merged
+        counter increments.
+
+        The protocol quiesces before touching any shared state: new
+        submissions are rejected with :exc:`ServiceSaturated` (the usual
+        backpressure signal — callers already know how to retry) while the
+        admitted in-flight window drains to zero.  Then, under the service
+        lock, the delta mutates the shared database, every answer-cache
+        entry is dropped (they are keyed by the old database fingerprint,
+        so they could never be *served* again — clearing just reclaims the
+        memory and makes the staleness visible in ``cache_invalidated``),
+        the fingerprint is recomputed, and an inserted tuple's leaf grows
+        the shared base vtree.  The pool broadcast happens *outside* the
+        lock: completion callbacks take the lock on worker threads, and
+        the control-message barrier must not deadlock against them.
+
+        Raises :exc:`TimeoutError` when in-flight queries do not drain
+        within ``drain_timeout`` seconds.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._updating:
+                raise RuntimeError("another update is already in progress")
+            self._updating = True
+        try:
+            deadline = time.monotonic() + drain_timeout
+            while True:
+                with self._lock:
+                    if self._admission.in_flight == 0:
+                        break
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        "timed out draining in-flight queries before update"
+                    )
+                time.sleep(0.001)
+            with self._lock:
+                delta.apply(self.db)
+                invalidated = len(self._cache)
+                self._cache.clear()
+                self._cache_invalidated += invalidated
+                self._db_fp = self.db.fingerprint()
+                if (
+                    delta.kind == "insert"
+                    and self.backend == "sdd"
+                    and self._vtree is not None
+                    and delta.var not in self._vtree.variables
+                ):
+                    self._vtree = Vtree.internal_trusted(
+                        self._vtree, Vtree.leaf(delta.var)
+                    )
+                self._updates_applied += 1
+                pool = self._pool
+            merged = {
+                "updates_applied": 1,
+                "cache_invalidated": invalidated,
+                "memo_invalidations": 0,
+                "delta_patched_roots": 0,
+                "update_recompiles": 0,
+            }
+            if pool is not None:
+                inc = pool.apply_update(delta)
+                for key in (
+                    "memo_invalidations",
+                    "delta_patched_roots",
+                    "update_recompiles",
+                ):
+                    merged[key] += inc.get(key, 0)
+            return merged
+        finally:
+            with self._lock:
+                self._updating = False
+
+    # ------------------------------------------------------------------
     # lifecycle / introspection
     # ------------------------------------------------------------------
     @property
@@ -394,6 +486,8 @@ class QueryService:
                 "service_queries": self._queries_served,
                 "service_sessions": len(self._sessions),
                 "service_seen_queries": len(self._seen),
+                "service_updates_applied": self._updates_applied,
+                "service_cache_invalidated": self._cache_invalidated,
                 "db_fingerprint": self._db_fp,
             }
             out.update(self._cache.stats())

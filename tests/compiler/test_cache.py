@@ -1,0 +1,134 @@
+"""LruStatsCache staleness regressions: expiry on every read path, no
+``None`` sentinels, and bounded growth under a TTL.
+
+These pin the cache-layer fixes that rode along with the live-update
+work: ``pop`` used to hand out expired values (it skipped the expiry
+check ``get``/``peek`` make) and treated a cached ``None`` as a miss,
+``__contains__`` shared the ``None`` confusion, and an unbounded cache
+with a TTL grew forever because expired entries were only dropped when
+their own key was looked up again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.cache import LruStatsCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestPopExpiry:
+    def test_pop_never_hands_out_expired_value(self):
+        clock = FakeClock()
+        cache = LruStatsCache(ttl=10.0, clock=clock)
+        cache.put("k", "stale-answer")
+        clock.advance(11.0)
+        assert cache.pop("k", "fallback") == "fallback"
+        assert cache.expired == 1
+        assert len(cache) == 0  # removed, not resurrected
+
+    def test_pop_live_value_and_default(self):
+        clock = FakeClock()
+        cache = LruStatsCache(ttl=10.0, clock=clock)
+        cache.put("k", 42)
+        assert cache.pop("k") == 42
+        assert cache.pop("k", "gone") == "gone"
+        assert cache.expired == 0
+
+    def test_pop_without_ttl(self):
+        cache = LruStatsCache()
+        cache.put("k", 1)
+        assert cache.pop("k") == 1
+        assert cache.pop("k") is None
+
+
+class TestNoneIsAValue:
+    """``None`` (and falsy values generally) are legitimate cached
+    values; absence is signalled by a private sentinel, never by value
+    comparison."""
+
+    def test_pop_of_cached_none(self):
+        cache = LruStatsCache()
+        cache.put("k", None)
+        assert cache.pop("k", "MISSING") is None
+        assert "k" not in cache
+
+    def test_contains_cached_none(self):
+        cache = LruStatsCache()
+        cache.put("k", None)
+        assert "k" in cache
+
+    def test_peek_cached_none_with_ttl(self):
+        clock = FakeClock()
+        cache = LruStatsCache(ttl=5.0, clock=clock)
+        cache.put("k", None)
+        assert cache.peek("k", "MISSING") is None
+        clock.advance(6.0)
+        assert cache.peek("k", "MISSING") == "MISSING"
+
+    def test_contains_expires(self):
+        clock = FakeClock()
+        cache = LruStatsCache(ttl=5.0, clock=clock)
+        cache.put("k", 1)
+        assert "k" in cache
+        clock.advance(6.0)
+        assert "k" not in cache
+        assert cache.expired == 1
+
+
+class TestTtlSweepOnPut:
+    def test_unbounded_cache_does_not_grow_forever(self):
+        clock = FakeClock()
+        cache = LruStatsCache(capacity=None, ttl=10.0, clock=clock)
+        # Two generations of one-shot keys: the second generation's puts
+        # must sweep the first generation out even though nobody ever
+        # looks those keys up again.
+        for i in range(50):
+            cache.put(("gen1", i), i)
+        clock.advance(11.0)
+        for i in range(50):
+            cache.put(("gen2", i), i)
+        assert len(cache) == 50
+        assert cache.expired == 50
+        assert cache.stats()["cache_expired"] == 50
+
+    def test_sweep_keeps_live_entries(self):
+        clock = FakeClock()
+        cache = LruStatsCache(ttl=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(6.0)
+        cache.put("young", 2)
+        clock.advance(5.0)  # "old" past deadline, "young" not
+        cache.put("new", 3)
+        assert len(cache) == 2
+        assert cache.peek("young") == 2
+        assert cache.peek("new") == 3
+        assert cache.expired == 1
+
+    def test_eviction_counter_untouched_by_sweep(self):
+        clock = FakeClock()
+        cache = LruStatsCache(capacity=100, ttl=1.0, clock=clock)
+        for i in range(10):
+            cache.put(i, i)
+        clock.advance(2.0)
+        cache.put("x", 0)
+        assert cache.evictions == 0
+        assert cache.expired == 10
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            LruStatsCache(ttl=0)
+        with pytest.raises(ValueError):
+            LruStatsCache(ttl=-1.0)

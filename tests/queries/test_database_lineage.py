@@ -58,6 +58,20 @@ class TestDatabase:
         with pytest.raises(ValueError):
             db.add("R", 1, p=1.5)
 
+    def test_bad_probability_leaves_database_unchanged(self):
+        # Regression: add() used to insert the tuple before validating p,
+        # so a rejected add left a tuple with no probability behind.
+        db = ProbabilisticDatabase()
+        db.add("R", 1, p=0.3)
+        before = (db.fingerprint(), db.size, db.version, db.probability_map())
+        with pytest.raises(ValueError):
+            db.add("R", 2, p=1.5)
+        with pytest.raises(ValueError):
+            db.add("R", 3, p=-0.1)
+        assert (db.fingerprint(), db.size, db.version, db.probability_map()) == before
+        assert not db.contains("R", (2,))
+        assert not db.contains("R", (3,))
+
     def test_complete_database(self):
         db = complete_database({"R": 1, "S": 2}, 2)
         assert len(db.tuples("R")) == 2

@@ -66,6 +66,32 @@ class TestQuery:
         assert "39/64" in out
 
 
+class TestEngineUpdates:
+    def test_engine_update_reevaluates_and_reports_counters(self, capsys):
+        assert main(["engine", "R(x),S(x,y); S(x,y)", "--domain", "2",
+                     "--update", "weight:R:1:0.8",
+                     "--update", "delete:S:1,2",
+                     "--update", "insert:S:2,3:0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "after 3 update(s)" in out
+        assert "update counters:" in out
+        assert "updates_applied=3" in out
+        assert "update_recompiles=0" in out
+
+    def test_engine_update_parallel(self, capsys):
+        assert main(["engine", "R(x),S(x,y); S(x,y)", "--domain", "2",
+                     "--workers", "2", "--parallel-mode", "threads",
+                     "--update", "weight:R:1:0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "after 1 update(s)" in out
+        assert "updates_applied=1" in out
+
+    def test_engine_update_bad_spec(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            main(["engine", "R(x)", "--domain", "2",
+                  "--update", "upsert:R:1:0.5"])
+
+
 class TestServe:
     def test_serve_exact_sessions_and_stats(self, capsys):
         assert main(["serve", "R(x),S(x,y); S(x,y)", "--domain", "2",
