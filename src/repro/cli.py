@@ -384,10 +384,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run a ';'-separated workload through the always-on service tier:
     one warm :class:`~repro.service.QueryService` pool serving
     ``--sessions`` concurrent asyncio sessions × ``--repeats`` rounds,
-    then print per-query answers and the merged service stats."""
+    then print per-query answers and the merged service stats.
+
+    With ``--forever`` the workload loops until SIGTERM/SIGINT; either
+    signal (in any mode) triggers a graceful shutdown — new submissions
+    are refused with the retry-after backpressure signal while the
+    admitted in-flight queries drain, then the pool closes."""
     import asyncio
+    import signal
+    import threading
 
     from .service import QueryService
+    from .service.supervisor import RestartPolicy
 
     queries, db = _parse_workload(args)
     if not queries:
@@ -406,7 +414,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         session_quota=args.session_quota,
         artifact_dir=args.artifacts,
+        default_timeout=(
+            None if args.deadline_ms is None else args.deadline_ms / 1000.0
+        ),
+        restart=(
+            None
+            if args.max_restarts is None
+            else RestartPolicy(max_restarts=args.max_restarts)
+        ),
     )
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    # Graceful shutdown on both the orchestrator signal (SIGTERM) and the
+    # operator's ^C; restored afterwards so embedders (tests call main()
+    # in-process) keep their handlers.
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
 
     async def one_session(name: str) -> list:
         answers = None
@@ -421,6 +450,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         all_answers = asyncio.run(drive())
+        rounds = 1
+        if args.forever:
+            print(f"serving forever ({len(queries)} queries/round); "
+                  "SIGTERM or ^C drains and exits", flush=True)
+            while not stop.is_set():
+                asyncio.run(drive())
+                rounds += 1
+                stop.wait(0.01)
+            print(f"served {rounds} rounds", flush=True)
         if args.artifacts is not None:
             import os
 
@@ -430,7 +468,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"(warm start was {'on' if service.stats().get('pool_artifact_warm') else 'off'})")
     finally:
         stats = service.stats()
-        service.close()
+        if stop.is_set():
+            print("signal received: draining in-flight queries...", flush=True)
+            drained = service.shutdown(drain_timeout=30.0)
+            print(f"graceful shutdown complete (drained={drained})", flush=True)
+        else:
+            service.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     answers = all_answers[0]
     rows = [
         [str(q), answers[i].size,
@@ -585,6 +630,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "<db_fingerprint>.rpaf when present, and save the "
                         "served workload back to it after the run "
                         "(sdd backend)")
+    s.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-query wall-clock budget in milliseconds, "
+                        "enforced cooperatively at the compilation "
+                        "safepoints (DeadlineExceeded past it)")
+    s.add_argument("--max-restarts", type=int, default=None,
+                   help="supervisor restart budget per worker slot before "
+                        "the slot is retired and its queue redistributed")
+    s.add_argument("--forever", action="store_true",
+                   help="loop the workload until SIGTERM/SIGINT, then "
+                        "drain in-flight queries and shut down gracefully")
     s.set_defaults(fn=_cmd_serve)
 
     i = sub.add_parser("isa", help="build the Appendix-A ISA SDD")

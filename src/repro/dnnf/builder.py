@@ -147,6 +147,7 @@ def build_ddnnf(
     *,
     exact: bool | None = None,
     node_budget: int | None = None,
+    deadline=None,
 ) -> DdnnfResult:
     """Compile ``circuit`` to a smooth deterministic d-DNNF, bag by bag.
 
@@ -155,12 +156,16 @@ def build_ddnnf(
     bags, the same between-work-units contract as
     :meth:`~repro.sdd.manager.SddManager.compile_circuit`) — the hook the
     race backend's early abandon uses to cut off a candidate that can no
-    longer win."""
+    longer win.  ``deadline`` is a
+    :class:`~repro.service.errors.Deadline`-like token checked at the
+    same per-bag safepoints (its ``check()`` raises the typed
+    :class:`~repro.service.errors.DeadlineExceeded`), giving the service
+    tier cooperative wall-clock cancellation."""
     if circuit.output is None:
         raise ValueError("circuit has no output gate")
     friendly = friendly_from_circuit(circuit, decomposition, exact=exact)
     dag = DnnfDag()
-    builder = _BagBuilder(circuit, dag, node_budget=node_budget)
+    builder = _BagBuilder(circuit, dag, node_budget=node_budget, deadline=deadline)
     root = builder.run(friendly)
     return DdnnfResult(circuit, dag, root, friendly, builder.counters)
 
@@ -168,10 +173,18 @@ def build_ddnnf(
 class _BagBuilder:
     """The (ν, S)-state walk; one instance per compilation."""
 
-    def __init__(self, circuit: Circuit, dag: DnnfDag, *, node_budget: int | None = None):
+    def __init__(
+        self,
+        circuit: Circuit,
+        dag: DnnfDag,
+        *,
+        node_budget: int | None = None,
+        deadline=None,
+    ):
         self.circuit = circuit
         self.dag = dag
         self.node_budget = node_budget
+        self.deadline = deadline
         self.kinds = [g.kind for g in circuit.gates]
         self.inputs = [frozenset(g.inputs) for g in circuit.gates]
         self.payloads = [g.payload for g in circuit.gates]
@@ -290,6 +303,8 @@ class _BagBuilder:
                     f"node budget {self.node_budget} exceeded "
                     f"({len(self.dag.node_kind)} d-DNNF nodes)"
                 )
+            if self.deadline is not None:
+                self.deadline.check("d-DNNF bag compilation")
             states[id(node)] = cur
         root_states = states[id(friendly.root)]
         # Root bag is empty: at most the single key ((), ∅) can survive.

@@ -122,6 +122,7 @@ def compile_lineage_sdd(
     *,
     manager: SddManager | None = None,
     circuit: Circuit | None = None,
+    deadline=None,
 ) -> tuple[SddManager, int]:
     """Compile the lineage into an SDD via bottom-up ``apply`` — no truth
     table, so instances with hundreds of tuples compile.
@@ -133,6 +134,8 @@ def compile_lineage_sdd(
     its hash-cons tables and apply cache with previous compilations.
     ``circuit`` may pass a pre-built lineage circuit (callers that ground
     the lineage anyway, e.g. the engine's update-diff bookkeeping).
+    ``deadline`` (a :class:`~repro.service.errors.Deadline`) cancels the
+    compilation cooperatively at the per-gate safepoints.
     """
     if circuit is None:
         circuit = lineage_circuit(query, db)
@@ -143,10 +146,12 @@ def compile_lineage_sdd(
     missing = set(circuit.variables) - manager.vtree.variables
     if missing:
         raise ValueError(f"manager vtree misses lineage variables: {sorted(missing)[:5]}")
-    return manager, manager.compile_circuit(circuit)
+    return manager, manager.compile_circuit(circuit, deadline=deadline)
 
 
-def compile_lineage_ddnnf(query: UCQ, db: Database, *, circuit: Circuit | None = None):
+def compile_lineage_ddnnf(
+    query: UCQ, db: Database, *, circuit: Circuit | None = None, deadline=None
+):
     """Compile the lineage bag-by-bag into a d-DNNF — no variable order, no
     manager, no apply cascade: the decomposition of the lineage circuit's
     gate graph drives the build directly (:mod:`repro.dnnf`).
@@ -155,11 +160,15 @@ def compile_lineage_ddnnf(query: UCQ, db: Database, *, circuit: Circuit | None =
     :func:`repro.dnnf.wmc.probability` or hand both to
     :func:`repro.queries.evaluate.probability_via_ddnnf`.  ``circuit``
     may pass a pre-built lineage circuit, as in
-    :func:`compile_lineage_sdd`.
+    :func:`compile_lineage_sdd`; ``deadline`` cancels cooperatively at
+    the per-bag safepoints.
     """
     from ..dnnf.builder import build_ddnnf
 
-    return build_ddnnf(circuit if circuit is not None else lineage_circuit(query, db))
+    return build_ddnnf(
+        circuit if circuit is not None else lineage_circuit(query, db),
+        deadline=deadline,
+    )
 
 
 def lineage_obdd_width(query: UCQ, db: Database, order: Sequence[str] | None = None) -> int:

@@ -185,6 +185,7 @@ class QueryEngine:
         self._evicted = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._deadline_exceeded = 0
         self._updates_applied = 0
         self._memo_invalidations = 0
         self._delta_patched = 0
@@ -308,13 +309,36 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def compile(self, query: UCQ) -> int:
+    @staticmethod
+    def _resolve_deadline(timeout: float | None, deadline):
+        """One cancellation token from the two spellings: ``timeout``
+        (seconds from now) or ``deadline`` (a pre-built
+        :class:`~repro.service.errors.Deadline`, e.g. the remaining
+        budget a pool computed after queue time)."""
+        if timeout is None:
+            return deadline
+        if deadline is not None:
+            raise ValueError("pass timeout= or deadline=, not both")
+        from ..service.errors import Deadline
+
+        return Deadline(timeout)
+
+    def compile(self, query: UCQ, *, timeout: float | None = None, deadline=None) -> int:
         """Compile ``query``'s lineage (cached; for the SDD backend also
         pinned against collection); returns the root node id — in the
         shared manager (``backend="sdd"``) or in the query's own d-DNNF
-        DAG (``backend="ddnnf"``)."""
+        DAG (``backend="ddnnf"``).
+
+        ``timeout``/``deadline`` bound the compilation wall-clock,
+        enforced cooperatively at the per-gate (SDD) / per-bag (d-DNNF)
+        safepoints; expiry raises the typed
+        :class:`~repro.service.errors.DeadlineExceeded` and leaves the
+        session consistent (nothing is cached for the query, and the
+        partial manager garbage is unpinned, so the next collection
+        reclaims it)."""
+        deadline = self._resolve_deadline(timeout, deadline)
         if self.backend == "ddnnf":
-            return self._compile_ddnnf(query).root
+            return self._compile_ddnnf(query, deadline=deadline).root
         root = self._roots.get(query)
         if root is not None:
             self._roots.move_to_end(query)
@@ -323,10 +347,17 @@ class QueryEngine:
         self._cache_misses += 1
         mgr = self._ensure_manager(query)
         terms = lineage_terms(query, self.db)
-        _, root = compile_lineage_sdd(
-            query, self.db, manager=mgr,
-            circuit=lineage_circuit(query, self.db, terms=terms),
-        )
+        from ..service.errors import DeadlineExceeded
+
+        try:
+            _, root = compile_lineage_sdd(
+                query, self.db, manager=mgr,
+                circuit=lineage_circuit(query, self.db, terms=terms),
+                deadline=deadline,
+            )
+        except DeadlineExceeded:
+            self._deadline_exceeded += 1
+            raise
         mgr.pin(root)
         self._roots[query] = root
         self._terms[query] = frozenset(terms)
@@ -342,7 +373,7 @@ class QueryEngine:
             )
         return self._roots[query]
 
-    def _compile_ddnnf(self, query: UCQ):
+    def _compile_ddnnf(self, query: UCQ, *, deadline=None):
         """The ``backend="ddnnf"`` compile path: cache
         :class:`~repro.dnnf.builder.DdnnfResult` handles per query and
         apply the same budget sweep the SDD path runs."""
@@ -353,12 +384,18 @@ class QueryEngine:
             return result
         self._cache_misses += 1
         from .compile import compile_lineage_ddnnf
+        from ..service.errors import DeadlineExceeded
 
         terms = lineage_terms(query, self.db)
-        result = compile_lineage_ddnnf(
-            query, self.db,
-            circuit=lineage_circuit(query, self.db, terms=terms),
-        )
+        try:
+            result = compile_lineage_ddnnf(
+                query, self.db,
+                circuit=lineage_circuit(query, self.db, terms=terms),
+                deadline=deadline,
+            )
+        except DeadlineExceeded:
+            self._deadline_exceeded += 1
+            raise
         self._ddnnf[query] = result
         self._terms[query] = frozenset(terms)
         self._collect_over_budget_ddnnf(keep=query)
@@ -376,11 +413,23 @@ class QueryEngine:
             return self._frozen_root(query)
         return root
 
-    def probability(self, query: UCQ, *, exact: bool = False) -> float | Fraction:
+    def probability(
+        self,
+        query: UCQ,
+        *,
+        exact: bool = False,
+        timeout: float | None = None,
+        deadline=None,
+    ) -> float | Fraction:
         """Exact probability of ``query`` under the tuple-independence
-        semantics; ``exact=True`` stays in :class:`~fractions.Fraction`."""
+        semantics; ``exact=True`` stays in :class:`~fractions.Fraction`.
+
+        ``timeout``/``deadline`` bound the compilation (the dominant
+        cost; the linear WMC sweep is not interrupted) — see
+        :meth:`compile` for the cooperative-cancellation contract."""
+        deadline = self._resolve_deadline(timeout, deadline)
         if self.backend == "ddnnf":
-            r = self._compile_ddnnf(query)
+            r = self._compile_ddnnf(query, deadline=deadline)
             key = (query, exact)
             value = self._ddnnf_values.get(key)
             if value is None:
@@ -397,7 +446,7 @@ class QueryEngine:
             self._frozen_hits += 1
             value = self._frozen_evaluator(exact).value(froot)
             return Fraction(value) if exact else float(value)
-        root = self.compile(query)
+        root = self.compile(query, deadline=deadline)
         value = self._evaluator(exact).value(root)
         # Constant roots short-circuit to int 0/1; normalize the ring.
         return Fraction(value) if exact else float(value)
@@ -440,10 +489,19 @@ class QueryEngine:
         workers: int | None = None,
         parallel_mode: str = "auto",
         shard_seed: int = 0,
+        timeout: float | None = None,
     ):
         """Evaluate a workload; returns a
         :class:`~repro.queries.evaluate.BatchEvaluation` (the same result
         type :func:`~repro.queries.evaluate.evaluate_many` returns).
+
+        ``timeout`` grants each query its own wall-clock budget (seconds;
+        per query, not per batch — matching the service tier's per-query
+        deadlines); a query that exceeds it raises the typed
+        :class:`~repro.service.errors.DeadlineExceeded` out of the batch.
+        Serial path only — with ``workers > 1`` use the service tier
+        (:meth:`~repro.service.QueryService.submit`), whose pool enforces
+        per-task deadlines.
 
         With a ``max_nodes`` budget, queries early in a large batch may be
         evicted (and their node ids collected, possibly recycled) by the
@@ -470,6 +528,11 @@ class QueryEngine:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive")
         if workers is not None and workers > 1:
+            if timeout is not None:
+                raise ValueError(
+                    "timeout= is serial-path only; parallel batches enforce "
+                    "per-task deadlines in the service tier (WorkerPool.submit)"
+                )
             from .parallel import ParallelQueryEngine
 
             return ParallelQueryEngine(
@@ -485,7 +548,7 @@ class QueryEngine:
             probabilities = []
             sizes = []
             for q in qs:
-                probabilities.append(self.probability(q, exact=exact))
+                probabilities.append(self.probability(q, exact=exact, timeout=timeout))
                 # Just asked for: never evicted yet (mirrors the SDD path's
                 # measure-at-evaluation-time contract).
                 sizes.append(self._ddnnf[q].size)
@@ -501,7 +564,7 @@ class QueryEngine:
         probabilities = []
         sizes = []
         for q in qs:
-            probabilities.append(self.probability(q, exact=exact))
+            probabilities.append(self.probability(q, exact=exact, timeout=timeout))
             if q in self._roots:
                 assert self._manager is not None
                 sizes.append(self._manager.size(self._roots[q]))
@@ -882,6 +945,7 @@ class QueryEngine:
             "memo_invalidations": self._memo_invalidations,
             "delta_patched_roots": self._delta_patched,
             "update_recompiles": self._update_recompiles,
+            "deadline_exceeded": self._deadline_exceeded,
         }
         if self.backend == "ddnnf":
             out["ddnnf_nodes"] = self.live_nodes()

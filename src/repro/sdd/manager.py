@@ -532,6 +532,7 @@ class SddManager:
         *,
         node_budget: int | None = None,
         safepoint=None,
+        deadline=None,
     ) -> int:
         """Balanced pairwise fold — on k operands whose supports form a
         chain this costs O(total size · log k) instead of the O(total
@@ -544,7 +545,9 @@ class SddManager:
         per-gate granularity).  ``safepoint`` is the ``auto_minimize``
         hook at the same granularity: when the watermark trips it receives
         every in-flight operand, may collect and rewrite the vtree, and
-        returns the operands re-anchored."""
+        returns the operands re-anchored.  ``deadline`` is a
+        :class:`~repro.service.errors.Deadline`-like token checked at the
+        same points (cooperative wall-clock cancellation)."""
         if not items:
             return _TRUE if is_and else _FALSE
         ap = self._apply
@@ -556,6 +559,8 @@ class SddManager:
                         f"node budget {node_budget} exceeded "
                         f"({self.live_node_count} nodes)"
                     )
+                if deadline is not None:
+                    deadline.check("apply compilation")
                 if (
                     safepoint is not None
                     and self._next_minimize_at is not None
@@ -638,7 +643,9 @@ class SddManager:
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
-    def compile_circuit(self, circuit: Circuit, *, node_budget: int | None = None) -> int:
+    def compile_circuit(
+        self, circuit: Circuit, *, node_budget: int | None = None, deadline=None
+    ) -> int:
         """Bottom-up apply compilation of ``circuit``.
 
         Chains of same-kind AND/OR gates whose intermediate results feed
@@ -649,6 +656,12 @@ class SddManager:
 
         ``node_budget`` caps the number of live manager nodes; exceeding it
         raises :class:`CompilationBudgetExceeded` (checked between gates).
+        ``deadline`` is a :class:`~repro.service.errors.Deadline`-like
+        token whose ``check()`` raises
+        :class:`~repro.service.errors.DeadlineExceeded`; it is consulted
+        at exactly the budget safepoints (per gate, and per pairwise
+        apply inside folded chains), making wall-clock cancellation
+        cooperative and the cancellation points deterministic.
 
         With ``auto_minimize_nodes`` set, crossing the watermark between
         gates triggers one in-place :meth:`minimize` round: the live
@@ -690,6 +703,8 @@ class SddManager:
                 raise CompilationBudgetExceeded(
                     f"node budget {node_budget} exceeded ({self.live_node_count} nodes)"
                 )
+            if deadline is not None:
+                deadline.check("apply compilation")
             if (
                 safepoint is not None
                 and self._next_minimize_at is not None
@@ -715,6 +730,7 @@ class SddManager:
                 vals[gid] = self._reduce(
                     ops, gate.kind == AND,
                     node_budget=node_budget, safepoint=safepoint,
+                    deadline=deadline,
                 )
         return vals[circuit.output]
 

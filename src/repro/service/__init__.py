@@ -2,31 +2,54 @@
 
 A long-lived front door over the query-compilation engines: persistent
 warm worker pools (:mod:`~repro.service.pool`), admission control and
-per-session quotas (:mod:`~repro.service.admission`), and the
-session-multiplexing service itself with its shared content-keyed answer
-cache (:mod:`~repro.service.service`).  Answers are bit-identical to a
+per-session quotas (:mod:`~repro.service.admission`), the typed
+picklable error hierarchy and deadline token
+(:mod:`~repro.service.errors`), worker supervision — bounded restarts,
+poison-task quarantine (:mod:`~repro.service.supervisor`) — with
+deterministic fault injection for chaos testing
+(:mod:`~repro.service.faults`), and the session-multiplexing service
+itself with its shared content-keyed answer cache and degradation
+policy (:mod:`~repro.service.service`).  Answers are bit-identical to a
 serial :class:`~repro.queries.engine.QueryEngine` for every worker
-count, execution mode, and steal schedule.
+count, execution mode, steal schedule, and crash/replay schedule — and
+no submitted future is ever stranded: each resolves with a value or a
+typed :class:`~repro.service.errors.ServiceError`.
 """
 
-from .admission import (
-    AdmissionController,
+from .admission import AdmissionController, Session
+from .errors import (
     AdmissionError,
+    Deadline,
+    DeadlineExceeded,
+    PoolClosed,
     QuotaExceeded,
+    ServiceError,
     ServiceSaturated,
-    Session,
+    TaskPoisoned,
+    WorkerRetired,
 )
+from .faults import FaultPlan
 from .pool import TaskResult, WorkerPool
 from .service import QueryService, ServiceAnswer
+from .supervisor import RestartPolicy, Supervisor
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "PoolClosed",
     "QuotaExceeded",
+    "QueryService",
+    "RestartPolicy",
+    "ServiceAnswer",
+    "ServiceError",
     "ServiceSaturated",
     "Session",
+    "Supervisor",
+    "TaskPoisoned",
     "TaskResult",
     "WorkerPool",
-    "QueryService",
-    "ServiceAnswer",
+    "WorkerRetired",
 ]

@@ -19,12 +19,16 @@ pool:
   steal schedule.
 
 Everything here is plain bookkeeping under the service's lock; no
-threading primitives of its own.
+threading primitives of its own.  The exception types themselves live in
+:mod:`repro.service.errors` (the consolidated picklable hierarchy) and
+are re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from .errors import AdmissionError, QuotaExceeded, ServiceSaturated
 
 __all__ = [
     "AdmissionError",
@@ -33,36 +37,6 @@ __all__ = [
     "AdmissionController",
     "Session",
 ]
-
-
-class AdmissionError(Exception):
-    """Base class for admission rejections."""
-
-
-class ServiceSaturated(AdmissionError):
-    """The in-flight bound is reached; retry after ``retry_after`` seconds."""
-
-    def __init__(self, in_flight: int, max_in_flight: int, retry_after: float):
-        self.in_flight = in_flight
-        self.max_in_flight = max_in_flight
-        self.retry_after = retry_after
-        super().__init__(
-            f"service saturated ({in_flight}/{max_in_flight} queries in "
-            f"flight); retry after {retry_after:g}s"
-        )
-
-
-class QuotaExceeded(AdmissionError):
-    """The session spent its compiled-node budget."""
-
-    def __init__(self, session: str, nodes_used: int, max_nodes: int):
-        self.session = session
-        self.nodes_used = nodes_used
-        self.max_nodes = max_nodes
-        super().__init__(
-            f"session {session!r} exceeded its node quota "
-            f"({nodes_used}/{max_nodes} compiled nodes used)"
-        )
 
 
 @dataclass

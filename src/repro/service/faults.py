@@ -1,0 +1,147 @@
+"""Deterministic fault injection for the worker pool.
+
+Chaos testing a pool of long-lived spawn children is only useful if every
+run is *exactly* reproducible: a crash found at seed 17 must crash the
+same worker at the same task on every re-run, or the invariant checks
+("every completed batch is bit-identical to serial", "restart counts
+match the plan") degenerate into flaky assertions.  So faults here are
+not probabilistic coin flips inside the workers — they are a *plan*,
+fixed before the pool starts, addressed by ``(worker, ordinal)`` where
+the ordinal is the parent-side cumulative count of task messages sent to
+that worker slot.  The parent tags each task message with its ordinal,
+so a replayed task (sent again after a restart) gets a *fresh* ordinal
+and each planned fault fires at most once.
+
+Fault kinds (spawn mode — the real inter-process failure modes):
+
+- ``kills_before`` / ``kills_after``: the child calls ``os._exit(1)``
+  before / after executing the task — models a crash mid-compile vs. a
+  crash after the work is done but before the reply is written.  Either
+  way the parent sees a dead child and must replay.
+- ``dropped_replies``: the child executes the task but never replies —
+  models a wedged child.  The parent's hang detection must fire.
+- ``corrupt_replies``: the child replies with a malformed message —
+  models pipe corruption / protocol skew.  The parent must not crash
+  the feeder; it treats the worker as dead.
+- ``delays``: the child sleeps before replying — models stragglers;
+  no recovery needed, just latency.
+- ``hangs``: the child sleeps effectively forever *before* executing —
+  models a hard wedge that only ``terminate()`` clears (exercises the
+  ``close()`` backstop).
+
+In threads mode there is no child to kill, so kill/drop/corrupt all map
+to the closest analogue: the worker's warm engine is discarded and the
+task is replayed on a fresh engine — the "lost warm state, work
+re-executed" half of the failure without the process machinery.
+
+The plan is a frozen, picklable value: the parent ships it to every
+spawn child inside the worker payload, and each child consults only the
+entries for its own worker id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Tuple
+
+__all__ = ["FaultPlan"]
+
+_Key = Tuple[int, int]  # (worker slot, parent-side send ordinal)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults addressed by ``(worker, ordinal)``."""
+
+    kills_before: FrozenSet[_Key] = frozenset()
+    kills_after: FrozenSet[_Key] = frozenset()
+    dropped_replies: FrozenSet[_Key] = frozenset()
+    corrupt_replies: FrozenSet[_Key] = frozenset()
+    hangs: FrozenSet[_Key] = frozenset()
+    delays: Mapping[_Key, float] = field(default_factory=dict)
+
+    # -- queries (called on the hot path; all O(1)) --------------------
+    def kill_before(self, worker: int, ordinal: int) -> bool:
+        return (worker, ordinal) in self.kills_before
+
+    def kill_after(self, worker: int, ordinal: int) -> bool:
+        return (worker, ordinal) in self.kills_after
+
+    def drop_reply(self, worker: int, ordinal: int) -> bool:
+        return (worker, ordinal) in self.dropped_replies
+
+    def corrupt_reply(self, worker: int, ordinal: int) -> bool:
+        return (worker, ordinal) in self.corrupt_replies
+
+    def hang(self, worker: int, ordinal: int) -> bool:
+        return (worker, ordinal) in self.hangs
+
+    def delay(self, worker: int, ordinal: int) -> float:
+        return self.delays.get((worker, ordinal), 0.0)
+
+    def any_fault(self) -> bool:
+        return bool(
+            self.kills_before
+            or self.kills_after
+            or self.dropped_replies
+            or self.corrupt_replies
+            or self.hangs
+            or self.delays
+        )
+
+    def expected_restarts(self) -> int:
+        """Worker restarts this plan forces, assuming every planned
+        ordinal is actually reached (each fault fires at most once, and
+        kill/drop/corrupt each cost exactly one restart)."""
+        return (
+            len(self.kills_before)
+            + len(self.kills_after)
+            + len(self.dropped_replies)
+            + len(self.corrupt_replies)
+        )
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        workers: int,
+        tasks: int,
+        kills: int = 1,
+        drops: int = 0,
+        corruptions: int = 0,
+        delayed: int = 0,
+        max_delay: float = 0.05,
+    ) -> "FaultPlan":
+        """A reproducible plan drawn from ``random.Random(seed)``.
+
+        Picks ``kills + drops + corruptions + delayed`` *distinct*
+        ``(worker, ordinal)`` slots with ordinals below ``tasks`` (so a
+        driver that sends ``tasks`` messages per worker is guaranteed to
+        reach every planned fault) and deals them out: kills split
+        between before/after, then drops, corruptions, and delays.
+        """
+        rng = random.Random(seed)
+        want = kills + drops + corruptions + delayed
+        universe = [(w, o) for w in range(workers) for o in range(tasks)]
+        if want > len(universe):
+            raise ValueError(
+                f"plan wants {want} faulted slots but only "
+                f"{len(universe)} (worker, ordinal) slots exist"
+            )
+        slots = rng.sample(universe, want)
+        kill_slots, slots = slots[:kills], slots[kills:]
+        before = frozenset(s for s in kill_slots if rng.random() < 0.5)
+        after = frozenset(s for s in kill_slots if s not in before)
+        drop_slots, slots = frozenset(slots[:drops]), slots[drops:]
+        corrupt_slots, slots = frozenset(slots[:corruptions]), slots[corruptions:]
+        delay_slots = {s: rng.uniform(0.0, max_delay) for s in slots}
+        return cls(
+            kills_before=before,
+            kills_after=after,
+            dropped_replies=drop_slots,
+            corrupt_replies=corrupt_slots,
+            delays=delay_slots,
+        )

@@ -1,4 +1,4 @@
-"""Persistent per-shard worker pools with work-stealing.
+"""Persistent per-shard worker pools with work-stealing and supervision.
 
 The execution substrate of the always-on service tier: ``workers``
 long-lived :class:`~repro.queries.engine.QueryEngine` sessions — in-process
@@ -22,23 +22,66 @@ worker takes from the **tail of the longest other queue** instead of
 sleeping — classic work-stealing, so one skewed shard no longer bounds
 batch latency by itself.
 
+Supervision
+-----------
+
+Spawn children die: the OOM killer, a segfault in a future native
+extension, an operator's stray ``kill``.  Each worker slot's feeder
+thread detects death three ways — the send fails, the pipe EOFs, or the
+child stops answering (``is_alive()`` false, or silent past
+``hang_timeout``) — and then recovers instead of stranding the caller's
+future: the child is restarted **warm** (the start payload is rebuilt
+from the pool's *current* database and vtree, so post-update restarts
+are correct, and artifact-backed pools re-mmap the same file) and the
+in-flight task is **replayed** (queries are pure functions of the
+database, so re-execution is always safe — and SDD/d-DNNF canonicity
+keeps replayed answers bit-identical).  Restarts are bounded per slot
+with exponential backoff; a slot out of lives is *retired* and its
+queue redistributed to survivors; a task that kills
+``poison_threshold`` consecutive workers is quarantined with
+:class:`~repro.service.errors.TaskPoisoned` instead of crash-looping
+the pool (see :mod:`repro.service.supervisor` for the policy).  The
+invariant the chaos suite enforces: **no future is ever stranded** —
+every submitted task resolves with a value or a typed
+:class:`~repro.service.errors.ServiceError`.
+
+Fault injection (``fault_plan``) threads a deterministic
+:class:`~repro.service.faults.FaultPlan` through both modes so the
+recovery paths above are *tested*, not vestigial: the parent tags each
+task message with a per-slot send ordinal and the plan's
+``(worker, ordinal)`` entries fire exactly once each.
+
+Deadlines
+---------
+
+``submit(..., timeout=...)`` gives one task a wall-clock budget starting
+at submission (queue wait counts).  Enforcement is cooperative, at the
+compilers' existing ``node_budget`` safepoints — per gate in the apply
+pipeline, per bag in the d-DNNF builder — so a deadline never tears down
+a worker mid-compile; the task fails with the typed
+:class:`~repro.service.errors.DeadlineExceeded` and the worker (and its
+warm caches) keep serving.  Spawn workers receive the *remaining*
+seconds at send time, so parent/child clock bases never mix.
+
 Determinism guarantee
 ---------------------
 
-Stealing moves *where* a query is evaluated, never *what* it answers:
-every worker compiles against the same base vtree, SDDs (and the
-decomposition-driven d-DNNFs) are canonical, so probabilities and sizes
-are bit-identical to serial evaluation for every worker count and every
-steal schedule.  Results are reassembled by task id, so arrival order
-never leaks into batch order.  What stealing *can* move is which worker's
-``max_nodes`` budget a query is charged to — the same latitude the
-shard-local budgets always had (it affects ``root`` liveness markers and
-per-worker counters, never answers).
+Stealing (and crash replay) moves *where* a query is evaluated, never
+*what* it answers: every worker compiles against the same base vtree,
+SDDs (and the decomposition-driven d-DNNFs) are canonical, so
+probabilities and sizes are bit-identical to serial evaluation for every
+worker count, every steal schedule, and every crash/replay schedule.
+Results are reassembled by task id, so arrival order never leaks into
+batch order.  What stealing *can* move is which worker's ``max_nodes``
+budget a query is charged to — the same latitude the shard-local budgets
+always had (it affects ``root`` liveness markers and per-worker
+counters, never answers).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -48,8 +91,14 @@ from ..core.vtree import Vtree
 from ..queries.database import ProbabilisticDatabase, UpdateDelta
 from ..queries.engine import QueryEngine
 from ..queries.syntax import UCQ
+from .errors import Deadline, DeadlineExceeded, PoolClosed, TaskPoisoned, WorkerRetired
+from .supervisor import RestartPolicy, Supervisor
 
 __all__ = ["WorkerPool", "TaskResult"]
+
+# How often a feeder waiting on a spawn child's reply re-checks liveness,
+# pool shutdown, and the hang clock.
+_POLL_INTERVAL = 0.05
 
 
 @dataclass(frozen=True)
@@ -72,6 +121,25 @@ class _Task:
     # addressed to one specific worker and never stolen.
     control: UpdateDelta | None = None
     future: Future = field(default_factory=Future)
+    # Wall-clock budget (starts at submission; queue wait counts).
+    deadline: Deadline | None = None
+    # Consecutive worker deaths with this task in flight (poison detector).
+    kills: int = 0
+
+
+class _WorkerDied(Exception):
+    """Internal: worker ``w`` died (or was declared dead) mid-task; the
+    feeder's supervision loop decides restart/retire/poison."""
+
+    def __init__(self, worker: int, reason: str):
+        self.worker = worker
+        self.reason = reason
+        super().__init__(f"worker {worker} died: {reason}")
+
+
+class _PoolClosing(Exception):
+    """Internal: the pool closed while a reply was pending; the feeder
+    fails the task with :class:`PoolClosed` and exits."""
 
 
 class _Scheduler:
@@ -83,7 +151,12 @@ class _Scheduler:
     breaking ties deterministically) or the pool closes (returns
     ``None``).  Control tasks live in separate per-worker queues because
     they must reach *that* worker's engine: stealing one would update a
-    different worker twice and the target never."""
+    different worker twice and the target never.
+
+    Retired workers (restart budget exhausted) stay out of the routing:
+    ``put`` re-homes their shards onto live workers deterministically
+    (``shard % len(live)``), and :meth:`retire` drains whatever was
+    queued so the feeder can redistribute or fail it."""
 
     def __init__(self, workers: int, steal: bool):
         self._queues: list[deque[_Task]] = [deque() for _ in range(workers)]
@@ -91,21 +164,44 @@ class _Scheduler:
         self._cond = threading.Condition()
         self._steal = steal
         self._closed = False
+        self._retired: set[int] = set()
         self.steals = 0
         self.tasks_queued = 0
+
+    def live(self) -> list[int]:
+        with self._cond:
+            return self._live_locked()
+
+    def _live_locked(self) -> list[int]:
+        return [w for w in range(len(self._queues)) if w not in self._retired]
 
     def put(self, shard: int, task: _Task) -> None:
         with self._cond:
             if self._closed:
-                raise RuntimeError("pool is closed")
-            self._queues[shard].append(task)
+                raise PoolClosed()
+            w = shard % len(self._queues)
+            if w in self._retired:
+                live = self._live_locked()
+                if not live:
+                    raise PoolClosed("every worker is retired")
+                w = live[shard % len(live)]
+            self._queues[w].append(task)
             self.tasks_queued += 1
+            self._cond.notify_all()
+
+    def put_front(self, worker: int, task: _Task) -> None:
+        """Requeue at the head of ``worker``'s queue (replayed or
+        redistributed work runs before anything queued after it)."""
+        with self._cond:
+            if self._closed:
+                raise PoolClosed()
+            self._queues[worker].appendleft(task)
             self._cond.notify_all()
 
     def put_control(self, worker: int, task: _Task) -> None:
         with self._cond:
             if self._closed:
-                raise RuntimeError("pool is closed")
+                raise PoolClosed()
             self._controls[worker].append(task)
             self._cond.notify_all()
 
@@ -131,6 +227,18 @@ class _Scheduler:
                         return self._queues[victim].pop()
                 self._cond.wait()
 
+    def retire(self, worker: int) -> list[_Task]:
+        """Take ``worker`` out of routing; returns its queued tasks (the
+        caller redistributes them)."""
+        with self._cond:
+            self._retired.add(worker)
+            leftovers = list(self._queues[worker])
+            leftovers.extend(self._controls[worker])
+            self._queues[worker].clear()
+            self._controls[worker].clear()
+            self._cond.notify_all()
+            return leftovers
+
     def close(self) -> list[_Task]:
         """Close the intake and return (to fail) any still-queued tasks."""
         with self._cond:
@@ -149,8 +257,18 @@ def _pool_worker_main(conn, payload) -> None:
     """A spawn worker's whole life (top-level so the child can import it):
     build one warm engine, then serve tasks off the pipe until the ``None``
     sentinel.  Engine state — vtree, manager, caches — persists across
-    every task and batch the parent ever sends."""
-    db, vtree_ops, max_nodes, backend, artifact_path = payload
+    every task and batch the parent ever sends.
+
+    Task messages arrive as ``("task", query, exact, ordinal, timeout)``
+    where ``ordinal`` is the parent-side send counter for this worker
+    slot (the fault plan's address) and ``timeout`` is the task's
+    *remaining* deadline budget in seconds (``None`` = unbounded) —
+    shipped as a duration so parent and child monotonic clocks never mix.
+    Failures inside a task are shipped back *as exception objects* when
+    they pickle (the typed hierarchy in :mod:`repro.service.errors`
+    does), falling back to ``repr`` for foreign types, and never kill
+    the worker."""
+    db, vtree_ops, max_nodes, backend, artifact_path, worker_id, plan = payload
     vtree = Vtree.from_postfix(vtree_ops) if vtree_ops is not None else None
     engine = QueryEngine(
         db,
@@ -168,18 +286,44 @@ def _pool_worker_main(conn, payload) -> None:
                 if msg[0] == "update":
                     # The child owns its private database copy (pickled at
                     # start); the delta replays the parent's mutation here,
-                    # and the engine delta-patches its warm caches.
+                    # and the engine delta-patches its warm caches.  A
+                    # *restarted* child was built from the already-updated
+                    # database, so the version gate makes this a no-op.
                     inc = engine.apply_update(msg[1])
                     conn.send(("ok", inc, 0, None, engine.stats()))
                     continue
-                query, exact = msg[1], msg[2]
-                p = engine.probability(query, exact=exact)
+                query, exact, ordinal, timeout = msg[1], msg[2], msg[3], msg[4]
+                if plan is not None:
+                    if plan.hang(worker_id, ordinal):
+                        time.sleep(86400)  # wedged; only terminate() clears
+                    if plan.kill_before(worker_id, ordinal):
+                        import os
+
+                        os._exit(1)  # crash mid-task, before any work
+                    d = plan.delay(worker_id, ordinal)
+                    if d:
+                        time.sleep(d)
+                p = engine.probability(query, exact=exact, timeout=timeout)
                 size = engine.compiled_size(query)  # just answered: present
-                conn.send(
-                    ("ok", p, size, engine.cached_root(query), engine.stats())
-                )
+                if plan is not None:
+                    if plan.kill_after(worker_id, ordinal):
+                        import os
+
+                        os._exit(1)  # crash after the work, before the reply
+                    if plan.corrupt_reply(worker_id, ordinal):
+                        conn.send(("garbage", ordinal))
+                        continue
+                    if plan.drop_reply(worker_id, ordinal):
+                        continue  # computed, never replied: a wedged child
+                conn.send(("ok", p, size, engine.cached_root(query), engine.stats()))
             except Exception as exc:  # surface, don't kill the worker
-                conn.send(("err", repr(exc), 0, None, engine.stats()))
+                try:
+                    conn.send(("err", exc, 0, None, engine.stats()))
+                except Exception:
+                    # Unpicklable exception: Connection.send serializes
+                    # before writing, so nothing went over the wire — fall
+                    # back to the repr.
+                    conn.send(("err", repr(exc), 0, None, engine.stats()))
     except (EOFError, KeyboardInterrupt):  # parent died / interrupted
         pass
     finally:
@@ -187,7 +331,8 @@ def _pool_worker_main(conn, payload) -> None:
 
 
 class WorkerPool:
-    """``workers`` persistent warm engines behind a work-stealing scheduler.
+    """``workers`` persistent warm engines behind a work-stealing,
+    supervised scheduler.
 
     ``mode="threads"`` keeps each engine on an in-process worker thread;
     ``mode="spawn"`` keeps each engine in a long-lived spawn-started child
@@ -213,6 +358,14 @@ class WorkerPool:
     freeze.  The artifact also supplies the shared base vtree when
     ``vtree`` is ``None``, so queries outside the base still compile
     canonically in every worker.
+
+    Fault tolerance knobs: ``restart`` is the
+    :class:`~repro.service.supervisor.RestartPolicy` (restart caps,
+    backoff, poison threshold); ``hang_timeout`` declares a spawn child
+    dead after that many seconds of reply silence (``None`` — the
+    default — trusts ``is_alive()`` alone, so a merely-slow compile is
+    never shot); ``fault_plan`` injects a deterministic
+    :class:`~repro.service.faults.FaultPlan` for chaos testing.
     """
 
     def __init__(
@@ -226,6 +379,9 @@ class WorkerPool:
         steal: bool = True,
         backend: str = "sdd",
         artifact=None,
+        restart: RestartPolicy | None = None,
+        hang_timeout: float | None = None,
+        fault_plan=None,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -259,14 +415,21 @@ class WorkerPool:
         self.mode = mode
         self.steal = steal
         self.backend = backend
+        self.hang_timeout = hang_timeout
+        self.fault_plan = fault_plan
         self.batches_served = 0
         self.tasks_served = 0
         self.updates_applied = 0
+        self.tasks_replayed = 0
+        self.deadline_exceeded = 0
+        self._supervisor = Supervisor(workers, restart)
         self._scheduler = _Scheduler(workers, steal)
         self._threads: list[threading.Thread] = []
         self._engines: dict[int, QueryEngine] = {}
         self._procs: list = []
         self._conns: list = []
+        self._sent = [0] * workers  # per-slot task-send ordinals
+        self._suspect_hung: set[int] = set()
         self._spawn_stats: dict[int, dict[str, int | str]] = {}
         self._started = False
         self._closed = False
@@ -281,7 +444,7 @@ class WorkerPool:
             if self._started:
                 return self
             if self._closed:
-                raise RuntimeError("pool is closed")
+                raise PoolClosed()
             if self.mode == "spawn":
                 self._start_spawn_workers()
             for w in range(self.workers):
@@ -296,38 +459,78 @@ class WorkerPool:
             self._started = True
             return self
 
-    def _start_spawn_workers(self) -> None:
-        from multiprocessing import get_context
-
-        ctx = get_context("spawn")
+    def _spawn_payload(self, worker: int):
+        """The start payload for one spawn child, built from the pool's
+        *current* state — a restart after live updates ships the mutated
+        database and grown vtree, so version-gated delta replays are
+        no-ops and answers stay current."""
         vtree_ops = None if self.vtree is None else self.vtree.to_postfix()
-        payload = (
+        return (
             self.db,
             vtree_ops,
             self.max_nodes,
             self.backend,
             self._artifact_path,
+            worker,
+            self.fault_plan,
         )
+
+    def _spawn_one(self, worker: int):
+        from multiprocessing import get_context
+
+        ctx = get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self._spawn_payload(worker)),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _start_spawn_workers(self) -> None:
         for w in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_pool_worker_main, args=(child_conn, payload), daemon=True
-            )
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn_one(w)
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
+
+    def _restart_worker(self, w: int) -> bool:
+        """Replace worker ``w`` with a fresh warm one; ``False`` if the
+        pool is closing (the feeder then retires instead)."""
+        if self._closed:
+            return False
+        if self.mode == "threads":
+            # The fault hook (or the caller) already discarded the warm
+            # engine; the next task lazily builds a fresh one against the
+            # current shared database.
+            self._engines.pop(w, None)
+            return True
+        old = self._procs[w]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5)
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        proc, conn = self._spawn_one(w)
+        self._procs[w] = proc
+        self._conns[w] = conn
+        return True
 
     def close(self) -> None:
-        """Shut the pool down: fail queued tasks, stop worker threads, and
-        terminate spawn children (sentinel first, hard kill as backstop).
-        Idempotent."""
+        """Shut the pool down: fail queued tasks with :class:`PoolClosed`,
+        stop worker threads (feeders waiting on a child reply observe the
+        closed flag, fail their in-flight task, and exit), and terminate
+        spawn children — sentinel first, ``terminate()`` as the backstop
+        for children that are mid-task or wedged.  Idempotent."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         for task in self._scheduler.close():
-            task.future.set_exception(RuntimeError("pool closed"))
+            task.future.set_exception(PoolClosed("pool closed"))
         for t in self._threads:
             t.join(timeout=30)
         for conn in self._conns:
@@ -335,9 +538,11 @@ class WorkerPool:
                 conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker backstop
+        for w, proc in enumerate(self._procs):
+            # A worker whose feeder abandoned a pending reply is likely
+            # wedged mid-task; don't grant it the polite drain window.
+            proc.join(timeout=0.5 if w in self._suspect_hung else 10)
+            if proc.is_alive():  # hung worker backstop
                 proc.terminate()
                 proc.join(timeout=5)
         for conn in self._conns:
@@ -352,29 +557,48 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # work
     # ------------------------------------------------------------------
-    def submit(self, shard: int, query: UCQ, *, exact: bool = False) -> Future:
+    def submit(
+        self,
+        shard: int,
+        query: UCQ,
+        *,
+        exact: bool = False,
+        timeout: float | None = None,
+    ) -> Future:
         """Enqueue one query on ``shard``'s queue; returns a
         :class:`concurrent.futures.Future` resolving to a
-        :class:`TaskResult`.  Thread-safe; callable from any thread (the
-        service's asyncio loop wraps the future)."""
+        :class:`TaskResult`.  ``timeout`` bounds the task's wall clock
+        from this moment (queue wait counts; enforcement is cooperative
+        at the compilation safepoints, failing the future with
+        :class:`DeadlineExceeded`).  Thread-safe; callable from any
+        thread (the service's asyncio loop wraps the future)."""
         if not self._started:
             self.start()
-        task = _Task(query=query, exact=exact)
+        task = _Task(
+            query=query,
+            exact=exact,
+            deadline=None if timeout is None else Deadline(timeout),
+        )
         self._scheduler.put(shard % self.workers, task)
         return task.future
 
     def run_batch(
-        self, items_per_shard: dict[int, list[tuple[int, UCQ]]], *, exact: bool = False
+        self,
+        items_per_shard: dict[int, list[tuple[int, UCQ]]],
+        *,
+        exact: bool = False,
+        timeout: float | None = None,
     ) -> dict[int, TaskResult]:
         """Evaluate one batch (``shard -> [(batch_index, query), ...]``)
         and block until every task resolves; returns ``batch_index ->
         TaskResult``.  Queries keep their per-shard order, so a worker
         that never steals sees exactly the serial LRU sequence of its
-        shard."""
+        shard.  ``timeout`` grants each task its own budget (per task,
+        not per batch)."""
         futures: dict[int, Future] = {}
         for shard in sorted(items_per_shard):
             for idx, query in items_per_shard[shard]:
-                futures[idx] = self.submit(shard, query, exact=exact)
+                futures[idx] = self.submit(shard, query, exact=exact, timeout=timeout)
         results = {idx: f.result() for idx, f in futures.items()}
         self.batches_served += 1
         return results
@@ -383,8 +607,8 @@ class WorkerPool:
     # live updates
     # ------------------------------------------------------------------
     def apply_update(self, delta: UpdateDelta) -> dict[str, int]:
-        """Broadcast one database delta to every warm worker and block
-        until all have applied it.
+        """Broadcast one database delta to every live warm worker and
+        block until all have applied it.
 
         The shared database is mutated once (version-gated; a caller like
         :class:`~repro.queries.parallel.ParallelQueryEngine` may already
@@ -427,7 +651,7 @@ class WorkerPool:
             # spawn children pickle the database at start().
             return merged
         tasks = []
-        for w in range(self.workers):
+        for w in self._scheduler.live():
             task = _Task(query=None, exact=False, control=delta)
             self._scheduler.put_control(w, task)
             tasks.append(task)
@@ -457,47 +681,164 @@ class WorkerPool:
             task = self._scheduler.get(w)
             if task is None:
                 return
+            if not self._run_task(w, task):
+                return  # slot retired (or pool closing): feeder exits
+
+    def _run_task(self, w: int, task: _Task) -> bool:
+        """Run one task to *resolution* — value or typed error on its
+        future, surviving worker deaths by restart-and-replay.  Returns
+        ``False`` when the feeder must exit (slot retired / pool closed).
+        """
+        while True:
+            if task.deadline is not None and task.deadline.expired():
+                # Expired while queued: fail fast, never occupy the worker.
+                self.deadline_exceeded += 1
+                task.future.set_exception(
+                    DeadlineExceeded(task.deadline.timeout, "queue wait")
+                )
+                return True
             try:
                 result = self._execute(w, task)
+            except _PoolClosing:
+                task.future.set_exception(
+                    PoolClosed("pool closed while the task was in flight")
+                )
+                return False
+            except _WorkerDied:
+                task.kills += 1
+                verdict = self._supervisor.on_death(w, task.kills)
+                if verdict.poison:
+                    task.future.set_exception(
+                        TaskPoisoned(str(task.control or task.query), task.kills)
+                    )
+                    if verdict.also_restart:
+                        time.sleep(verdict.backoff)
+                        if self._restart_worker(w):
+                            return True
+                        self._supervisor.note_retired()
+                    self._retire(w, None)
+                    return False
+                if verdict.retire:
+                    self._retire(w, task)
+                    return False
+                time.sleep(verdict.backoff)
+                if not self._restart_worker(w):
+                    self._retire(w, task)
+                    return False
+                self.tasks_replayed += 1
+                continue  # replay the same task on the fresh worker
+            except DeadlineExceeded as exc:
+                self.deadline_exceeded += 1
+                task.future.set_exception(exc)
+                return True
             except BaseException as exc:  # noqa: BLE001 - routed to waiter
                 task.future.set_exception(exc)
+                return True
             else:
                 if task.control is None:
                     self.tasks_served += 1
                 task.future.set_result(result)
+                return True
+
+    def _retire(self, w: int, in_flight: _Task | None) -> None:
+        """Take slot ``w`` out of service and rehome its work: queued
+        tasks (and the in-flight one, first) move to the head of live
+        workers' queues round-robin; control tasks resolve as no-ops (a
+        dead worker has no warm state to patch, and its replacement —
+        were one ever spawned — would start from the current database);
+        with no live worker left, futures fail with
+        :class:`WorkerRetired`."""
+        leftovers = self._scheduler.retire(w)
+        if in_flight is not None:
+            leftovers.insert(0, in_flight)
+        live = self._scheduler.live()
+        for i, t in enumerate(leftovers):
+            if t.control is not None:
+                t.future.set_result({"updates_applied": 0})
+            elif live:
+                try:
+                    self._scheduler.put_front(live[i % len(live)], t)
+                except PoolClosed as exc:  # raced a concurrent close()
+                    t.future.set_exception(exc)
+            else:
+                t.future.set_exception(
+                    WorkerRetired(w, self._supervisor.restarts[w])
+                )
+
+    def _next_ordinal(self, w: int) -> int:
+        # Only feeder w touches slot w's counter, so no lock.  Replays
+        # get fresh ordinals — a planned fault fires at most once.
+        o = self._sent[w]
+        self._sent[w] = o + 1
+        return o
 
     def _execute(self, w: int, task: _Task):
         if task.control is not None:
             return self._execute_update(w, task.control)
         if self.mode == "threads":
-            engine = self._engines.get(w)
-            if engine is None:
-                # Lazily built, used only by worker thread w — no locking
-                # (the shared FrozenSdd is immutable; each engine keeps its
-                # own WMC memo over it).
-                engine = QueryEngine(
-                    self.db,
-                    vtree=self.vtree,
-                    max_nodes=self.max_nodes,
-                    backend=self.backend,
-                    frozen=self._threads_frozen(),
-                )
-                self._engines[w] = engine
-            p = engine.probability(task.query, exact=task.exact)
-            size = engine.compiled_size(task.query)  # just answered: present
-            return TaskResult(
-                probability=p,
-                size=size,
-                root=engine.cached_root(task.query),
-                worker=w,
+            return self._execute_threads(w, task)
+        return self._execute_spawn(w, task)
+
+    def _execute_threads(self, w: int, task: _Task):
+        plan = self.fault_plan
+        ordinal = self._next_ordinal(w) if plan is not None else -1
+        if plan is not None:
+            # Threads analogue of a child crash: the warm engine (vtree
+            # caches, WMC memos, compiled queries) is lost and the task
+            # must be replayed on a fresh one.  ``hang`` maps here too —
+            # there is no process to wedge in-process.
+            if plan.kill_before(w, ordinal) or plan.hang(w, ordinal):
+                self._engines.pop(w, None)
+                raise _WorkerDied(w, f"injected kill before task (ordinal {ordinal})")
+            d = plan.delay(w, ordinal)
+            if d:
+                time.sleep(d)
+        engine = self._engines.get(w)
+        if engine is None:
+            # Lazily built, used only by worker thread w — no locking
+            # (the shared FrozenSdd is immutable; each engine keeps its
+            # own WMC memo over it).
+            engine = QueryEngine(
+                self.db,
+                vtree=self.vtree,
+                max_nodes=self.max_nodes,
+                backend=self.backend,
+                frozen=self._threads_frozen(),
             )
-        # spawn: round-trip through worker w's pipe (feeder thread w is the
-        # only user of conns[w], so no pipe-level locking either).
-        conn = self._conns[w]
-        conn.send(("task", task.query, task.exact))
-        status, p, size, root, stats = conn.recv()
+            self._engines[w] = engine
+        p = engine.probability(task.query, exact=task.exact, deadline=task.deadline)
+        size = engine.compiled_size(task.query)  # just answered: present
+        if plan is not None and (
+            plan.kill_after(w, ordinal)
+            or plan.drop_reply(w, ordinal)
+            or plan.corrupt_reply(w, ordinal)
+        ):
+            # Work done, "reply" lost: same observable outcome as a spawn
+            # child dying after compute — replay on a fresh engine.
+            self._engines.pop(w, None)
+            raise _WorkerDied(w, f"injected kill after task (ordinal {ordinal})")
+        return TaskResult(
+            probability=p,
+            size=size,
+            root=engine.cached_root(task.query),
+            worker=w,
+        )
+
+    def _execute_spawn(self, w: int, task: _Task):
+        # Round-trip through worker w's pipe (feeder thread w is the only
+        # user of conns[w], so no pipe-level locking).
+        remaining = None
+        if task.deadline is not None:
+            remaining = task.deadline.remaining()
+            if remaining <= 0:
+                raise DeadlineExceeded(task.deadline.timeout, "queue wait")
+        ordinal = self._next_ordinal(w)
+        msg = ("task", task.query, task.exact, ordinal, remaining)
+        status, p, size, root, stats = self._spawn_call(w, msg)
         self._spawn_stats[w] = stats
         if status != "ok":
+            if isinstance(p, BaseException):
+                raise p
             raise RuntimeError(f"spawn worker {w} failed: {p}")
         return TaskResult(probability=p, size=size, root=root, worker=w)
 
@@ -510,13 +851,61 @@ class WorkerPool:
                 # already-updated shared database — nothing to patch.
                 return {"updates_applied": 0}
             return engine.apply_update(delta)
-        conn = self._conns[w]
-        conn.send(("update", delta))
-        status, inc, _size, _root, stats = conn.recv()
+        status, inc, _size, _root, stats = self._spawn_call(w, ("update", delta))
         self._spawn_stats[w] = stats
         if status != "ok":
+            if isinstance(inc, BaseException):
+                raise inc
             raise RuntimeError(f"spawn worker {w} failed to apply update: {inc}")
         return inc
+
+    def _spawn_call(self, w: int, msg):
+        """Send one message to spawn worker ``w`` and await its reply,
+        converting every inter-process failure mode into
+        :class:`_WorkerDied` (send failed / child exited / pipe EOF /
+        reply silent past ``hang_timeout`` / malformed reply) or
+        :class:`_PoolClosing` (pool shut down mid-wait)."""
+        conn = self._conns[w]
+        proc = self._procs[w]
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise _WorkerDied(w, f"send failed: {exc!r}")
+        waited = 0.0
+        while True:
+            try:
+                ready = conn.poll(_POLL_INTERVAL)
+            except (BrokenPipeError, OSError) as exc:
+                raise _WorkerDied(w, f"pipe lost: {exc!r}")
+            if ready:
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise _WorkerDied(w, f"died mid-reply: {exc!r}")
+                if (
+                    not isinstance(reply, tuple)
+                    or len(reply) != 5
+                    or reply[0] not in ("ok", "err")
+                ):
+                    # Protocol corruption: the child's pipe framing can no
+                    # longer be trusted — declare it dead and replace it.
+                    proc.terminate()
+                    proc.join(timeout=5)
+                    raise _WorkerDied(w, f"corrupt reply: {reply!r:.60}")
+                return reply
+            if self._closed:
+                self._suspect_hung.add(w)
+                raise _PoolClosing()
+            if not proc.is_alive():
+                # One last drain: the child may have replied, then exited.
+                if conn.poll(0):
+                    continue
+                raise _WorkerDied(w, f"exited with code {proc.exitcode}")
+            waited += _POLL_INTERVAL
+            if self.hang_timeout is not None and waited >= self.hang_timeout:
+                proc.terminate()
+                proc.join(timeout=5)
+                raise _WorkerDied(w, f"silent for {waited:.2f}s (hung)")
 
     # ------------------------------------------------------------------
     # introspection
@@ -528,7 +917,8 @@ class WorkerPool:
 
     def worker_pids(self) -> list[int]:
         """Spawn worker process ids (stable across batches — that is the
-        point); empty in threads mode."""
+        point — but a supervised restart does mint a new pid for the
+        replaced slot); empty in threads mode."""
         return [p.pid for p in self._procs]
 
     def worker_stats(self) -> dict[int, dict[str, int | str]]:
@@ -539,19 +929,23 @@ class WorkerPool:
         return dict(self._spawn_stats)
 
     def stats(self) -> dict[str, int | str]:
-        """Pool-level counters (scheduler + lifecycle; per-engine counters
-        live in :meth:`worker_stats`)."""
-        return {
+        """Pool-level counters (scheduler + lifecycle + supervision;
+        per-engine counters live in :meth:`worker_stats`)."""
+        out: dict[str, int | str] = {
             "pool_mode": self.mode,
             "pool_workers": self.workers,
+            "pool_live_workers": len(self._scheduler.live()),
             "pool_started": int(self._started),
             "pool_batches_served": self.batches_served,
             "pool_tasks_served": self.tasks_served,
             "pool_tasks_queued": self._scheduler.tasks_queued,
             "pool_steals": self._scheduler.steals,
             "pool_updates_applied": self.updates_applied,
+            "pool_tasks_replayed": self.tasks_replayed,
+            "pool_deadline_exceeded": self.deadline_exceeded,
             "pool_artifact_warm": int(
                 self._artifact_obj is not None or self._artifact_path is not None
             ),
         }
-
+        out.update(self._supervisor.stats())
+        return out

@@ -49,7 +49,9 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from .admission import AdmissionController, ServiceSaturated, Session
+from .errors import DeadlineExceeded, PoolClosed
 from .pool import WorkerPool
+from .supervisor import RestartPolicy
 from ..compiler.cache import LruStatsCache, fingerprint
 from ..core.vtree import Vtree
 from ..queries.compile import lineage_vtree
@@ -57,6 +59,7 @@ from ..queries.database import ProbabilisticDatabase, UpdateDelta
 from ..queries.engine import QueryEngine
 from ..queries.parallel import shard_of
 from ..queries.syntax import UCQ
+from ..sdd.manager import CompilationBudgetExceeded
 
 __all__ = ["QueryService", "ServiceAnswer"]
 
@@ -65,12 +68,16 @@ __all__ = ["QueryService", "ServiceAnswer"]
 class ServiceAnswer:
     """One answered query: the probability, the compiled size it was
     charged at, whether it came from the shared answer cache, and (for
-    freshly computed answers) the worker that ran it."""
+    freshly computed answers) the worker that ran it.  ``degraded``
+    marks an answer computed by the fallback backend after the primary
+    kept missing its deadlines — still exact (both backends are), but
+    served outside the warm pool."""
 
     probability: float | Fraction
     size: int
     cached: bool
     worker: int | None
+    degraded: bool = False
 
 
 class QueryService:
@@ -98,8 +105,24 @@ class QueryService:
     per-worker recompilation, and the artifact's vtree becomes the
     shared base vtree.
 
+    Fault tolerance: ``default_timeout`` grants every query a wall-clock
+    budget (seconds; per-call ``timeout=`` overrides it) enforced
+    cooperatively at the compilation safepoints; ``restart`` /
+    ``hang_timeout`` / ``fault_plan`` pass through to the pool's
+    supervisor (see :class:`WorkerPool`).  When queries keep missing
+    their deadlines — ``degrade_after`` consecutive deadline/budget
+    failures — the service *degrades* instead of failing forever: with a
+    ``fallback_backend`` configured, further deadline casualties are
+    answered by a serial engine on the cheaper backend (marked
+    ``degraded=True``, still exact — both backends are); without one,
+    the circuit breaker rejects new work with
+    :exc:`~repro.service.errors.ServiceSaturated` and a ``retry_after``
+    hint until the breaker window passes.  Any success resets the
+    streak.
+
     The pool starts lazily on the first submission and must be
-    :meth:`close`\\ d (or use the service as a context manager).
+    :meth:`close`\\ d (or use the service as a context manager;
+    :meth:`shutdown` drains gracefully first).
     """
 
     def __init__(
@@ -120,11 +143,27 @@ class QueryService:
         retry_after: float = 0.05,
         session_quota: int | None = None,
         artifact_dir: str | os.PathLike | None = None,
+        default_timeout: float | None = None,
+        fallback_backend: str | None = None,
+        degrade_after: int = 3,
+        restart: RestartPolicy | None = None,
+        hang_timeout: float | None = None,
+        fault_plan=None,
     ):
         if backend not in QueryEngine._BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {QueryEngine._BACKENDS}"
             )
+        if fallback_backend is not None:
+            if fallback_backend not in QueryEngine._BACKENDS:
+                raise ValueError(
+                    f"unknown fallback backend {fallback_backend!r}; "
+                    f"choose from {QueryEngine._BACKENDS}"
+                )
+            if fallback_backend == backend:
+                raise ValueError("fallback_backend must differ from backend")
+        if degrade_after < 1:
+            raise ValueError("degrade_after must be at least 1")
         self.db = db
         self.workers = workers
         self.mode = mode
@@ -149,6 +188,21 @@ class QueryService:
         # Every distinct query ever dispatched (normalized text -> UCQ):
         # the freeze set for save_artifact.
         self._seen: dict[str, UCQ] = {}
+        # Fault tolerance / degradation state.
+        self.default_timeout = default_timeout
+        self.fallback_backend = fallback_backend
+        self.degrade_after = degrade_after
+        self._restart_policy = restart
+        self._hang_timeout = hang_timeout
+        self._fault_plan = fault_plan
+        self._deadline_exceeded = 0
+        self._degraded_answers = 0
+        self._degrade_streak = 0  # consecutive deadline/budget failures
+        self._degraded_until = 0.0  # circuit breaker (monotonic instant)
+        self._breaker_trips = 0
+        self._draining = False
+        self._fallback_engine: QueryEngine | None = None
+        self._fallback_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # sessions
@@ -177,11 +231,17 @@ class QueryService:
         *,
         session: str = "default",
         exact: bool = False,
+        timeout: float | None = None,
     ) -> list[ServiceAnswer]:
         """Blocking submit: admit the batch (or raise
         :exc:`ServiceSaturated` / :exc:`QuotaExceeded`), wait for every
-        answer, and return them in batch order."""
-        return [f.result() for f in self._dispatch(list(queries), session, exact)]
+        answer, and return them in batch order.  ``timeout`` bounds each
+        query's wall clock (per query, not per batch; defaults to the
+        service-wide ``default_timeout``)."""
+        return [
+            f.result()
+            for f in self._dispatch(list(queries), session, exact, timeout)
+        ]
 
     async def submit(
         self,
@@ -189,23 +249,35 @@ class QueryService:
         *,
         session: str = "default",
         exact: bool = False,
+        timeout: float | None = None,
     ) -> list[ServiceAnswer]:
         """Asyncio submit: admission happens synchronously at call time
         (so rejections raise immediately, before any await); the answers
         are awaited without blocking the event loop."""
-        futures = self._dispatch(list(queries), session, exact)
+        futures = self._dispatch(list(queries), session, exact, timeout)
         return list(
             await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
         )
 
     def probability(
-        self, query: UCQ, *, session: str = "default", exact: bool = False
+        self,
+        query: UCQ,
+        *,
+        session: str = "default",
+        exact: bool = False,
+        timeout: float | None = None,
     ) -> float | Fraction:
         """One-query convenience wrapper over :meth:`submit_sync`."""
-        return self.submit_sync([query], session=session, exact=exact)[0].probability
+        return self.submit_sync(
+            [query], session=session, exact=exact, timeout=timeout
+        )[0].probability
 
     def _dispatch(
-        self, qs: Sequence[UCQ], session: str, exact: bool
+        self,
+        qs: Sequence[UCQ],
+        session: str,
+        exact: bool,
+        timeout: float | None = None,
     ) -> list[Future]:
         """Admit and route one batch; returns one client future per query
         (in batch order), each resolving to a :class:`ServiceAnswer`.
@@ -220,19 +292,33 @@ class QueryService:
         """
         if not qs:
             raise ValueError("empty workload")
-        pending: list[tuple[Future, Future, str, Session]] = []
+        if timeout is None:
+            timeout = self.default_timeout
+        pending: list[tuple[Future, Future, str, Session, UCQ]] = []
         out: list[Future] = []
         with self._lock:
             if self._closed:
-                raise RuntimeError("service is closed")
-            if self._updating:
-                # A live update is quiescing the pool; refuse with the usual
+                raise PoolClosed("service is closed")
+            if self._updating or self._draining:
+                # A live update is quiescing the pool (or the service is
+                # draining toward shutdown); refuse with the usual
                 # backpressure signal so callers retry rather than queue.
                 self._admission.rejected += len(qs)
                 raise ServiceSaturated(
                     self._admission.in_flight,
                     self._admission.max_in_flight,
                     self._admission.retry_after_base,
+                )
+            breaker = self._degraded_until - time.monotonic()
+            if breaker > 0:
+                # Circuit breaker: the primary backend keeps blowing its
+                # deadlines and no fallback is configured — shed load
+                # instead of queueing more guaranteed casualties.
+                self._admission.rejected += len(qs)
+                raise ServiceSaturated(
+                    self._admission.in_flight,
+                    self._admission.max_in_flight,
+                    breaker,
                 )
             sess = self._session(session)
             sess.check()  # QuotaExceeded
@@ -254,17 +340,25 @@ class QueryService:
                     )
                     continue
                 task = pool.submit(
-                    shard_of(q, self.workers, self.shard_seed), q, exact=exact
+                    shard_of(q, self.workers, self.shard_seed),
+                    q,
+                    exact=exact,
+                    timeout=timeout,
                 )
-                pending.append((task, client, key, sess))
-        for task, client, key, sess in pending:
-            task.add_done_callback(self._completion(client, key, sess))
+                pending.append((task, client, key, sess, q))
+        for task, client, key, sess, q in pending:
+            task.add_done_callback(self._completion(client, key, sess, q, exact))
         return out
 
-    def _completion(self, client: Future, key: str, sess: Session):
+    def _completion(
+        self, client: Future, key: str, sess: Session, query: UCQ, exact: bool
+    ):
         def done(task: Future) -> None:
             try:
                 r = task.result()
+            except (DeadlineExceeded, CompilationBudgetExceeded) as exc:
+                self._deadline_casualty(client, sess, query, exact, exc)
+                return
             except BaseException as exc:  # noqa: BLE001 - routed to client
                 with self._lock:
                     self._admission.release(1)
@@ -275,6 +369,7 @@ class QueryService:
                 sess.charge(r.size)
                 self._admission.release(1)
                 self._queries_served += 1
+                self._degrade_streak = 0  # a success heals the streak
             client.set_result(
                 ServiceAnswer(
                     probability=r.probability, size=r.size, cached=False, worker=r.worker
@@ -282,6 +377,69 @@ class QueryService:
             )
 
         return done
+
+    def _deadline_casualty(
+        self,
+        client: Future,
+        sess: Session,
+        query: UCQ,
+        exact: bool,
+        exc: Exception,
+    ) -> None:
+        """Degradation policy for a query the primary backend could not
+        answer inside its budget: count it, and once the consecutive
+        streak reaches ``degrade_after`` either answer via the fallback
+        backend (``degraded=True``) or trip the circuit breaker."""
+        with self._lock:
+            self._admission.release(1)
+            if isinstance(exc, DeadlineExceeded):
+                self._deadline_exceeded += 1
+            self._degrade_streak += 1
+            streak = self._degrade_streak
+            degrade = streak >= self.degrade_after
+            if degrade and self.fallback_backend is None:
+                # No cheaper lane to shunt into: shed upcoming load for a
+                # window that widens with the streak.
+                self._degraded_until = time.monotonic() + (
+                    self._admission.retry_after_base * streak
+                )
+                self._breaker_trips += 1
+        if not degrade or self.fallback_backend is None:
+            client.set_exception(exc)
+            return
+        try:
+            p, size = self._fallback_answer(query, exact)
+        except BaseException as fallback_exc:  # noqa: BLE001 - routed to client
+            client.set_exception(fallback_exc)
+            return
+        with self._lock:
+            sess.charge(size)
+            self._queries_served += 1
+            self._degraded_answers += 1
+        client.set_result(
+            ServiceAnswer(
+                probability=p, size=size, cached=False, worker=None, degraded=True
+            )
+        )
+
+    def _fallback_answer(self, query: UCQ, exact: bool):
+        """Answer one query on the serial fallback engine (built lazily,
+        serialized under its own lock — degradation is the rare path, and
+        it must not hold the service lock through a compile).  The answer
+        is *not* cached: the answer cache is keyed by the primary
+        backend, and a healthy pool should recompute there."""
+        with self._fallback_lock:
+            engine = self._fallback_engine
+            if engine is None:
+                engine = QueryEngine(
+                    self.db,
+                    backend=self.fallback_backend,
+                    vtree=self._vtree if self.fallback_backend == "sdd" else None,
+                    max_nodes=self.max_nodes,
+                )
+                self._fallback_engine = engine
+            p = engine.probability(query, exact=exact)
+            return p, engine.compiled_size(query)
 
     def _cache_key(self, query: UCQ, exact: bool) -> str:
         return fingerprint(
@@ -317,6 +475,9 @@ class QueryService:
                 steal=self.steal,
                 backend=self.backend,
                 artifact=artifact,
+                restart=self._restart_policy,
+                hang_timeout=self._hang_timeout,
+                fault_plan=self._fault_plan,
             )
         return self._pool
 
@@ -416,6 +577,10 @@ class QueryService:
                     )
                 self._updates_applied += 1
                 pool = self._pool
+            with self._fallback_lock:
+                # The fallback engine answered against the old database;
+                # the next degradation rebuilds it against the new one.
+                self._fallback_engine = None
             merged = {
                 "updates_applied": 1,
                 "cache_invalidated": invalidated,
@@ -460,6 +625,32 @@ class QueryService:
         if pool is not None:
             pool.close()
 
+    def shutdown(self, drain_timeout: float = 30.0) -> bool:
+        """Graceful :meth:`close`: refuse new submissions (with the usual
+        :exc:`ServiceSaturated` backpressure signal, so load balancers
+        retry elsewhere), wait up to ``drain_timeout`` seconds for the
+        admitted in-flight queries to finish, then close the pool.
+
+        Returns ``True`` when the in-flight window drained fully — every
+        admitted query got its answer — and ``False`` when the timeout
+        cut the drain short (stragglers are then failed by the pool with
+        :exc:`~repro.service.errors.PoolClosed`, never stranded).
+        Idempotent; callable from a signal handler's thread."""
+        with self._lock:
+            if self._closed:
+                return True
+            self._draining = True
+        drained = False
+        deadline = time.monotonic() + drain_timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._admission.in_flight == 0:
+                    drained = True
+                    break
+            time.sleep(0.005)
+        self.close()
+        return drained
+
     def __enter__(self) -> "QueryService":
         return self
 
@@ -488,6 +679,10 @@ class QueryService:
                 "service_seen_queries": len(self._seen),
                 "service_updates_applied": self._updates_applied,
                 "service_cache_invalidated": self._cache_invalidated,
+                "service_deadline_exceeded": self._deadline_exceeded,
+                "service_degraded_answers": self._degraded_answers,
+                "service_breaker_trips": self._breaker_trips,
+                "service_draining": int(self._draining),
                 "db_fingerprint": self._db_fp,
             }
             out.update(self._cache.stats())

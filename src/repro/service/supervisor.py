@@ -1,0 +1,131 @@
+"""Worker supervision policy: restart, back off, retire, quarantine.
+
+The pool's feeder threads detect worker deaths (a child that stopped
+answering, a corrupted reply, a discarded thread-mode engine); *this*
+module decides what happens next.  The split keeps the policy —
+bounded restarts with exponential backoff, poison-task quarantine —
+testable without processes, and keeps the pool's recovery code a
+mechanical interpreter of :class:`Verdict`.
+
+Three concerns, in priority order:
+
+1. **Poison quarantine.**  Queries are pure functions of the database,
+   so replaying a killed worker's in-flight task is always *safe* — but
+   a task that deterministically crashes its host would crash-loop the
+   pool forever.  Each task carries a kill counter; at
+   ``poison_threshold`` consecutive worker deaths the task is
+   quarantined (its future gets :class:`~repro.service.errors.TaskPoisoned`)
+   instead of replayed.  The *worker* is still restarted — it did
+   nothing wrong.
+2. **Bounded restarts.**  Each worker slot may restart at most
+   ``max_restarts`` times; one more death retires the slot.  The pool
+   redistributes a retired slot's queue to the surviving workers, so
+   retirement degrades capacity, not correctness.
+3. **Backoff.**  Restart ``n`` of a slot waits
+   ``min(backoff_base * backoff_factor**(n-1), backoff_max)`` seconds
+   first, so a hard environmental failure (artifact file deleted, OOM
+   killer) costs bounded churn instead of a tight fork loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["RestartPolicy", "Supervisor", "Verdict"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Knobs for :class:`Supervisor`.
+
+    Defaults suit tests and interactive service use: near-instant first
+    restart, ~1 s worst-case backoff, a handful of lives per worker.
+    """
+
+    max_restarts: int = 5
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    poison_threshold: int = 3
+
+    def backoff(self, restart_number: int) -> float:
+        """Seconds to wait before restart ``restart_number`` (1-based)."""
+        if restart_number <= 1:
+            return self.backoff_base
+        return min(
+            self.backoff_base * self.backoff_factor ** (restart_number - 1),
+            self.backoff_max,
+        )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """What the pool should do about one worker death.
+
+    Exactly one of the flags is set.  ``restart`` verdicts carry the
+    backoff to sleep first; ``poison`` means the *task* is quarantined
+    (and ``also_restart`` says whether the worker still has lives left);
+    ``retire`` means the slot is out of lives and its queue must be
+    redistributed."""
+
+    restart: bool = False
+    poison: bool = False
+    retire: bool = False
+    backoff: float = 0.0
+    also_restart: bool = False
+
+
+class Supervisor:
+    """Per-pool death bookkeeping.  Slots' restart counters are disjoint
+    (each worker slot has exactly one feeder thread), but the pool-wide
+    totals are shared, so verdicts are computed under one small lock."""
+
+    def __init__(self, workers: int, policy: RestartPolicy | None = None):
+        self.policy = policy or RestartPolicy()
+        self.restarts = [0] * workers  # per-slot lifetime restart count
+        self.total_restarts = 0
+        self.total_retired = 0
+        self.total_poisoned = 0
+        self._lock = threading.Lock()
+
+    def on_death(self, worker: int, task_kills: int) -> Verdict:
+        """Decide the response to ``worker`` dying with a task whose
+        cumulative kill count (including this death) is ``task_kills``.
+
+        Call with ``task_kills=0`` for deaths with no task attributable
+        (e.g. a corrupt control reply)."""
+        p = self.policy
+        with self._lock:
+            if task_kills >= p.poison_threshold > 0:
+                self.total_poisoned += 1
+                if self.restarts[worker] < p.max_restarts:
+                    self.restarts[worker] += 1
+                    self.total_restarts += 1
+                    return Verdict(
+                        poison=True,
+                        also_restart=True,
+                        backoff=p.backoff(self.restarts[worker]),
+                    )
+                self.total_retired += 1
+                return Verdict(poison=True)
+            if self.restarts[worker] >= p.max_restarts:
+                self.total_retired += 1
+                return Verdict(retire=True)
+            self.restarts[worker] += 1
+            self.total_restarts += 1
+            return Verdict(restart=True, backoff=p.backoff(self.restarts[worker]))
+
+    def note_retired(self) -> None:
+        """Count a retirement decided outside :meth:`on_death` (e.g. a
+        restart attempt raced the pool closing)."""
+        with self._lock:
+            self.total_retired += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "pool_restarts": self.total_restarts,
+                "pool_retired_workers": self.total_retired,
+                "pool_poisoned": self.total_poisoned,
+            }
